@@ -1,0 +1,98 @@
+// Figure 4 reproduction: sequential throughput (KB/s, mean ± stddev over
+// repetitions) for dd-Write / dd-Read / B-Write / B-Read across the five
+// configurations:
+//   Android  — stock Android FDE
+//   A-T-P    — public volume, thin provisioning + FDE, stock kernel
+//   A-T-H    — hidden volume, thin provisioning + FDE, stock kernel
+//   MC-P     — MobiCeal public volume
+//   MC-H     — MobiCeal hidden volume
+//
+// Paper shape targets (Sec. VI-B): thin volumes barely affect writes but
+// cost ~18% on reads; the MobiCeal kernel mods (dummy writes + random
+// allocation) cost ~18% on writes but barely affect reads.
+//
+// Workload size / repetitions scale with MOBICEAL_BENCH_MB and
+// MOBICEAL_BENCH_REPS (defaults 48 MB x 5; the paper used 400 MB x 10 on
+// real hardware — virtual-clock throughput is size-invariant past a few MB).
+#include <cstdio>
+
+#include "harness.hpp"
+
+using namespace mobiceal;
+using namespace mobiceal::bench;
+
+namespace {
+
+struct Row {
+  util::RunningStats dd_write, dd_read, b_write, b_read;
+};
+
+Row run_config(StackKind kind, std::uint64_t bytes, int reps) {
+  Row row;
+  for (int rep = 0; rep < reps; ++rep) {
+    StackOptions o;
+    o.seed = 1000 + rep;
+    // Size the device to hold both files plus dummy traffic.
+    o.device_blocks = (bytes / 4096) * 4 + 32768;
+    BenchStack s = make_stack(kind, o);
+
+    row.dd_write.add(kbps(bytes, dd_write(s, "/dd.dbf", bytes)));
+    row.dd_read.add(kbps(bytes, dd_read(s, "/dd.dbf", bytes)));
+    row.b_write.add(kbps(bytes, bonnie_write(s, "/bonnie.dat", bytes)));
+    row.b_read.add(kbps(bytes, bonnie_read(s, "/bonnie.dat", bytes)));
+  }
+  return row;
+}
+
+void print_cell(const util::RunningStats& s) {
+  std::printf("  %8.0f ±%5.0f", s.mean(), s.stddev());
+}
+
+}  // namespace
+
+int main() {
+  const std::uint64_t bytes = env_bench_bytes(48);
+  const int reps = env_bench_reps(5);
+
+  std::printf("== Figure 4: sequential throughput in KB/s (mean ± stddev, "
+              "%d reps, %llu MB files) ==\n\n",
+              reps, static_cast<unsigned long long>(bytes >> 20));
+  std::printf("%-8s %16s %16s %16s %16s\n", "config", "dd-Write", "dd-Read",
+              "B-Write", "B-Read");
+
+  const StackKind kinds[] = {StackKind::kAndroidFde, StackKind::kThinPublic,
+                             StackKind::kThinHidden,
+                             StackKind::kMobiCealPublic,
+                             StackKind::kMobiCealHidden};
+  double android_write = 0, android_read = 0;
+  double atp_write = 0, ath_read = 0;
+  double mcp_write = 0, mch_read = 0;
+  for (StackKind kind : kinds) {
+    const Row row = run_config(kind, bytes, reps);
+    std::printf("%-8s", stack_name(kind));
+    print_cell(row.dd_write);
+    print_cell(row.dd_read);
+    print_cell(row.b_write);
+    print_cell(row.b_read);
+    std::printf("\n");
+    if (kind == StackKind::kAndroidFde) {
+      android_write = row.dd_write.mean();
+      android_read = row.dd_read.mean();
+    }
+    if (kind == StackKind::kThinPublic) atp_write = row.dd_write.mean();
+    if (kind == StackKind::kThinHidden) ath_read = row.dd_read.mean();
+    if (kind == StackKind::kMobiCealPublic) mcp_write = row.dd_write.mean();
+    if (kind == StackKind::kMobiCealHidden) mch_read = row.dd_read.mean();
+  }
+
+  std::printf("\n-- shape checks against the paper --\n");
+  std::printf("thin-vs-Android write change : %+5.1f%%  (paper: ~0%%)\n",
+              100.0 * (atp_write - android_write) / android_write);
+  std::printf("thin-vs-Android read change  : %+5.1f%%  (paper: ~-18%%)\n",
+              100.0 * (ath_read - android_read) / android_read);
+  std::printf("MobiCeal-vs-thin write change: %+5.1f%%  (paper: ~-18%%)\n",
+              100.0 * (mcp_write - atp_write) / atp_write);
+  std::printf("MobiCeal-vs-thin read change : %+5.1f%%  (paper: ~0%%)\n",
+              100.0 * (mch_read - ath_read) / ath_read);
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Multi-snapshot security game (Sec. III-C, Theorem VI.2), run empirically
+// against the real implementations.
+//
+// Shape targets:
+//   * MobiPluto: the trivial "any non-public growth" distinguisher wins
+//     every trial — advantage 0.5 (complete deniability failure);
+//   * MobiCeal: the paper-faithful dummy-budget adversary gains ~nothing;
+//     the stronger mean-rate distinguisher gains only a small margin that
+//     shrinks as public traffic grows (quantified here).
+#include <cstdio>
+
+#include "adversary/security_game.hpp"
+#include "harness.hpp"
+
+using namespace mobiceal;
+using adversary::GameConfig;
+using adversary::SystemKind;
+
+namespace {
+void print_result(const char* label, const adversary::GameResult& r) {
+  std::printf("%s\n", label);
+  for (const auto& d : r.distinguishers) {
+    std::printf("  %-32s correct %2llu/%2llu   advantage %.3f\n",
+                d.name.c_str(), static_cast<unsigned long long>(d.correct),
+                static_cast<unsigned long long>(d.trials), d.advantage());
+  }
+  std::printf("  non-public growth per round: hidden world %.1f ± %.1f, "
+              "cover world %.1f ± %.1f chunks\n\n",
+              r.nonpublic_delta_hidden_world.mean(),
+              r.nonpublic_delta_hidden_world.stddev(),
+              r.nonpublic_delta_cover_world.mean(),
+              r.nonpublic_delta_cover_world.stddev());
+}
+}  // namespace
+
+int main() {
+  const int reps = bench::env_bench_reps(24);
+
+  GameConfig cfg;
+  cfg.trials = static_cast<std::uint64_t>(reps);
+  cfg.rounds = 3;
+  cfg.public_files_per_round = 10;
+  cfg.seed = 42;
+
+  std::printf("== Multi-snapshot security game (%llu trials, %u on-event "
+              "snapshots each) ==\n\n",
+              static_cast<unsigned long long>(cfg.trials), cfg.rounds);
+
+  cfg.system = SystemKind::kMobiPluto;
+  const auto pluto = adversary::run_security_game(cfg);
+  print_result("MobiPluto (single-snapshot PDE, no dummy writes):", pluto);
+
+  cfg.system = SystemKind::kMobiCeal;
+  const auto mc = adversary::run_security_game(cfg);
+  print_result("MobiCeal:", mc);
+
+  std::printf("-- shape checks --\n");
+  std::printf("MobiPluto fully distinguished (adv ~0.5):        %s (%.3f)\n",
+              pluto.distinguishers[0].advantage() > 0.4 ? "yes" : "NO",
+              pluto.distinguishers[0].advantage());
+  std::printf("MobiCeal vs paper adversary (budget) adv <0.15:  %s (%.3f)\n",
+              mc.distinguishers[1].advantage() < 0.15 ? "yes" : "NO",
+              mc.distinguishers[1].advantage());
+  std::printf("MobiCeal vs any-growth adversary adv <0.2:       %s (%.3f)\n",
+              mc.distinguishers[0].advantage() < 0.2 ? "yes" : "NO",
+              mc.distinguishers[0].advantage());
+  return 0;
+}

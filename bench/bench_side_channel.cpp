@@ -1,0 +1,85 @@
+// Side-channel attack experiment (Sec. IV-D): the Czeskis et al. [23]
+// attack that breaks HIVE and DEFY — hidden activity recorded by the shared
+// OS in public places — against (a) MobiCeal's isolation countermeasure and
+// (b) a shared-OS configuration modelling how HIVE/DEFY-style designs
+// co-host public and hidden state.
+#include <cstdio>
+
+#include "adversary/side_channel.hpp"
+#include "blockdev/block_device.hpp"
+#include "core/android_host.hpp"
+#include "harness.hpp"
+
+using namespace mobiceal;
+
+namespace {
+
+constexpr char kPub[] = "sc-public";
+constexpr char kHid[] = "sc-hidden";
+
+std::size_t run_session(bool isolate, std::uint64_t seed,
+                        int hidden_files) {
+  auto disk = std::make_shared<blockdev::MemBlockDevice>(16384);
+  auto clock = std::make_shared<util::SimClock>();
+  core::MobiCealDevice::Config cfg;
+  cfg.num_volumes = 6;
+  cfg.chunk_blocks = 4;
+  cfg.kdf_iterations = 16;
+  cfg.fs_inode_count = 128;
+  cfg.rng_seed = seed;
+  auto dev = core::MobiCealDevice::initialize(disk, cfg, kPub, {kHid}, clock);
+
+  core::AndroidHost::Options opt;
+  opt.isolate_side_channels = isolate;
+  opt.screen_lock_password = "0000";
+  core::AndroidHost host(std::move(dev), clock, opt);
+
+  host.power_on();
+  host.enter_boot_password(kPub);
+  // Normal public usage.
+  host.device().data_fs().mkdir("/photos");
+  util::Bytes data(20000, 0xAB);
+  for (int i = 0; i < 5; ++i) {
+    host.app_write_file("/photos/img" + std::to_string(i) + ".jpg", data);
+  }
+  // Hidden session via fast switch.
+  host.lock_screen();
+  host.enter_lock_screen_password(kHid);
+  for (int i = 0; i < hidden_files; ++i) {
+    host.app_write_file("/evidence" + std::to_string(i) + ".mp4", data);
+  }
+  host.reboot();
+  // Border crossing: the adversary images the device and audits.
+  return adversary::audit_side_channels(host).total();
+}
+
+}  // namespace
+
+int main() {
+  const int reps = bench::env_bench_reps(5);
+  std::printf("== Side-channel audit: hidden-session traces found in "
+              "persistent /devlog + /cache (%d sessions, 4 hidden files "
+              "each) ==\n\n", reps);
+
+  std::size_t mobiceal_leaks = 0, shared_os_leaks = 0;
+  for (int rep = 0; rep < reps; ++rep) {
+    mobiceal_leaks += run_session(/*isolate=*/true, 7000 + rep, 4);
+    shared_os_leaks += run_session(/*isolate=*/false, 8000 + rep, 4);
+  }
+  std::printf("%-42s %zu leaks\n", "MobiCeal (tmpfs isolation, Sec. IV-D):",
+              mobiceal_leaks);
+  std::printf("%-42s %zu leaks\n", "Shared-OS design (HIVE/DEFY-style):",
+              shared_os_leaks);
+
+  std::printf("\n-- shape checks --\n");
+  std::printf("MobiCeal leak-free:           %s\n",
+              mobiceal_leaks == 0 ? "yes" : "NO");
+  std::printf("Shared-OS design compromised: %s (every hidden write "
+              "traced: %s)\n",
+              shared_os_leaks > 0 ? "yes" : "NO",
+              shared_os_leaks ==
+                      static_cast<std::size_t>(reps) * 4 * 2  // devlog+cache
+                  ? "yes"
+                  : "partial");
+  return 0;
+}

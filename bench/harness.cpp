@@ -1,0 +1,199 @@
+#include "harness.hpp"
+
+#include <cstdlib>
+
+#include "util/error.hpp"
+
+namespace mobiceal::bench {
+
+namespace {
+constexpr char kPub[] = "bench-public";
+constexpr char kHid[] = "bench-hidden";
+
+core::MobiCealDevice::Config mobiceal_config(const StackOptions& o) {
+  core::MobiCealDevice::Config cfg;
+  cfg.num_volumes = 8;
+  cfg.chunk_blocks = 16;  // 64 KiB chunks, the dm-thin default
+  cfg.kdf_iterations = 2000;
+  cfg.fs_inode_count = 1024;
+  cfg.rng_seed = o.seed;
+  cfg.dummy.lambda = o.lambda;
+  cfg.dummy.x = o.x;
+  return cfg;
+}
+}  // namespace
+
+const char* stack_name(StackKind kind) {
+  switch (kind) {
+    case StackKind::kAndroidFde: return "Android";
+    case StackKind::kThinPublic: return "A-T-P";
+    case StackKind::kThinHidden: return "A-T-H";
+    case StackKind::kMobiCealPublic: return "MC-P";
+    case StackKind::kMobiCealHidden: return "MC-H";
+    case StackKind::kRawExt: return "Ext4-raw";
+    case StackKind::kHive: return "HIVE";
+    case StackKind::kDefy: return "DEFY";
+  }
+  return "?";
+}
+
+BenchStack make_stack(StackKind kind, const StackOptions& o) {
+  BenchStack s;
+  s.clock = std::make_shared<util::SimClock>();
+  s.raw = std::make_shared<blockdev::MemBlockDevice>(o.device_blocks);
+  s.timed = std::make_shared<blockdev::TimedDevice>(s.raw, o.device_model,
+                                                    s.clock);
+
+  switch (kind) {
+    case StackKind::kRawExt: {
+      s.owned_fs = fs::ExtFs::format(s.timed, 1024);
+      s.fs = s.owned_fs.get();
+      break;
+    }
+    case StackKind::kAndroidFde: {
+      baselines::AndroidFdeDevice::Config cfg;
+      cfg.rng_seed = o.seed;
+      s.fde = baselines::AndroidFdeDevice::initialize(s.timed, cfg, kPub,
+                                                      s.clock);
+      if (!s.fde->boot(kPub)) throw util::PolicyError("bench: fde boot");
+      s.fs = &s.fde->data_fs();
+      break;
+    }
+    case StackKind::kThinPublic:
+    case StackKind::kThinHidden: {
+      // "Android-Thin": thin provisioning + FDE with the stock kernel —
+      // i.e. MobiPluto's stack minus the (irrelevant to throughput)
+      // initial random fill.
+      baselines::MobiPlutoDevice::Config cfg;
+      cfg.rng_seed = o.seed;
+      cfg.skip_random_fill = true;
+      s.thin = baselines::MobiPlutoDevice::initialize(s.timed, cfg, kPub,
+                                                      kHid, s.clock);
+      const auto mode = s.thin->boot(
+          kind == StackKind::kThinPublic ? kPub : kHid);
+      if (mode == baselines::MobiPlutoDevice::Mode::kLocked) {
+        throw util::PolicyError("bench: thin boot failed");
+      }
+      s.fs = &s.thin->data_fs();
+      break;
+    }
+    case StackKind::kMobiCealPublic:
+    case StackKind::kMobiCealHidden: {
+      auto cfg = mobiceal_config(o);
+      cfg.random_allocation = o.mobiceal_random_alloc;
+      s.mobiceal = core::MobiCealDevice::initialize(s.timed, cfg, kPub,
+                                                    {kHid}, s.clock);
+      const auto result = s.mobiceal->boot(
+          kind == StackKind::kMobiCealPublic ? kPub : kHid);
+      if (result == core::AuthResult::kWrongPassword) {
+        throw util::PolicyError("bench: mobiceal boot failed");
+      }
+      s.fs = &s.mobiceal->data_fs();
+      break;
+    }
+    case StackKind::kHive: {
+      const util::Bytes key(32, 0x42);
+      baselines::HiveWoOram::Config cfg;
+      cfg.rng_seed = o.seed;
+      s.translator = std::make_shared<baselines::HiveWoOram>(
+          s.timed, key, cfg, s.clock);
+      s.owned_fs = fs::ExtFs::format(s.translator, 1024);
+      s.fs = s.owned_fs.get();
+      break;
+    }
+    case StackKind::kDefy: {
+      const util::Bytes key(32, 0x43);
+      baselines::DefyDevice::Config cfg;
+      cfg.rng_seed = o.seed;
+      s.translator = std::make_shared<baselines::DefyDevice>(
+          s.timed, key, cfg, s.clock);
+      s.owned_fs = fs::ExtFs::format(s.translator, 1024);
+      s.fs = s.owned_fs.get();
+      break;
+    }
+  }
+  return s;
+}
+
+namespace {
+util::Bytes workload_chunk(std::size_t n, std::uint64_t salt) {
+  // dd streams /dev/zero; we add a cheap per-chunk salt so compressible
+  // content doesn't accidentally short-circuit any layer.
+  util::Bytes out(n, 0);
+  util::store_le<std::uint64_t>(out.data(), salt);
+  return out;
+}
+}  // namespace
+
+double dd_write(BenchStack& stack, const std::string& path,
+                std::uint64_t bytes, std::size_t chunk_bytes) {
+  const double t0 = stack.clock->now_seconds();
+  if (!stack.fs->exists(path)) stack.fs->create(path);
+  std::uint64_t off = 0;
+  std::uint64_t salt = 0;
+  while (off < bytes) {
+    const std::size_t n =
+        static_cast<std::size_t>(std::min<std::uint64_t>(chunk_bytes,
+                                                         bytes - off));
+    const util::Bytes chunk = workload_chunk(n, ++salt);
+    stack.fs->write(path, off, chunk);
+    off += n;
+  }
+  stack.fs->sync();  // conv=fdatasync
+  return stack.clock->now_seconds() - t0;
+}
+
+double dd_read(BenchStack& stack, const std::string& path,
+               std::uint64_t bytes, std::size_t chunk_bytes) {
+  const double t0 = stack.clock->now_seconds();
+  std::uint64_t off = 0;
+  while (off < bytes) {
+    const auto chunk = stack.fs->read(path, off, chunk_bytes);
+    if (chunk.empty()) break;
+    off += chunk.size();
+  }
+  return stack.clock->now_seconds() - t0;
+}
+
+double bonnie_write(BenchStack& stack, const std::string& path,
+                    std::uint64_t bytes) {
+  return dd_write(stack, path, bytes, 8 * 1024);
+}
+
+double bonnie_read(BenchStack& stack, const std::string& path,
+                   std::uint64_t bytes) {
+  return dd_read(stack, path, bytes, 8 * 1024);
+}
+
+double bonnie_rewrite(BenchStack& stack, const std::string& path,
+                      std::uint64_t bytes) {
+  const double t0 = stack.clock->now_seconds();
+  std::uint64_t off = 0;
+  while (off < bytes) {
+    auto chunk = stack.fs->read(path, off, 8 * 1024);
+    if (chunk.empty()) break;
+    for (auto& b : chunk) b ^= 0x5A;
+    stack.fs->write(path, off, chunk);
+    off += chunk.size();
+  }
+  stack.fs->sync();
+  return stack.clock->now_seconds() - t0;
+}
+
+std::uint64_t env_bench_bytes(std::uint64_t def_mb) {
+  if (const char* v = std::getenv("MOBICEAL_BENCH_MB")) {
+    const long mb = std::atol(v);
+    if (mb > 0) return static_cast<std::uint64_t>(mb) << 20;
+  }
+  return def_mb << 20;
+}
+
+int env_bench_reps(int def_reps) {
+  if (const char* v = std::getenv("MOBICEAL_BENCH_REPS")) {
+    const int r = std::atoi(v);
+    if (r > 0) return r;
+  }
+  return def_reps;
+}
+
+}  // namespace mobiceal::bench

@@ -1,0 +1,101 @@
+// Shared benchmark harness: builds the five Fig. 4 storage stacks (and the
+// Table I comparison stacks) over a virtual-clock device, and provides the
+// dd / Bonnie++-style workloads the paper measures with.
+//
+// Every number reported by the bench binaries is *virtual* time from the
+// calibrated device/CPU service models — deterministic across machines.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "baselines/android_fde.hpp"
+#include "baselines/defy.hpp"
+#include "baselines/hive_woram.hpp"
+#include "baselines/mobipluto.hpp"
+#include "blockdev/timed_device.hpp"
+#include "core/mobiceal.hpp"
+#include "fs/ext_fs.hpp"
+#include "util/stats.hpp"
+
+namespace mobiceal::bench {
+
+/// The five Fig. 4 configurations plus the Table I comparison stacks.
+enum class StackKind {
+  kAndroidFde,      // "Android": stock FDE
+  kThinPublic,      // "A-T-P": thin volumes + FDE, stock kernel
+  kThinHidden,      // "A-T-H"
+  kMobiCealPublic,  // "MC-P"
+  kMobiCealHidden,  // "MC-H"
+  kRawExt,          // plain ext4, no encryption (Table I baseline)
+  kHive,            // ext4 over HIVE write-only ORAM
+  kDefy,            // ext4 over the DEFY-style log device
+};
+
+const char* stack_name(StackKind kind);
+
+/// A fully built storage stack with a mounted filesystem and shared clock.
+/// Keepalives hold every layer; `fs` is the mount point for workloads.
+struct BenchStack {
+  std::shared_ptr<util::SimClock> clock;
+  fs::FileSystem* fs = nullptr;
+
+  // Keepalive owners (which are set depends on the stack kind).
+  std::shared_ptr<blockdev::BlockDevice> raw;
+  std::shared_ptr<blockdev::BlockDevice> timed;
+  std::unique_ptr<core::MobiCealDevice> mobiceal;
+  std::unique_ptr<baselines::AndroidFdeDevice> fde;
+  std::unique_ptr<baselines::MobiPlutoDevice> thin;
+  std::shared_ptr<blockdev::BlockDevice> translator;  // HIVE/DEFY device
+  std::unique_ptr<fs::FileSystem> owned_fs;
+};
+
+struct StackOptions {
+  std::uint64_t device_blocks = 65536;  // 256 MiB
+  blockdev::TimingModel device_model = blockdev::TimingModel::nexus4_emmc();
+  std::uint64_t seed = 1;
+  /// MobiCeal dummy-write parameters (ablations override these).
+  double lambda = 1.0;
+  std::uint32_t x = 50;
+  /// Allocation policy override for the MobiCeal stacks (ablations).
+  bool mobiceal_random_alloc = true;
+};
+
+/// Builds a freshly initialised stack of the given kind.
+BenchStack make_stack(StackKind kind, const StackOptions& options);
+
+// ---- workloads ------------------------------------------------------------------
+
+/// dd-style sequential write: streams `bytes` into a fresh file in
+/// `chunk_bytes` requests, then fdatasync (paper: dd ... conv=fdatasync).
+/// Returns virtual seconds elapsed.
+double dd_write(BenchStack& stack, const std::string& path,
+                std::uint64_t bytes, std::size_t chunk_bytes = 1 << 20);
+
+/// dd-style sequential read of the whole file (caches dropped: the FS has
+/// no data cache, matching the paper's `echo 3 > drop_caches`).
+double dd_read(BenchStack& stack, const std::string& path,
+               std::uint64_t bytes, std::size_t chunk_bytes = 1 << 20);
+
+/// Bonnie++-style block write / block read passes (8 KiB requests).
+double bonnie_write(BenchStack& stack, const std::string& path,
+                    std::uint64_t bytes);
+double bonnie_read(BenchStack& stack, const std::string& path,
+                   std::uint64_t bytes);
+/// Bonnie++ rewrite pass: read + modify + write back, 8 KiB at a time.
+double bonnie_rewrite(BenchStack& stack, const std::string& path,
+                      std::uint64_t bytes);
+
+/// KB/s for `bytes` moved in `seconds`.
+inline double kbps(std::uint64_t bytes, double seconds) {
+  return static_cast<double>(bytes) / 1024.0 / seconds;
+}
+
+/// Reads environment overrides for workload size/repetitions:
+/// MOBICEAL_BENCH_MB (default `def_mb`), MOBICEAL_BENCH_REPS (default
+/// `def_reps`). Lets CI run quick passes and full runs match the paper.
+std::uint64_t env_bench_bytes(std::uint64_t def_mb);
+int env_bench_reps(int def_reps);
+
+}  // namespace mobiceal::bench

@@ -1,0 +1,75 @@
+// Fast switching + side-channel isolation (Sec. IV-D, V-C): the usability
+// feature that distinguishes MobiCeal from reboot-based PDEs.
+//
+// Scenario: an opportunistic moment to capture sensitive footage. With a
+// reboot-based design the moment is gone (>60 s); MobiCeal switches through
+// the screen-lock in under 10 s, isolates /cache and /devlog onto tmpfs, and
+// the only way back is a RAM-clearing reboot.
+#include <cstdio>
+
+#include "adversary/side_channel.hpp"
+#include "blockdev/block_device.hpp"
+#include "core/android_host.hpp"
+
+using namespace mobiceal;
+
+int main() {
+  auto disk = std::make_shared<blockdev::MemBlockDevice>(16384);
+  auto clock = std::make_shared<util::SimClock>();
+
+  core::MobiCealDevice::Config cfg;
+  cfg.num_volumes = 6;
+  cfg.chunk_blocks = 4;
+  cfg.kdf_iterations = 64;
+  cfg.fs_inode_count = 128;
+  auto device = core::MobiCealDevice::initialize(disk, cfg, "decoy-pw",
+                                                 {"hidden-pw"}, clock);
+
+  core::AndroidHost::Options opt;
+  opt.screen_lock_password = "1234";
+  core::AndroidHost phone(std::move(device), clock, opt);
+
+  std::printf("== phone boots into public mode ==\n");
+  phone.power_on();
+  phone.enter_boot_password("decoy-pw");
+  phone.app_write_file("/note.txt", util::bytes_of("grocery run"));
+  phone.lock_screen();
+
+  // Normal unlock works as usual.
+  phone.enter_lock_screen_password("1234");
+  std::printf("normal screen unlock: OK (device stays in public mode)\n");
+  phone.lock_screen();
+
+  // The opportunistic moment.
+  std::printf("\n== something worth documenting happens NOW ==\n");
+  double t0 = clock->now_seconds();
+  const auto result = phone.enter_lock_screen_password("hidden-pw");
+  const double switch_s = clock->now_seconds() - t0;
+  std::printf("entered the hidden password at the lock screen: %s in %.2f "
+              "virtual seconds (reboot-based PDEs: >60 s)\n",
+              result == core::AndroidHost::LockResult::kSwitchedToHidden
+                  ? "switched to hidden mode"
+                  : "FAILED",
+              switch_s);
+
+  phone.app_write_file("/footage.mp4", util::Bytes(50000, 0x3C));
+  std::printf("captured /footage.mp4 in the hidden volume\n");
+
+  // Done: one-way switch means a reboot to return.
+  std::printf("\n== returning to public mode requires a reboot (clears "
+              "RAM traces) ==\n");
+  t0 = clock->now_seconds();
+  phone.reboot();
+  phone.enter_boot_password("decoy-pw");
+  std::printf("back in public mode after %.1f virtual seconds\n",
+              clock->now_seconds() - t0);
+
+  // Audit: did the hidden session leak anywhere persistent?
+  const auto report = adversary::audit_side_channels(phone);
+  std::printf("\nside-channel audit of persistent /devlog + /cache: "
+              "%zu hidden-session trace(s) %s\n",
+              report.total(), report.leaked() ? "(LEAKED!)" : "— clean");
+  std::printf("public log entries survive (as they should): %zu\n",
+              phone.devlog_persistent().size());
+  return 0;
+}

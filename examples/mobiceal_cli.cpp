@@ -1,0 +1,241 @@
+// mobiceal_cli — operate MobiCeal device images from the command line.
+//
+// The closest equivalent of the paper's `vdc cryptfs pde ...` interface,
+// working on ordinary files so you can poke at real on-disk state:
+//
+//   mobiceal_cli init <image> <size_mb> <pub_pwd> [hidden_pwd...]
+//   mobiceal_cli ls <image> <pwd> [dir]
+//   mobiceal_cli put <image> <pwd> <path> <text>
+//   mobiceal_cli get <image> <pwd> <path>
+//   mobiceal_cli rm <image> <pwd> <path>
+//   mobiceal_cli gc <image> <hidden_pwd> [protected_pwd...]
+//   mobiceal_cli info <image>                  (adversary's metadata view)
+//   mobiceal_cli snapshot <image> <out_file>
+//   mobiceal_cli analyze <image> <old_snapshot>  (multi-snapshot attacks)
+//
+// `pwd` may be the decoy password (public volume) or any hidden password.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adversary/attacks.hpp"
+#include "adversary/metadata_reader.hpp"
+#include "adversary/snapshot.hpp"
+#include "blockdev/block_device.hpp"
+#include "core/mobiceal.hpp"
+#include "util/error.hpp"
+
+using namespace mobiceal;
+
+namespace {
+
+core::MobiCealDevice::Config cli_config() {
+  core::MobiCealDevice::Config cfg;
+  cfg.num_volumes = 8;
+  cfg.chunk_blocks = 4;  // 16 KiB chunks keep small images usable
+  cfg.kdf_iterations = 2000;
+  cfg.fs_inode_count = 512;
+  return cfg;
+}
+
+std::uint64_t image_blocks(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) throw util::IoError("cannot open image: " + path);
+  return static_cast<std::uint64_t>(in.tellg()) / 4096;
+}
+
+std::unique_ptr<core::MobiCealDevice> attach(const std::string& image) {
+  auto dev = std::make_shared<blockdev::FileBlockDevice>(
+      image, image_blocks(image));
+  return core::MobiCealDevice::attach(dev, cli_config());
+}
+
+std::unique_ptr<core::MobiCealDevice> attach_and_boot(
+    const std::string& image, const std::string& pwd) {
+  auto dev = attach(image);
+  const auto result = dev->boot(pwd);
+  if (result == core::AuthResult::kWrongPassword) {
+    throw util::PolicyError("password does not unlock any volume");
+  }
+  std::fprintf(stderr, "[booted: %s mode]\n",
+               result == core::AuthResult::kPublic ? "public" : "hidden");
+  return dev;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: mobiceal_cli "
+               "init|ls|put|get|rm|gc|info|snapshot|analyze ...\n"
+               "see the header of examples/mobiceal_cli.cpp\n");
+  return 2;
+}
+
+int cmd_init(int argc, char** argv) {
+  if (argc < 5) return usage();
+  const std::string image = argv[2];
+  const std::uint64_t mb = std::strtoull(argv[3], nullptr, 10);
+  const std::string pub = argv[4];
+  std::vector<std::string> hidden;
+  for (int i = 5; i < argc; ++i) hidden.emplace_back(argv[i]);
+  if (mb < 8) {
+    std::fprintf(stderr, "image must be at least 8 MB\n");
+    return 1;
+  }
+  auto dev = std::make_shared<blockdev::FileBlockDevice>(image, mb << 8);
+  auto mc = core::MobiCealDevice::initialize(dev, cli_config(), pub, hidden);
+  std::printf("initialised %s: %llu MB, %u volumes (%zu hidden)\n",
+              image.c_str(), static_cast<unsigned long long>(mb),
+              mc->num_volumes(), hidden.size());
+  return 0;
+}
+
+int cmd_ls(int argc, char** argv) {
+  if (argc < 4) return usage();
+  auto mc = attach_and_boot(argv[2], argv[3]);
+  const std::string dir = argc > 4 ? argv[4] : "/";
+  for (const auto& name : mc->data_fs().list(dir)) {
+    const std::string full = dir == "/" ? "/" + name : dir + "/" + name;
+    const auto info = mc->data_fs().stat(full);
+    std::printf("%10llu  %s%s\n",
+                static_cast<unsigned long long>(info.size), full.c_str(),
+                info.is_dir ? "/" : "");
+  }
+  mc->reboot();
+  return 0;
+}
+
+int cmd_put(int argc, char** argv) {
+  if (argc < 6) return usage();
+  auto mc = attach_and_boot(argv[2], argv[3]);
+  mc->data_fs().write_file(argv[4], util::bytes_of(argv[5]));
+  mc->data_fs().sync();
+  mc->reboot();
+  std::printf("wrote %zu bytes to %s\n", std::strlen(argv[5]), argv[4]);
+  return 0;
+}
+
+int cmd_get(int argc, char** argv) {
+  if (argc < 5) return usage();
+  auto mc = attach_and_boot(argv[2], argv[3]);
+  const auto data = mc->data_fs().read_file(argv[4]);
+  std::fwrite(data.data(), 1, data.size(), stdout);
+  std::printf("\n");
+  mc->reboot();
+  return 0;
+}
+
+int cmd_rm(int argc, char** argv) {
+  if (argc < 5) return usage();
+  auto mc = attach_and_boot(argv[2], argv[3]);
+  mc->data_fs().unlink(argv[4]);
+  mc->data_fs().sync();
+  mc->reboot();
+  std::printf("removed %s\n", argv[4]);
+  return 0;
+}
+
+int cmd_gc(int argc, char** argv) {
+  if (argc < 4) return usage();
+  auto mc = attach(argv[2]);
+  if (mc->boot(argv[3]) != core::AuthResult::kHidden) {
+    std::fprintf(stderr, "gc requires a hidden password (Sec. IV-D)\n");
+    return 1;
+  }
+  std::vector<std::string> prot;
+  for (int i = 4; i < argc; ++i) prot.emplace_back(argv[i]);
+  const auto reclaimed = mc->collect_garbage(0.5, prot);
+  std::printf("reclaimed %llu dummy chunk(s)\n",
+              static_cast<unsigned long long>(reclaimed));
+  mc->reboot();
+  return 0;
+}
+
+int cmd_info(int argc, char** argv) {
+  if (argc < 3) return usage();
+  blockdev::FileBlockDevice dev(argv[2], image_blocks(argv[2]));
+  const auto snap = adversary::Snapshot::take(dev);
+  adversary::ThinMetadataReader meta(snap);
+  const auto& sb = meta.superblock();
+  std::printf("thin pool: %llu chunks x %u blocks, policy=%s, txn=%llu\n",
+              static_cast<unsigned long long>(sb.nr_chunks), sb.chunk_blocks,
+              sb.policy == thin::AllocPolicy::kRandom ? "random"
+                                                      : "sequential",
+              static_cast<unsigned long long>(sb.txn_id));
+  std::printf("allocated: %zu chunks\n", meta.allocated_chunks().size());
+  for (std::uint32_t v = 0; v < meta.volumes().size(); ++v) {
+    const auto& vol = meta.volumes()[v];
+    if (!vol.active) continue;
+    std::printf("  V%u: %llu mapped / %llu virtual chunk(s)%s\n", v + 1,
+                static_cast<unsigned long long>(vol.mapped_chunks),
+                static_cast<unsigned long long>(vol.virtual_chunks),
+                v == 0 ? "  (public)" : "  (hidden or dummy — cannot tell)");
+  }
+  return 0;
+}
+
+int cmd_snapshot(int argc, char** argv) {
+  if (argc < 4) return usage();
+  blockdev::FileBlockDevice dev(argv[2], image_blocks(argv[2]));
+  const auto snap = adversary::Snapshot::take(dev);
+  std::ofstream out(argv[3], std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(snap.image.data()),
+            static_cast<std::streamsize>(snap.image.size()));
+  std::printf("snapshot of %s written to %s (%zu bytes)\n", argv[2], argv[3],
+              snap.image.size());
+  return 0;
+}
+
+int cmd_analyze(int argc, char** argv) {
+  if (argc < 4) return usage();
+  blockdev::FileBlockDevice dev(argv[2], image_blocks(argv[2]));
+  const auto now = adversary::Snapshot::take(dev);
+  adversary::Snapshot old;
+  old.block_size = now.block_size;
+  {
+    std::ifstream in(argv[3], std::ios::binary | std::ios::ate);
+    if (!in) {
+      std::fprintf(stderr, "cannot open snapshot %s\n", argv[3]);
+      return 1;
+    }
+    old.image.resize(static_cast<std::size_t>(in.tellg()));
+    in.seekg(0);
+    in.read(reinterpret_cast<char*>(old.image.data()),
+            static_cast<std::streamsize>(old.image.size()));
+  }
+  adversary::ThinMetadataReader r0(old), r1(now);
+  for (const auto& rep :
+       {adversary::nonpublic_growth_attack(r0, r1),
+        adversary::dummy_budget_attack(r0, r1, /*lambda=*/1.0),
+        adversary::sequential_layout_attack(r1)}) {
+    std::printf("%-8s %s\n",
+                rep.suspects_hidden_data ? "SUSPECT" : "clean",
+                rep.reasoning.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "init") return cmd_init(argc, argv);
+    if (cmd == "ls") return cmd_ls(argc, argv);
+    if (cmd == "put") return cmd_put(argc, argv);
+    if (cmd == "get") return cmd_get(argc, argv);
+    if (cmd == "rm") return cmd_rm(argc, argv);
+    if (cmd == "gc") return cmd_gc(argc, argv);
+    if (cmd == "info") return cmd_info(argc, argv);
+    if (cmd == "snapshot") return cmd_snapshot(argc, argv);
+    if (cmd == "analyze") return cmd_analyze(argc, argv);
+  } catch (const util::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}

@@ -1,0 +1,73 @@
+// Quickstart: the MobiCeal public API in ~60 lines.
+//
+//   1. Initialise a device with a decoy password and a hidden password
+//      ("vdc cryptfs pde wipe" in the paper's prototype, Sec. V-B).
+//   2. Boot with the decoy password -> public mode; store everyday data.
+//   3. Fast-switch to hidden mode with the hidden password; store secrets.
+//   4. Coercion: hand over the decoy password. The adversary sees a normal
+//      encrypted phone; the hidden volume is indistinguishable from the
+//      dummy volumes that absorb routine dummy-write traffic.
+#include <cstdio>
+
+#include "blockdev/block_device.hpp"
+#include "core/mobiceal.hpp"
+
+using namespace mobiceal;
+
+int main() {
+  // A 64 MiB virtual userdata partition (any BlockDevice works:
+  // RAM-backed, file-backed, or your own).
+  auto disk = std::make_shared<blockdev::MemBlockDevice>(16384);
+
+  core::MobiCealDevice::Config config;
+  config.num_volumes = 6;   // V1 public + 5 hidden/dummy volumes
+  config.chunk_blocks = 4;  // 16 KiB thin chunks (demo-sized)
+  config.kdf_iterations = 64;  // demo value; production uses 2000+
+  config.fs_inode_count = 128;
+
+  std::printf("== initialising MobiCeal (decoy + 1 hidden password) ==\n");
+  auto device = core::MobiCealDevice::initialize(
+      disk, config, "decoy-password", {"hidden-password"});
+
+  // --- daily use: public mode ------------------------------------------------
+  std::printf("booting with the decoy password... ");
+  device->boot("decoy-password");
+  std::printf("mode=public\n");
+  device->data_fs().write_file("/shopping-list.txt",
+                               util::bytes_of("milk, eggs, bread"));
+  device->data_fs().write_file("/holiday.jpg", util::Bytes(30000, 0x7F));
+  std::printf("stored 2 public files\n");
+
+  // --- emergency: fast switch to hidden mode ----------------------------------
+  std::printf("entering the hidden password at the screen lock... ");
+  device->switch_to_hidden("hidden-password");
+  std::printf("mode=hidden (no reboot needed)\n");
+  device->data_fs().write_file("/sources.txt",
+                               util::bytes_of("whistleblower contact info"));
+  std::printf("stored 1 hidden file; rebooting back to public mode\n");
+  device->reboot();
+
+  // --- border checkpoint: coercion --------------------------------------------
+  std::printf("\n== coercion: the user reveals ONLY the decoy password ==\n");
+  device->boot("decoy-password");
+  auto& fs = device->data_fs();
+  std::printf("adversary mounts the public volume and lists /:\n");
+  for (const auto& name : fs.list("/")) {
+    std::printf("  /%s\n", name.c_str());
+  }
+  std::printf("hidden file visible? %s\n",
+              fs.exists("/sources.txt") ? "YES (bug!)" : "no");
+  std::printf(
+      "non-public volumes on disk: %u (which hold dummy noise and/or hidden\n"
+      "data — without the hidden password they cannot be told apart)\n",
+      device->num_volumes() - 1);
+
+  // --- and the data is really still there -------------------------------------
+  device->reboot();
+  device->boot("hidden-password");
+  std::printf("\nre-entering hidden mode: /sources.txt = \"%s\"\n",
+              util::string_of(device->data_fs().read_file("/sources.txt"))
+                  .c_str());
+  std::printf("\nquickstart OK\n");
+  return 0;
+}

@@ -1,0 +1,191 @@
+#include "adversary/security_game.hpp"
+
+#include "baselines/mobipluto.hpp"
+#include "blockdev/block_device.hpp"
+#include "core/mobiceal.hpp"
+#include "util/rng.hpp"
+
+namespace mobiceal::adversary {
+
+namespace {
+
+constexpr char kPub[] = "game-public-pw";
+constexpr char kHid[] = "game-hidden-pw";
+
+util::Bytes random_payload(util::Rng& rng, std::size_t n) {
+  util::Bytes out(n);
+  rng.fill(out);
+  return out;
+}
+
+/// One world execution: returns the per-round metadata readers
+/// (reader[0] = baseline snapshot, reader[i] = after round i).
+struct TrialTrace {
+  std::vector<ThinMetadataReader> readers;
+};
+
+template <typename BootPublic, typename WriteFile, typename StoreHidden,
+          typename Reboot>
+TrialTrace run_rounds(const GameConfig& cfg, bool hidden_world,
+                      util::Rng& rng,
+                      blockdev::BlockDevice& disk, BootPublic boot_public,
+                      WriteFile write_file, StoreHidden store_hidden,
+                      Reboot reboot) {
+  TrialTrace trace;
+  // Baseline usage, then snapshot D0.
+  boot_public();
+  write_file("/base0", cfg.public_file_bytes);
+  write_file("/base1", cfg.public_file_bytes / 2);
+  reboot();
+  trace.readers.emplace_back(Snapshot::take(disk));
+
+  int file_id = 0;
+  for (std::uint32_t round = 0; round < cfg.rounds; ++round) {
+    boot_public();
+    for (std::uint32_t f = 0; f < cfg.public_files_per_round; ++f) {
+      const std::size_t jitter =
+          cfg.public_file_bytes / 2 +
+          rng.next_below(cfg.public_file_bytes);
+      write_file("/pub" + std::to_string(file_id++), jitter);
+    }
+    if (hidden_world) {
+      store_hidden("/sensitive" + std::to_string(round),
+                   cfg.hidden_file_bytes);
+      if (cfg.equal_size_discipline) {
+        write_file("/cover" + std::to_string(round), cfg.hidden_file_bytes);
+      }
+    } else {
+      // The plausible public equivalent of the hidden operation.
+      write_file("/extra" + std::to_string(round), cfg.hidden_file_bytes);
+      if (cfg.equal_size_discipline) {
+        write_file("/cover" + std::to_string(round), cfg.hidden_file_bytes);
+      }
+    }
+    reboot();
+    trace.readers.emplace_back(Snapshot::take(disk));
+  }
+  return trace;
+}
+
+TrialTrace run_mobiceal_trial(const GameConfig& cfg, bool hidden_world,
+                              std::uint64_t trial_seed, util::Rng& rng) {
+  auto disk = std::make_shared<blockdev::MemBlockDevice>(cfg.disk_blocks);
+  core::MobiCealDevice::Config mc;
+  mc.num_volumes = cfg.num_volumes;
+  mc.chunk_blocks = cfg.chunk_blocks;
+  mc.kdf_iterations = 16;
+  mc.fs_inode_count = 256;
+  mc.thin_cpu = thin::ThinCpuModel::zero();
+  mc.crypt_cpu = dm::CryptCpuModel::zero();
+  mc.rng_seed = trial_seed;
+  mc.dummy.x = cfg.x;
+  mc.dummy.lambda = cfg.lambda;
+  auto dev = core::MobiCealDevice::initialize(disk, mc, kPub, {kHid});
+
+  auto boot_public = [&] { dev->boot(kPub); };
+  auto write_file = [&](const std::string& path, std::size_t n) {
+    dev->data_fs().write_file(path, random_payload(rng, n));
+    dev->data_fs().sync();
+  };
+  auto store_hidden = [&](const std::string& path, std::size_t n) {
+    // The MobiCeal workflow: fast switch at the lock screen, store, reboot
+    // back to public mode (Sec. IV-B "User Steps").
+    dev->switch_to_hidden(kHid);
+    dev->data_fs().write_file(path, random_payload(rng, n));
+    dev->data_fs().sync();
+    dev->reboot();
+    dev->boot(kPub);
+  };
+  auto reboot = [&] { dev->reboot(); };
+  return run_rounds(cfg, hidden_world, rng, *disk, boot_public, write_file,
+                    store_hidden, reboot);
+}
+
+TrialTrace run_mobipluto_trial(const GameConfig& cfg, bool hidden_world,
+                               std::uint64_t trial_seed, util::Rng& rng) {
+  auto disk = std::make_shared<blockdev::MemBlockDevice>(cfg.disk_blocks);
+  baselines::MobiPlutoDevice::Config mp;
+  mp.chunk_blocks = cfg.chunk_blocks;
+  mp.kdf_iterations = 16;
+  mp.fs_inode_count = 256;
+  mp.thin_cpu = thin::ThinCpuModel::zero();
+  mp.crypt_cpu = dm::CryptCpuModel::zero();
+  mp.rng_seed = trial_seed;
+  auto dev = baselines::MobiPlutoDevice::initialize(disk, mp, kPub, kHid);
+
+  auto boot_public = [&] { dev->boot(kPub); };
+  auto write_file = [&](const std::string& path, std::size_t n) {
+    dev->data_fs().write_file(path, random_payload(rng, n));
+    dev->data_fs().sync();
+  };
+  auto store_hidden = [&](const std::string& path, std::size_t n) {
+    // MobiPluto has no fast switch: reboot into hidden mode and back.
+    dev->reboot();
+    dev->boot(kHid);
+    dev->data_fs().write_file(path, random_payload(rng, n));
+    dev->data_fs().sync();
+    dev->reboot();
+    dev->boot(kPub);
+  };
+  auto reboot = [&] { dev->reboot(); };
+  return run_rounds(cfg, hidden_world, rng, *disk, boot_public, write_file,
+                    store_hidden, reboot);
+}
+
+}  // namespace
+
+GameResult run_security_game(const GameConfig& cfg) {
+  GameResult result;
+  DistinguisherResult any_growth{"any-nonpublic-growth", 0, 0};
+  DistinguisherResult budget{"dummy-budget (paper adversary)", 0, 0};
+  DistinguisherResult mean_rate{"mean-rate threshold", 0, 0};
+
+  util::Xoshiro256 master(cfg.seed);
+  for (std::uint64_t trial = 0; trial < cfg.trials; ++trial) {
+    const bool hidden_world = master.next_below(2) == 0;
+    const std::uint64_t trial_seed = master.next_u64();
+    util::Xoshiro256 rng(master.next_u64());
+
+    const TrialTrace trace =
+        cfg.system == SystemKind::kMobiCeal
+            ? run_mobiceal_trial(cfg, hidden_world, trial_seed, rng)
+            : run_mobipluto_trial(cfg, hidden_world, trial_seed, rng);
+
+    // Aggregate growth over the whole observation window.
+    const auto& first = trace.readers.front();
+    const auto& last = trace.readers.back();
+    const ThinDelta total = compute_thin_delta(first, last);
+    for (std::size_t r = 1; r < trace.readers.size(); ++r) {
+      const ThinDelta d =
+          compute_thin_delta(trace.readers[r - 1], trace.readers[r]);
+      auto& stats = hidden_world ? result.nonpublic_delta_hidden_world
+                                 : result.nonpublic_delta_cover_world;
+      stats.add(static_cast<double>(d.non_public_new_chunks));
+    }
+
+    // Distinguisher 1: any non-public growth at all.
+    {
+      const bool guess_hidden = total.non_public_new_chunks > 0;
+      ++any_growth.trials;
+      if (guess_hidden == hidden_world) ++any_growth.correct;
+    }
+    // Distinguisher 2: the paper-faithful dummy-budget bound.
+    {
+      const AttackReport rep = dummy_budget_attack(first, last, cfg.lambda);
+      ++budget.trials;
+      if (rep.suspects_hidden_data == hidden_world) ++budget.correct;
+    }
+    // Distinguisher 3: mean-rate threshold.
+    {
+      const AttackReport rep = mean_rate_attack(first, last, cfg.lambda,
+                                                cfg.x);
+      ++mean_rate.trials;
+      if (rep.suspects_hidden_data == hidden_world) ++mean_rate.correct;
+    }
+  }
+
+  result.distinguishers = {any_growth, budget, mean_rate};
+  return result;
+}
+
+}  // namespace mobiceal::adversary

@@ -1,0 +1,16 @@
+#include "adversary/side_channel.hpp"
+
+namespace mobiceal::adversary {
+
+SideChannelReport audit_side_channels(const core::AndroidHost& host) {
+  SideChannelReport report;
+  for (const auto& rec : host.devlog_persistent()) {
+    if (rec.hidden_session) report.devlog_leaks.push_back(rec.path);
+  }
+  for (const auto& rec : host.cache_persistent()) {
+    if (rec.hidden_session) report.cache_leaks.push_back(rec.path);
+  }
+  return report;
+}
+
+}  // namespace mobiceal::adversary

@@ -1,0 +1,41 @@
+// Side-channel auditor — the attack of Czeskis et al. [23] that defeats
+// HIVE and DEFY (Sec. IV-D): even when the hidden volume itself is sound,
+// the shared OS records hidden activity in *public* places (logs, caches,
+// recent-file lists). A multi-snapshot adversary just greps the public
+// partitions for traces that the decoy story cannot explain.
+//
+// MobiCeal's countermeasure — unmounting /data, /cache and /devlog and
+// remounting tmpfs before hidden mode — makes the persistent stores
+// trace-free; the auditor verifies exactly that.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/android_host.hpp"
+
+namespace mobiceal::adversary {
+
+struct SideChannelReport {
+  /// Hidden-session records found in persistent /devlog.
+  std::vector<std::string> devlog_leaks;
+  /// Hidden-session records found in persistent /cache.
+  std::vector<std::string> cache_leaks;
+
+  bool leaked() const {
+    return !devlog_leaks.empty() || !cache_leaks.empty();
+  }
+  std::size_t total() const {
+    return devlog_leaks.size() + cache_leaks.size();
+  }
+};
+
+/// Scans the host's persistent stores for records created during hidden
+/// sessions. In the paper's model the adversary cannot label records as
+/// "hidden" a priori; it cross-references paths against what the decoy
+/// (public) filesystem can account for. Here the host's records carry the
+/// ground-truth flag, so the audit is exact: any persistent record from a
+/// hidden session is a leak the user cannot deny.
+SideChannelReport audit_side_channels(const core::AndroidHost& host);
+
+}  // namespace mobiceal::adversary

@@ -1,0 +1,51 @@
+#include "adversary/snapshot.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "util/error.hpp"
+
+namespace mobiceal::adversary {
+
+namespace {
+bool is_zero(util::ByteSpan b) {
+  return std::all_of(b.begin(), b.end(),
+                     [](std::uint8_t x) { return x == 0; });
+}
+}  // namespace
+
+DiffResult diff_snapshots(const Snapshot& before, const Snapshot& after) {
+  if (before.image.size() != after.image.size() ||
+      before.block_size != after.block_size) {
+    throw util::IoError("snapshot diff: geometry mismatch");
+  }
+  DiffResult out;
+  const std::uint64_t n = before.num_blocks();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const auto a = before.block(i);
+    const auto b = after.block(i);
+    if (std::equal(a.begin(), a.end(), b.begin())) continue;
+    out.changed_blocks.push_back(i);
+    const bool az = is_zero(a);
+    const bool bz = is_zero(b);
+    if (az && !bz) {
+      ++out.zero_to_data;
+    } else if (!az && bz) {
+      ++out.data_to_zero;
+    } else {
+      ++out.data_to_data;
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> changed_chunks(const DiffResult& diff,
+                                          std::uint32_t chunk_blocks) {
+  std::set<std::uint64_t> chunks;
+  for (std::uint64_t b : diff.changed_blocks) {
+    chunks.insert(b / chunk_blocks);
+  }
+  return {chunks.begin(), chunks.end()};
+}
+
+}  // namespace mobiceal::adversary

@@ -1,0 +1,56 @@
+// Snapshot capture and differencing — the multi-snapshot adversary's
+// primitives (Sec. III-A: full images of the block storage at different
+// points of time, e.g. at a border checkpoint).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "blockdev/block_device.hpp"
+
+namespace mobiceal::adversary {
+
+/// A full raw image of a device at one point in time.
+struct Snapshot {
+  util::Bytes image;
+  std::size_t block_size = blockdev::kDefaultBlockSize;
+
+  std::uint64_t num_blocks() const {
+    return image.size() / block_size;
+  }
+  util::ByteSpan block(std::uint64_t i) const {
+    return {image.data() + i * block_size, block_size};
+  }
+
+  static Snapshot take(blockdev::BlockDevice& dev) {
+    return Snapshot{dev.snapshot(), dev.block_size()};
+  }
+};
+
+/// Per-block classification of a change between two snapshots.
+enum class BlockChange {
+  kUnchanged,
+  kZeroToData,    // untouched block gained content
+  kDataToData,    // content replaced
+  kDataToZero,    // content zeroed (trim/scrub)
+};
+
+struct DiffResult {
+  std::vector<std::uint64_t> changed_blocks;
+  std::uint64_t zero_to_data = 0;
+  std::uint64_t data_to_data = 0;
+  std::uint64_t data_to_zero = 0;
+
+  std::uint64_t total_changed() const { return changed_blocks.size(); }
+};
+
+/// Block-level diff of two snapshots of the same device.
+/// Throws util::IoError when the geometries differ.
+DiffResult diff_snapshots(const Snapshot& before, const Snapshot& after);
+
+/// Chunk-granularity view of a diff: indices of chunks (groups of
+/// `chunk_blocks` blocks) containing at least one changed block.
+std::vector<std::uint64_t> changed_chunks(const DiffResult& diff,
+                                          std::uint32_t chunk_blocks);
+
+}  // namespace mobiceal::adversary

@@ -1,0 +1,73 @@
+#include "baselines/android_fde.hpp"
+
+#include "crypto/random.hpp"
+#include "dm/device_mapper.hpp"
+#include "util/error.hpp"
+
+namespace mobiceal::baselines {
+
+AndroidFdeDevice::AndroidFdeDevice(
+    std::shared_ptr<blockdev::BlockDevice> userdata, const Config& config,
+    std::shared_ptr<util::SimClock> clock)
+    : userdata_(std::move(userdata)),
+      config_(config),
+      clock_(std::move(clock)) {}
+
+std::unique_ptr<AndroidFdeDevice> AndroidFdeDevice::initialize(
+    std::shared_ptr<blockdev::BlockDevice> userdata, const Config& config,
+    const std::string& password, std::shared_ptr<util::SimClock> clock) {
+  auto dev = std::unique_ptr<AndroidFdeDevice>(
+      new AndroidFdeDevice(std::move(userdata), config, std::move(clock)));
+  crypto::SecureRandom rng(config.rng_seed);
+  dev->footer_ = fde::create_footer(rng, util::bytes_of(password),
+                                    config.cipher_spec, 16,
+                                    config.kdf_iterations);
+  fde::write_footer(*dev->userdata_, dev->footer_);
+  const util::SecureBytes key =
+      fde::decrypt_master_key(dev->footer_, util::bytes_of(password));
+  fs::ExtFs::format(dev->crypt_device(key.span()), config.fs_inode_count)
+      ->sync();
+  return dev;
+}
+
+std::unique_ptr<AndroidFdeDevice> AndroidFdeDevice::attach(
+    std::shared_ptr<blockdev::BlockDevice> userdata, const Config& config,
+    std::shared_ptr<util::SimClock> clock) {
+  auto dev = std::unique_ptr<AndroidFdeDevice>(
+      new AndroidFdeDevice(std::move(userdata), config, std::move(clock)));
+  dev->footer_ = fde::read_footer(*dev->userdata_);
+  return dev;
+}
+
+std::shared_ptr<blockdev::BlockDevice> AndroidFdeDevice::crypt_device(
+    util::ByteSpan key) {
+  const std::uint64_t fb = fde::footer_blocks(userdata_->block_size());
+  auto region = std::make_shared<dm::LinearTarget>(
+      userdata_, 0, userdata_->num_blocks() - fb);
+  return std::make_shared<dm::CryptTarget>(region, config_.cipher_spec, key,
+                                           clock_, config_.crypt_cpu);
+}
+
+bool AndroidFdeDevice::boot(const std::string& password) {
+  if (fs_) throw util::PolicyError("fde: already booted");
+  const util::SecureBytes key =
+      fde::decrypt_master_key(footer_, util::bytes_of(password));
+  auto crypt = crypt_device(key.span());
+  if (!fs::ExtFs::probe(*crypt)) return false;
+  fs_ = fs::ExtFs::mount(crypt);
+  return true;
+}
+
+void AndroidFdeDevice::reboot() {
+  if (fs_) {
+    fs_->sync();
+    fs_.reset();
+  }
+}
+
+fs::FileSystem& AndroidFdeDevice::data_fs() {
+  if (!fs_) throw util::PolicyError("fde: not booted");
+  return *fs_;
+}
+
+}  // namespace mobiceal::baselines

@@ -1,0 +1,61 @@
+// Baseline 1: stock Android full disk encryption (Sec. II-A) — dm-crypt
+// straight over the userdata partition, crypto footer in the last 16 KiB,
+// no deniability. This is the "Android" configuration of Fig. 4 and the
+// first row of Table II.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "blockdev/block_device.hpp"
+#include "dm/crypt_target.hpp"
+#include "fde/crypto_footer.hpp"
+#include "fs/ext_fs.hpp"
+#include "util/sim_clock.hpp"
+
+namespace mobiceal::baselines {
+
+class AndroidFdeDevice {
+ public:
+  struct Config {
+    std::string cipher_spec = "aes-cbc-essiv:sha256";
+    std::uint32_t kdf_iterations = 2000;
+    std::uint32_t fs_inode_count = 1024;
+    dm::CryptCpuModel crypt_cpu = dm::CryptCpuModel::snapdragon_s4();
+    std::uint64_t rng_seed = 1;
+  };
+
+  /// Enables FDE: writes the footer and formats ext4 over dm-crypt.
+  static std::unique_ptr<AndroidFdeDevice> initialize(
+      std::shared_ptr<blockdev::BlockDevice> userdata, const Config& config,
+      const std::string& password,
+      std::shared_ptr<util::SimClock> clock = nullptr);
+
+  static std::unique_ptr<AndroidFdeDevice> attach(
+      std::shared_ptr<blockdev::BlockDevice> userdata, const Config& config,
+      std::shared_ptr<util::SimClock> clock = nullptr);
+
+  /// Pre-boot auth: true iff the password decrypts a mountable filesystem.
+  bool boot(const std::string& password);
+
+  void reboot();
+
+  fs::FileSystem& data_fs();
+  bool mounted() const noexcept { return fs_ != nullptr; }
+  const fde::CryptoFooter& footer() const noexcept { return footer_; }
+
+ private:
+  AndroidFdeDevice(std::shared_ptr<blockdev::BlockDevice> userdata,
+                   const Config& config,
+                   std::shared_ptr<util::SimClock> clock);
+
+  std::shared_ptr<blockdev::BlockDevice> crypt_device(util::ByteSpan key);
+
+  std::shared_ptr<blockdev::BlockDevice> userdata_;
+  Config config_;
+  std::shared_ptr<util::SimClock> clock_;
+  fde::CryptoFooter footer_;
+  std::unique_ptr<fs::FileSystem> fs_;
+};
+
+}  // namespace mobiceal::baselines

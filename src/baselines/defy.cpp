@@ -1,0 +1,143 @@
+#include "baselines/defy.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace mobiceal::baselines {
+
+namespace {
+constexpr std::uint64_t kNone = ~std::uint64_t{0};
+}
+
+DefyDevice::DefyDevice(std::shared_ptr<blockdev::BlockDevice> phys,
+                       util::ByteSpan key, const Config& config,
+                       std::shared_ptr<util::SimClock> clock)
+    : phys_(std::move(phys)),
+      cipher_(crypto::make_sector_cipher("aes-xts-plain64", key)),
+      config_(config),
+      clock_(std::move(clock)),
+      rng_(config.rng_seed) {
+  physical_ = phys_->num_blocks();
+  logical_ = physical_ / 2;
+  if (logical_ == 0) throw util::PolicyError("defy: device too small");
+  map_.assign(logical_, kNone);
+  page_owner_.assign(physical_, kNone);
+  gens_.assign(physical_, 0);
+}
+
+std::uint64_t DefyDevice::log_advance() {
+  // Find the next stale/free physical page at the log head.
+  for (std::uint64_t i = 0; i < physical_; ++i) {
+    const std::uint64_t p = (head_ + i) % physical_;
+    if (page_owner_[p] == kNone) {
+      head_ = (p + 1) % physical_;
+      return p;
+    }
+  }
+  throw util::NoSpaceError("defy: log full even after GC");
+}
+
+void DefyDevice::append_page(std::uint64_t logical, util::ByteSpan data) {
+  const std::uint64_t page = log_advance();
+  ++gens_[page];
+  const std::size_t bs = block_size();
+  const std::size_t sectors = bs / blockdev::kSectorSize;
+  util::Bytes ct(bs);
+  const std::uint64_t base =
+      (page * 0x100000000ULL + gens_[page]) * sectors;
+  for (std::size_t s = 0; s < sectors; ++s) {
+    cipher_->encrypt_sector(
+        base + s,
+        {data.data() + s * blockdev::kSectorSize, blockdev::kSectorSize},
+        {ct.data() + s * blockdev::kSectorSize, blockdev::kSectorSize});
+  }
+  if (clock_) clock_->advance(config_.crypto_ns_per_page);
+  phys_->write_block(page, ct);
+
+  if (map_[logical] != kNone) {
+    page_owner_[map_[logical]] = kNone;  // stale old version
+    --live_pages_;
+  }
+  map_[logical] = page;
+  page_owner_[page] = logical;
+  ++live_pages_;
+}
+
+void DefyDevice::append_metadata_pages() {
+  // Tnode/header pages: appended, encrypted, never mapped (immediately
+  // superseded — modelled as noise pages that become stale at once).
+  util::Bytes noise(block_size());
+  for (std::uint32_t i = 0; i < config_.metadata_amp; ++i) {
+    const std::uint64_t page = log_advance();
+    ++gens_[page];
+    rng_.fill_bytes(noise);
+    if (clock_) clock_->advance(config_.crypto_ns_per_page);
+    phys_->write_block(page, noise);
+    // stays free (stale immediately): page_owner_[page] == kNone
+  }
+}
+
+void DefyDevice::garbage_collect() {
+  // Relocate live pages away from the head region; every relocation pays
+  // the full decrypt+re-encrypt cost (DEFY re-keys on GC).
+  ++gc_runs_;
+  const std::uint64_t scan = physical_ / 8;
+  const std::size_t bs = block_size();
+  const std::size_t sectors = bs / blockdev::kSectorSize;
+  util::Bytes ct(bs), plain(bs);
+  for (std::uint64_t i = 0; i < scan; ++i) {
+    const std::uint64_t p = (head_ + i) % physical_;
+    const std::uint64_t logical = page_owner_[p];
+    if (logical == kNone) continue;
+    phys_->read_block(p, ct);
+    const std::uint64_t base = (p * 0x100000000ULL + gens_[p]) * sectors;
+    for (std::size_t s = 0; s < sectors; ++s) {
+      cipher_->decrypt_sector(
+          base + s,
+          {ct.data() + s * blockdev::kSectorSize, blockdev::kSectorSize},
+          {plain.data() + s * blockdev::kSectorSize, blockdev::kSectorSize});
+    }
+    if (clock_) clock_->advance(config_.crypto_ns_per_page);
+    page_owner_[p] = kNone;
+    --live_pages_;
+    map_[logical] = kNone;
+    append_page(logical, plain);
+  }
+}
+
+void DefyDevice::read_block(std::uint64_t index, util::MutByteSpan out) {
+  check_io(index, out.size());
+  const std::uint64_t page = map_[index];
+  if (page == kNone) {
+    std::fill(out.begin(), out.end(), 0);
+    return;
+  }
+  const std::size_t bs = block_size();
+  const std::size_t sectors = bs / blockdev::kSectorSize;
+  util::Bytes ct(bs);
+  phys_->read_block(page, ct);
+  const std::uint64_t base = (page * 0x100000000ULL + gens_[page]) * sectors;
+  for (std::size_t s = 0; s < sectors; ++s) {
+    cipher_->decrypt_sector(
+        base + s,
+        {ct.data() + s * blockdev::kSectorSize, blockdev::kSectorSize},
+        {out.data() + s * blockdev::kSectorSize, blockdev::kSectorSize});
+  }
+  if (clock_) clock_->advance(config_.crypto_ns_per_page);
+}
+
+void DefyDevice::write_block(std::uint64_t index, util::ByteSpan data) {
+  check_io(index, data.size());
+  // GC pressure is measured against the logical capacity: once the live
+  // working set approaches it, the head region fills with live pages and
+  // they must be relocated (re-keyed) before the log can advance cheaply.
+  const double live_frac = static_cast<double>(live_pages_ +
+                                               config_.metadata_amp + 1) /
+                           static_cast<double>(logical_);
+  if (live_frac > 1.0 - config_.gc_threshold) garbage_collect();
+  append_page(index, data);
+  append_metadata_pages();
+}
+
+}  // namespace mobiceal::baselines

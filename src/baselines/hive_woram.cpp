@@ -1,0 +1,173 @@
+#include "baselines/hive_woram.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace mobiceal::baselines {
+
+namespace {
+constexpr std::uint64_t kNone = ~std::uint64_t{0};
+}
+
+HiveWoOram::HiveWoOram(std::shared_ptr<blockdev::BlockDevice> phys,
+                       util::ByteSpan key, const Config& config,
+                       std::shared_ptr<util::SimClock> clock)
+    : phys_(std::move(phys)),
+      cipher_(crypto::make_sector_cipher("aes-xts-plain64", key)),
+      config_(config),
+      clock_(std::move(clock)),
+      rng_(config.rng_seed) {
+  if (config_.space_blowup < 1.5) {
+    throw util::PolicyError("hive: space blowup must be >= 1.5");
+  }
+  physical_ = phys_->num_blocks();
+  logical_ =
+      static_cast<std::uint64_t>(physical_ / config_.space_blowup);
+  if (logical_ == 0) throw util::PolicyError("hive: device too small");
+  pos_map_.assign(logical_, kNone);
+  slot_owner_.assign(physical_, kNone);
+  gens_.assign(physical_, 0);
+}
+
+double HiveWoOram::write_amplification() const noexcept {
+  if (logical_writes_ == 0) return 0.0;
+  return static_cast<double>(physical_writes_) /
+         static_cast<double>(logical_writes_);
+}
+
+void HiveWoOram::charge_posmap() {
+  // The position map outlives RAM and lives in an on-disk B-tree; each
+  // logical access walks + updates a few nodes.
+  if (clock_) {
+    clock_->advance(std::uint64_t{config_.posmap_ios} * 60'000);
+  }
+}
+
+void HiveWoOram::write_slot(std::uint64_t slot, util::ByteSpan plain) {
+  ++gens_[slot];
+  const std::size_t bs = block_size();
+  const std::size_t sectors = bs / blockdev::kSectorSize;
+  util::Bytes ct(bs);
+  // Randomised encryption: fold the per-slot generation counter into the
+  // tweak so rewrites of a slot produce fresh ciphertext.
+  const std::uint64_t base =
+      (slot * 0x100000000ULL + gens_[slot]) * sectors;
+  for (std::size_t s = 0; s < sectors; ++s) {
+    cipher_->encrypt_sector(
+        base + s,
+        {plain.data() + s * blockdev::kSectorSize, blockdev::kSectorSize},
+        {ct.data() + s * blockdev::kSectorSize, blockdev::kSectorSize});
+  }
+  phys_->write_block(slot, ct);
+  ++physical_writes_;
+  if (config_.sync_every_physical_write) phys_->flush();
+}
+
+util::Bytes HiveWoOram::read_slot(std::uint64_t slot) {
+  const std::size_t bs = block_size();
+  const std::size_t sectors = bs / blockdev::kSectorSize;
+  util::Bytes ct(bs), plain(bs);
+  phys_->read_block(slot, ct);
+  const std::uint64_t base =
+      (slot * 0x100000000ULL + gens_[slot]) * sectors;
+  for (std::size_t s = 0; s < sectors; ++s) {
+    cipher_->decrypt_sector(
+        base + s,
+        {ct.data() + s * blockdev::kSectorSize, blockdev::kSectorSize},
+        {plain.data() + s * blockdev::kSectorSize, blockdev::kSectorSize});
+  }
+  return plain;
+}
+
+void HiveWoOram::rerandomise_slot(std::uint64_t slot) {
+  if (slot_owner_[slot] != kNone) {
+    // Occupied: decrypt and re-encrypt under a fresh generation.
+    const util::Bytes plain = read_slot(slot);
+    write_slot(slot, plain);
+  } else {
+    // Free: overwrite with fresh noise so free and occupied rewrites are
+    // indistinguishable.
+    util::Bytes noise(block_size());
+    rng_.fill_bytes(noise);
+    ++gens_[slot];
+    phys_->write_block(slot, noise);
+    ++physical_writes_;
+    if (config_.sync_every_physical_write) phys_->flush();
+  }
+}
+
+void HiveWoOram::read_block(std::uint64_t index, util::MutByteSpan out) {
+  check_io(index, out.size());
+  charge_posmap();
+  const auto it = stash_.find(index);
+  if (it != stash_.end()) {
+    std::copy(it->second.begin(), it->second.end(), out.begin());
+    return;
+  }
+  const std::uint64_t slot = pos_map_[index];
+  if (slot == kNone) {
+    std::fill(out.begin(), out.end(), 0);
+    return;
+  }
+  const util::Bytes plain = read_slot(slot);
+  std::copy(plain.begin(), plain.end(), out.begin());
+}
+
+void HiveWoOram::write_block(std::uint64_t index, util::ByteSpan data) {
+  check_io(index, data.size());
+  ++logical_writes_;
+  charge_posmap();
+
+  // Sample k distinct physical slots uniformly.
+  std::vector<std::uint64_t> slots;
+  while (slots.size() < config_.k) {
+    const std::uint64_t s = rng_.next_below(physical_);
+    if (std::find(slots.begin(), slots.end(), s) == slots.end()) {
+      slots.push_back(s);
+    }
+  }
+
+  bool placed = false;
+  for (std::uint64_t slot : slots) {
+    if (!placed && slot_owner_[slot] == kNone) {
+      // Place the new version here; release the block's previous slot.
+      if (pos_map_[index] != kNone) slot_owner_[pos_map_[index]] = kNone;
+      stash_.erase(index);
+      write_slot(slot, data);
+      slot_owner_[slot] = index;
+      pos_map_[index] = slot;
+      placed = true;
+      continue;
+    }
+    if (slot_owner_[slot] == kNone && !stash_.empty()) {
+      // Drain a stash entry into this free sampled slot.
+      const auto st = stash_.begin();
+      const std::uint64_t logical = st->first;
+      if (pos_map_[logical] != kNone) slot_owner_[pos_map_[logical]] = kNone;
+      write_slot(slot, st->second);
+      slot_owner_[slot] = logical;
+      pos_map_[logical] = slot;
+      stash_.erase(st);
+      continue;
+    }
+    rerandomise_slot(slot);
+  }
+
+  if (!placed) {
+    // All sampled slots were occupied: the new version waits in the stash.
+    if (pos_map_[index] != kNone) {
+      slot_owner_[pos_map_[index]] = kNone;
+      pos_map_[index] = kNone;
+    }
+    stash_[index] = util::Bytes(data.begin(), data.end());
+    if (stash_.size() > config_.max_stash) {
+      throw util::NoSpaceError("hive: stash overflow — device too full");
+    }
+  }
+
+  // Durability barrier per logical write (HIVE syncs map+data atomically).
+  phys_->flush();
+}
+
+}  // namespace mobiceal::baselines

@@ -1,0 +1,137 @@
+#include "baselines/mobipluto.hpp"
+
+#include "crypto/random.hpp"
+#include "dm/device_mapper.hpp"
+#include "util/error.hpp"
+
+namespace mobiceal::baselines {
+
+MobiPlutoDevice::MobiPlutoDevice(
+    std::shared_ptr<blockdev::BlockDevice> userdata, const Config& config,
+    std::shared_ptr<util::SimClock> clock)
+    : userdata_(std::move(userdata)),
+      config_(config),
+      clock_(std::move(clock)) {}
+
+void MobiPlutoDevice::setup_pool(bool format) {
+  const std::uint64_t fb = fde::footer_blocks(userdata_->block_size());
+  const std::uint64_t usable = userdata_->num_blocks() - fb;
+
+  thin::Superblock est;
+  est.chunk_blocks = config_.chunk_blocks;
+  est.max_volumes = 2;
+  est.nr_chunks = usable / config_.chunk_blocks;
+  est.max_chunks_per_volume = est.nr_chunks;
+  const auto geom =
+      thin::MetadataGeometry::compute(est, userdata_->block_size());
+
+  meta_region_ =
+      std::make_shared<dm::LinearTarget>(userdata_, 0, geom.total_blocks);
+  data_region_ = std::make_shared<dm::LinearTarget>(
+      userdata_, geom.total_blocks, usable - geom.total_blocks);
+
+  if (format) {
+    thin::ThinPool::Config pc;
+    pc.chunk_blocks = config_.chunk_blocks;
+    pc.max_volumes = 2;
+    pc.policy = thin::AllocPolicy::kSequential;  // stock dm-thin
+    pc.cpu = config_.thin_cpu;
+    pool_ = thin::ThinPool::format(meta_region_, data_region_, pc, clock_);
+  } else {
+    pool_ = thin::ThinPool::open(meta_region_, data_region_, clock_);
+  }
+}
+
+std::unique_ptr<MobiPlutoDevice> MobiPlutoDevice::initialize(
+    std::shared_ptr<blockdev::BlockDevice> userdata, const Config& config,
+    const std::string& public_password, const std::string& hidden_password,
+    std::shared_ptr<util::SimClock> clock) {
+  auto dev = std::unique_ptr<MobiPlutoDevice>(
+      new MobiPlutoDevice(std::move(userdata), config, std::move(clock)));
+  crypto::SecureRandom rng(config.rng_seed);
+
+  dev->footer_ = fde::create_footer(rng, util::bytes_of(public_password),
+                                    config.cipher_spec, 16,
+                                    config.kdf_iterations);
+  fde::write_footer(*dev->userdata_, dev->footer_);
+  dev->setup_pool(/*format=*/true);
+
+  // One-time random fill of the entire data area — the static defence.
+  if (!config.skip_random_fill) {
+    auto data = dev->data_region_;
+    util::Bytes noise(data->block_size());
+    for (std::uint64_t b = 0; b < data->num_blocks(); ++b) {
+      rng.fill_bytes(noise);
+      data->write_block(b, noise);
+    }
+  }
+
+  const std::uint64_t vsize = dev->pool_->nr_chunks();
+  dev->pool_->create_thin(0, vsize);  // public V1
+  dev->pool_->create_thin(1, vsize);  // hidden V2
+
+  {
+    const util::SecureBytes decoy = fde::decrypt_master_key(
+        dev->footer_, util::bytes_of(public_password));
+    fs::ExtFs::format(dev->crypt_device(0, decoy.span()),
+                      config.fs_inode_count)
+        ->sync();
+  }
+  {
+    const util::SecureBytes hidden = fde::decrypt_master_key(
+        dev->footer_, util::bytes_of(hidden_password));
+    fs::ExtFs::format(dev->crypt_device(1, hidden.span()),
+                      config.fs_inode_count)
+        ->sync();
+  }
+  dev->pool_->commit();
+  return dev;
+}
+
+std::unique_ptr<MobiPlutoDevice> MobiPlutoDevice::attach(
+    std::shared_ptr<blockdev::BlockDevice> userdata, const Config& config,
+    std::shared_ptr<util::SimClock> clock) {
+  auto dev = std::unique_ptr<MobiPlutoDevice>(
+      new MobiPlutoDevice(std::move(userdata), config, std::move(clock)));
+  dev->footer_ = fde::read_footer(*dev->userdata_);
+  dev->setup_pool(/*format=*/false);
+  return dev;
+}
+
+std::shared_ptr<blockdev::BlockDevice> MobiPlutoDevice::crypt_device(
+    std::uint32_t vol, util::ByteSpan key) {
+  return std::make_shared<dm::CryptTarget>(pool_->open_thin(vol),
+                                           config_.cipher_spec, key, clock_,
+                                           config_.crypt_cpu);
+}
+
+MobiPlutoDevice::Mode MobiPlutoDevice::boot(const std::string& password) {
+  if (mode_ != Mode::kLocked) throw util::PolicyError("already booted");
+  const util::SecureBytes key =
+      fde::decrypt_master_key(footer_, util::bytes_of(password));
+  for (std::uint32_t vol : {0u, 1u}) {
+    auto crypt = crypt_device(vol, key.span());
+    if (fs::ExtFs::probe(*crypt)) {
+      fs_ = fs::ExtFs::mount(crypt);
+      mode_ = vol == 0 ? Mode::kPublic : Mode::kHidden;
+      return mode_;
+    }
+  }
+  return Mode::kLocked;
+}
+
+void MobiPlutoDevice::reboot() {
+  if (fs_) {
+    fs_->sync();
+    fs_.reset();
+  }
+  pool_->commit();
+  mode_ = Mode::kLocked;
+}
+
+fs::FileSystem& MobiPlutoDevice::data_fs() {
+  if (!fs_) throw util::PolicyError("mobipluto: no volume mounted");
+  return *fs_;
+}
+
+}  // namespace mobiceal::baselines

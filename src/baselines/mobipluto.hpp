@@ -1,0 +1,88 @@
+// Baseline 2: MobiPluto [21] — file-system-friendly PDE from thin
+// provisioning + the hidden volume technique (the paper's closest prior
+// work, and the Table II comparison row).
+//
+// Key differences from MobiCeal, all of which the adversary experiments
+// exploit:
+//   * the whole data device is filled with randomness ONCE at init
+//     (static defence — 37 min on the Nexus 4, Table II);
+//   * stock dm-thin SEQUENTIAL allocation;
+//   * no dummy writes: any chunk that changes between snapshots without a
+//     matching public write is unaccountable;
+//   * mode switching requires a full reboot (both directions).
+//
+// This gives correct single-snapshot deniability (the hidden volume's
+// chunks look like the initial randomness) but fails multi-snapshot.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "blockdev/block_device.hpp"
+#include "dm/crypt_target.hpp"
+#include "fde/crypto_footer.hpp"
+#include "fs/ext_fs.hpp"
+#include "thin/thin_pool.hpp"
+#include "util/sim_clock.hpp"
+
+namespace mobiceal::baselines {
+
+class MobiPlutoDevice {
+ public:
+  struct Config {
+    std::uint32_t chunk_blocks = 16;
+    std::string cipher_spec = "aes-cbc-essiv:sha256";
+    std::uint32_t kdf_iterations = 2000;
+    std::uint32_t fs_inode_count = 1024;
+    thin::ThinCpuModel thin_cpu = thin::ThinCpuModel::nexus4();
+    dm::CryptCpuModel crypt_cpu = dm::CryptCpuModel::snapdragon_s4();
+    std::uint64_t rng_seed = 2;
+    /// Skip the (slow) full-device random fill — only for unit tests that
+    /// don't involve the adversary.
+    bool skip_random_fill = false;
+  };
+
+  enum class Mode { kLocked, kPublic, kHidden };
+
+  /// Initialisation: fill the data area with randomness, build the thin
+  /// pool (2 volumes: public V1, hidden V2), write the footer.
+  static std::unique_ptr<MobiPlutoDevice> initialize(
+      std::shared_ptr<blockdev::BlockDevice> userdata, const Config& config,
+      const std::string& public_password, const std::string& hidden_password,
+      std::shared_ptr<util::SimClock> clock = nullptr);
+
+  static std::unique_ptr<MobiPlutoDevice> attach(
+      std::shared_ptr<blockdev::BlockDevice> userdata, const Config& config,
+      std::shared_ptr<util::SimClock> clock = nullptr);
+
+  /// Boot with a password; decides public vs hidden by probing both volumes
+  /// (MobiPluto, like Mobiflage, has no volume-head verification block).
+  Mode boot(const std::string& password);
+
+  /// MobiPluto has no fast switch: this is the reboot path.
+  void reboot();
+
+  Mode mode() const noexcept { return mode_; }
+  fs::FileSystem& data_fs();
+  thin::ThinPool& pool() noexcept { return *pool_; }
+
+ private:
+  MobiPlutoDevice(std::shared_ptr<blockdev::BlockDevice> userdata,
+                  const Config& config,
+                  std::shared_ptr<util::SimClock> clock);
+  void setup_pool(bool format);
+  std::shared_ptr<blockdev::BlockDevice> crypt_device(std::uint32_t vol,
+                                                      util::ByteSpan key);
+
+  std::shared_ptr<blockdev::BlockDevice> userdata_;
+  Config config_;
+  std::shared_ptr<util::SimClock> clock_;
+  std::shared_ptr<blockdev::BlockDevice> meta_region_;
+  std::shared_ptr<blockdev::BlockDevice> data_region_;
+  std::shared_ptr<thin::ThinPool> pool_;
+  fde::CryptoFooter footer_;
+  Mode mode_ = Mode::kLocked;
+  std::unique_ptr<fs::FileSystem> fs_;
+};
+
+}  // namespace mobiceal::baselines

@@ -1,0 +1,71 @@
+#include "baselines/timing_flows.hpp"
+
+namespace mobiceal::baselines {
+
+namespace {
+constexpr double kNsPerS = 1e9;
+constexpr double kMsPerS = 1e3;
+
+double boot_steps_s(const core::AndroidTimingModel& a, bool thin_stack,
+                    bool mobiceal_mods) {
+  double ms = a.pbkdf2_ms + a.dm_setup_ms + a.mount_ms;
+  if (thin_stack) ms += a.lvm_activate_ms;
+  if (mobiceal_mods) ms += a.random_alloc_init_ms;
+  return ms / kMsPerS;
+}
+
+double reboot_s(const core::AndroidTimingModel& a) {
+  // Shutdown + bootloader/kernel + pre-boot auth + rest of boot with the
+  // framework start. This is what "switch by reboot" costs end to end.
+  return (a.shutdown_ms + a.bootloader_kernel_ms + a.post_auth_boot_ms) /
+         kMsPerS;
+}
+}  // namespace
+
+FlowTimes android_fde_flow(std::uint64_t partition_bytes,
+                           const blockdev::TimingModel& dev,
+                           const core::AndroidTimingModel& android) {
+  FlowTimes t;
+  const double blocks = static_cast<double>(partition_bytes) / 4096.0;
+  // In-place encryption: sequential read + sequential write of every block;
+  // AES is offloaded to the SoC crypto engine and overlaps the I/O.
+  const double per_block_ns =
+      static_cast<double>(dev.read_per_block_ns + dev.write_per_block_ns +
+                          2 * dev.per_io_ns);
+  t.initialization_s = blocks * per_block_ns / kNsPerS +
+                       (android.mkfs_ms + android.vold_cmd_ms) / kMsPerS +
+                       reboot_s(android);
+  t.boot_s = boot_steps_s(android, /*thin_stack=*/false,
+                          /*mobiceal_mods=*/false);
+  t.has_pde = false;
+  return t;
+}
+
+FlowTimes mobipluto_flow(std::uint64_t partition_bytes,
+                         const blockdev::TimingModel& dev,
+                         const core::AndroidTimingModel& android) {
+  FlowTimes t;
+  const double blocks = static_cast<double>(partition_bytes) / 4096.0;
+  // Random fill: /dev/urandom generation dominates, serialised with the
+  // sequential write stream.
+  const double per_block_ns =
+      static_cast<double>(dev.write_per_block_ns + dev.per_io_ns +
+                          android.urandom_ns_per_block);
+  t.initialization_s =
+      blocks * per_block_ns / kNsPerS +
+      (2 * android.mkfs_ms + android.lvm_activate_ms + android.vold_cmd_ms) /
+          kMsPerS +
+      reboot_s(android);
+  t.boot_s = boot_steps_s(android, /*thin_stack=*/true,
+                          /*mobiceal_mods=*/false);
+  // MobiPluto switches modes by rebooting — both directions; the cost is a
+  // full power cycle plus pre-boot authentication. (The paper's measured
+  // 68 s vs 64 s asymmetry comes from user-interaction variance that the
+  // model does not represent; both directions land in the same >60 s band.)
+  t.switch_in_s = reboot_s(android) + boot_steps_s(android, true, false);
+  t.switch_out_s = t.switch_in_s;
+  t.has_pde = true;
+  return t;
+}
+
+}  // namespace mobiceal::baselines

@@ -1,0 +1,44 @@
+// Table II timing flows for the baseline systems.
+//
+// MobiCeal's own times are *measured* by running the real implementation on
+// a virtual-clock device (bench_table2_timing). The two baselines' init
+// flows move full-partition amounts of data (13.7 GB in-place encryption /
+// random fill), so they are computed from the same calibrated per-block cost
+// models instead of actually streaming the bytes; boot and switch flows are
+// step sequences over the same AndroidTimingModel constants.
+#pragma once
+
+#include <cstdint>
+
+#include "blockdev/timed_device.hpp"
+#include "core/android_host.hpp"
+#include "dm/crypt_target.hpp"
+
+namespace mobiceal::baselines {
+
+struct FlowTimes {
+  double initialization_s = 0;
+  double boot_s = 0;
+  double switch_in_s = 0;   // enter hidden mode (NaN-like 0 if unsupported)
+  double switch_out_s = 0;  // exit hidden mode
+  bool has_pde = false;
+};
+
+/// Stock Android FDE (Table II row 1). Initialisation is the in-place
+/// encryption pass over the whole userdata partition: Android 4.2 streams
+/// the partition through dm-crypt sector by sector (the Nexus 4 offloads
+/// the cipher to the hardware crypto engine, so the cost is the
+/// read+write streaming itself), then reboots.
+FlowTimes android_fde_flow(std::uint64_t partition_bytes,
+                           const blockdev::TimingModel& dev,
+                           const core::AndroidTimingModel& android);
+
+/// MobiPluto (Table II row 2). Initialisation fills the entire partition
+/// with randomness drawn from /dev/urandom (the 3.4-kernel SHA-1 pool, the
+/// bottleneck) and sets up LVM + thin provisioning; both mode switches are
+/// full reboots.
+FlowTimes mobipluto_flow(std::uint64_t partition_bytes,
+                         const blockdev::TimingModel& dev,
+                         const core::AndroidTimingModel& android);
+
+}  // namespace mobiceal::baselines

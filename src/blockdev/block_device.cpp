@@ -1,0 +1,102 @@
+#include "blockdev/block_device.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace mobiceal::blockdev {
+
+void BlockDevice::check_io(std::uint64_t index, std::size_t len) const {
+  if (index >= num_blocks()) {
+    throw util::IoError("block " + std::to_string(index) +
+                        " out of range (device has " +
+                        std::to_string(num_blocks()) + ")");
+  }
+  if (len != block_size()) {
+    throw util::IoError("I/O size " + std::to_string(len) +
+                        " != block size " + std::to_string(block_size()));
+  }
+}
+
+util::Bytes BlockDevice::read_blocks(std::uint64_t first,
+                                     std::uint64_t count) {
+  util::Bytes out(count * block_size());
+  for (std::uint64_t i = 0; i < count; ++i) {
+    read_block(first + i,
+               {out.data() + i * block_size(), block_size()});
+  }
+  return out;
+}
+
+void BlockDevice::write_blocks(std::uint64_t first, util::ByteSpan data) {
+  if (data.size() % block_size() != 0) {
+    throw util::IoError("write_blocks: unaligned buffer");
+  }
+  const std::uint64_t count = data.size() / block_size();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    write_block(first + i, {data.data() + i * block_size(), block_size()});
+  }
+}
+
+util::Bytes BlockDevice::snapshot() {
+  return read_blocks(0, num_blocks());
+}
+
+MemBlockDevice::MemBlockDevice(std::uint64_t num_blocks,
+                               std::size_t block_size)
+    : num_blocks_(num_blocks),
+      block_size_(block_size),
+      data_(num_blocks * block_size, 0) {}
+
+void MemBlockDevice::read_block(std::uint64_t index, util::MutByteSpan out) {
+  check_io(index, out.size());
+  std::memcpy(out.data(), data_.data() + index * block_size_, block_size_);
+}
+
+void MemBlockDevice::write_block(std::uint64_t index, util::ByteSpan data) {
+  check_io(index, data.size());
+  std::memcpy(data_.data() + index * block_size_, data.data(), block_size_);
+}
+
+FileBlockDevice::FileBlockDevice(const std::string& path,
+                                 std::uint64_t num_blocks,
+                                 std::size_t block_size)
+    : num_blocks_(num_blocks), block_size_(block_size) {
+  fd_ = ::open(path.c_str(), O_RDWR | O_CREAT, 0600);
+  if (fd_ < 0) throw util::IoError("cannot open " + path);
+  if (::ftruncate(fd_, static_cast<off_t>(num_blocks * block_size)) != 0) {
+    ::close(fd_);
+    throw util::IoError("cannot size " + path);
+  }
+}
+
+FileBlockDevice::~FileBlockDevice() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void FileBlockDevice::read_block(std::uint64_t index, util::MutByteSpan out) {
+  check_io(index, out.size());
+  const off_t off = static_cast<off_t>(index * block_size_);
+  if (::pread(fd_, out.data(), block_size_, off) !=
+      static_cast<ssize_t>(block_size_)) {
+    throw util::IoError("pread failed at block " + std::to_string(index));
+  }
+}
+
+void FileBlockDevice::write_block(std::uint64_t index, util::ByteSpan data) {
+  check_io(index, data.size());
+  const off_t off = static_cast<off_t>(index * block_size_);
+  if (::pwrite(fd_, data.data(), block_size_, off) !=
+      static_cast<ssize_t>(block_size_)) {
+    throw util::IoError("pwrite failed at block " + std::to_string(index));
+  }
+}
+
+void FileBlockDevice::flush() {
+  if (::fsync(fd_) != 0) throw util::IoError("fsync failed");
+}
+
+}  // namespace mobiceal::blockdev

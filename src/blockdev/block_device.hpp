@@ -1,0 +1,109 @@
+// Block device abstraction — the bottom of the storage stack.
+//
+// Mirrors the Linux block layer contract the paper's implementation sits on:
+// an eMMC card exposed through the FTL as a linear array of fixed-size
+// blocks (Sec. III-A). Every layer above (dm-crypt, dm-thin, filesystems)
+// talks to this interface, and the multi-snapshot adversary images devices
+// through snapshot() exactly as a border agent images a phone.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "util/bytes.hpp"
+
+namespace mobiceal::blockdev {
+
+/// Linux sector size; dm-crypt IVs are computed per 512-byte sector.
+inline constexpr std::size_t kSectorSize = 512;
+
+/// Default block (page) size for device I/O; matches the 4 KiB pages the
+/// Android kernel issues to eMMC.
+inline constexpr std::size_t kDefaultBlockSize = 4096;
+
+class BlockDevice {
+ public:
+  virtual ~BlockDevice() = default;
+
+  /// Fixed I/O unit in bytes (power of two, multiple of 512).
+  virtual std::size_t block_size() const noexcept = 0;
+
+  /// Device capacity in blocks.
+  virtual std::uint64_t num_blocks() const noexcept = 0;
+
+  /// Read one whole block. `out.size()` must equal block_size().
+  /// Throws util::IoError on out-of-range access.
+  virtual void read_block(std::uint64_t index, util::MutByteSpan out) = 0;
+
+  /// Write one whole block. `data.size()` must equal block_size().
+  virtual void write_block(std::uint64_t index, util::ByteSpan data) = 0;
+
+  /// Persist outstanding writes (a barrier for layered caches/metadata).
+  virtual void flush() {}
+
+  /// Capacity in bytes.
+  std::uint64_t size_bytes() const noexcept {
+    return num_blocks() * block_size();
+  }
+
+  /// Convenience: read `count` consecutive blocks starting at `first`.
+  util::Bytes read_blocks(std::uint64_t first, std::uint64_t count);
+
+  /// Convenience: write a buffer spanning consecutive blocks.
+  void write_blocks(std::uint64_t first, util::ByteSpan data);
+
+  /// Full raw image of the device — the adversary's snapshot primitive.
+  util::Bytes snapshot();
+
+ protected:
+  /// Bounds/size validation shared by implementations.
+  void check_io(std::uint64_t index, std::size_t len) const;
+};
+
+/// RAM-backed block device.
+class MemBlockDevice final : public BlockDevice {
+ public:
+  /// Creates a zero-filled device of `num_blocks` blocks.
+  MemBlockDevice(std::uint64_t num_blocks,
+                 std::size_t block_size = kDefaultBlockSize);
+
+  std::size_t block_size() const noexcept override { return block_size_; }
+  std::uint64_t num_blocks() const noexcept override { return num_blocks_; }
+  void read_block(std::uint64_t index, util::MutByteSpan out) override;
+  void write_block(std::uint64_t index, util::ByteSpan data) override;
+
+  /// Direct access for test assertions (not part of the device contract).
+  const util::Bytes& raw() const noexcept { return data_; }
+
+ private:
+  std::uint64_t num_blocks_;
+  std::size_t block_size_;
+  util::Bytes data_;
+};
+
+/// File-backed block device (POSIX pread/pwrite), for large images that
+/// should not live in RAM and for inspecting artifacts with external tools.
+class FileBlockDevice final : public BlockDevice {
+ public:
+  /// Creates or opens `path` and sizes it to num_blocks * block_size.
+  FileBlockDevice(const std::string& path, std::uint64_t num_blocks,
+                  std::size_t block_size = kDefaultBlockSize);
+  ~FileBlockDevice() override;
+
+  FileBlockDevice(const FileBlockDevice&) = delete;
+  FileBlockDevice& operator=(const FileBlockDevice&) = delete;
+
+  std::size_t block_size() const noexcept override { return block_size_; }
+  std::uint64_t num_blocks() const noexcept override { return num_blocks_; }
+  void read_block(std::uint64_t index, util::MutByteSpan out) override;
+  void write_block(std::uint64_t index, util::ByteSpan data) override;
+  void flush() override;
+
+ private:
+  std::uint64_t num_blocks_;
+  std::size_t block_size_;
+  int fd_ = -1;
+};
+
+}  // namespace mobiceal::blockdev

@@ -1,0 +1,98 @@
+// Test/verification devices: operation recording and fault injection.
+//
+// RecordingDevice captures the exact order of writes/flushes — used to
+// verify commit ordering invariants (e.g. dm-thin must write the superblock
+// last, after a barrier, so a crash can never expose half a transaction).
+// FaultyDevice throws after a programmable number of writes — used to
+// verify that every layer fails closed and that reopening after a mid-
+// transaction crash recovers the last committed state.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "blockdev/block_device.hpp"
+#include "util/error.hpp"
+
+namespace mobiceal::blockdev {
+
+/// One recorded device operation.
+struct DeviceOp {
+  enum class Kind { kRead, kWrite, kFlush } kind;
+  std::uint64_t block = 0;  // unused for kFlush
+};
+
+class RecordingDevice final : public BlockDevice {
+ public:
+  explicit RecordingDevice(std::shared_ptr<BlockDevice> inner)
+      : inner_(std::move(inner)) {}
+
+  std::size_t block_size() const noexcept override {
+    return inner_->block_size();
+  }
+  std::uint64_t num_blocks() const noexcept override {
+    return inner_->num_blocks();
+  }
+  void read_block(std::uint64_t index, util::MutByteSpan out) override {
+    ops_.push_back({DeviceOp::Kind::kRead, index});
+    inner_->read_block(index, out);
+  }
+  void write_block(std::uint64_t index, util::ByteSpan data) override {
+    ops_.push_back({DeviceOp::Kind::kWrite, index});
+    inner_->write_block(index, data);
+  }
+  void flush() override {
+    ops_.push_back({DeviceOp::Kind::kFlush, 0});
+    inner_->flush();
+  }
+
+  const std::vector<DeviceOp>& ops() const noexcept { return ops_; }
+  void clear() noexcept { ops_.clear(); }
+
+ private:
+  std::shared_ptr<BlockDevice> inner_;
+  std::vector<DeviceOp> ops_;
+};
+
+/// Thrown by FaultyDevice when its write budget is exhausted.
+class InjectedFault : public util::IoError {
+ public:
+  InjectedFault() : util::IoError("injected device fault") {}
+};
+
+class FaultyDevice final : public BlockDevice {
+ public:
+  /// Fails (throws InjectedFault) on the (writes_until_fault+1)-th write.
+  /// A negative budget means "never fail".
+  FaultyDevice(std::shared_ptr<BlockDevice> inner,
+               std::int64_t writes_until_fault)
+      : inner_(std::move(inner)), budget_(writes_until_fault) {}
+
+  std::size_t block_size() const noexcept override {
+    return inner_->block_size();
+  }
+  std::uint64_t num_blocks() const noexcept override {
+    return inner_->num_blocks();
+  }
+  void read_block(std::uint64_t index, util::MutByteSpan out) override {
+    inner_->read_block(index, out);
+  }
+  void write_block(std::uint64_t index, util::ByteSpan data) override {
+    if (budget_ >= 0 && budget_-- == 0) throw InjectedFault();
+    inner_->write_block(index, data);
+  }
+  void flush() override { inner_->flush(); }
+
+  /// Writes remaining before the fault fires (negative: disarmed/overrun).
+  std::int64_t budget() const noexcept { return budget_; }
+  void rearm(std::int64_t writes_until_fault) noexcept {
+    budget_ = writes_until_fault;
+  }
+
+ private:
+  std::shared_ptr<BlockDevice> inner_;
+  std::int64_t budget_;
+};
+
+}  // namespace mobiceal::blockdev

@@ -1,0 +1,47 @@
+// Sparse RAM-backed device: blocks materialise on first write, reads of
+// untouched blocks return zeros. Lets us run workflows on phone-sized
+// partitions (the paper's Nexus 4 has a ~13.7 GB userdata partition) without
+// allocating phone-sized buffers — e.g. the Table II initialisation flows,
+// which write only metadata.
+#pragma once
+
+#include <unordered_map>
+
+#include "blockdev/block_device.hpp"
+
+namespace mobiceal::blockdev {
+
+class SparseBlockDevice final : public BlockDevice {
+ public:
+  SparseBlockDevice(std::uint64_t num_blocks,
+                    std::size_t block_size = kDefaultBlockSize)
+      : num_blocks_(num_blocks), block_size_(block_size) {}
+
+  std::size_t block_size() const noexcept override { return block_size_; }
+  std::uint64_t num_blocks() const noexcept override { return num_blocks_; }
+
+  void read_block(std::uint64_t index, util::MutByteSpan out) override {
+    check_io(index, out.size());
+    const auto it = blocks_.find(index);
+    if (it == blocks_.end()) {
+      std::fill(out.begin(), out.end(), 0);
+    } else {
+      std::copy(it->second.begin(), it->second.end(), out.begin());
+    }
+  }
+
+  void write_block(std::uint64_t index, util::ByteSpan data) override {
+    check_io(index, data.size());
+    blocks_[index].assign(data.begin(), data.end());
+  }
+
+  /// Number of blocks ever written (storage actually consumed).
+  std::size_t materialised_blocks() const noexcept { return blocks_.size(); }
+
+ private:
+  std::uint64_t num_blocks_;
+  std::size_t block_size_;
+  std::unordered_map<std::uint64_t, util::Bytes> blocks_;
+};
+
+}  // namespace mobiceal::blockdev

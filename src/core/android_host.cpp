@@ -1,0 +1,128 @@
+#include "core/android_host.hpp"
+
+#include "util/error.hpp"
+
+namespace mobiceal::core {
+
+AndroidHost::AndroidHost(std::unique_ptr<MobiCealDevice> device,
+                         std::shared_ptr<util::SimClock> clock,
+                         Options options)
+    : device_(std::move(device)),
+      clock_(std::move(clock)),
+      options_(std::move(options)) {
+  if (!device_) throw util::PolicyError("AndroidHost: null device");
+  if (!clock_) throw util::PolicyError("AndroidHost: null clock");
+}
+
+void AndroidHost::power_on() {
+  if (ui_ != UiState::kOff) throw util::PolicyError("already powered on");
+  charge_ms(options_.timing.bootloader_kernel_ms);
+  ui_ = UiState::kPasswordPrompt;
+}
+
+AuthResult AndroidHost::enter_boot_password(const std::string& password) {
+  if (ui_ != UiState::kPasswordPrompt) {
+    throw util::PolicyError("not at the pre-boot prompt");
+  }
+  // Boot-time steps (Sec. V-B): activate LVM + thin volumes, derive the key
+  // (PBKDF2), set up dm-crypt, attempt the mount. The random-allocation
+  // initialisation is MobiCeal's kernel-mod cost on top of stock thin.
+  charge_ms(options_.timing.lvm_activate_ms);
+  charge_ms(options_.timing.random_alloc_init_ms);
+  charge_ms(options_.timing.pbkdf2_ms);
+  charge_ms(options_.timing.dm_setup_ms);
+  const AuthResult result = device_->boot(password);
+  if (result == AuthResult::kWrongPassword) {
+    return result;  // prompt again; stays in kPasswordPrompt
+  }
+  charge_ms(options_.timing.mount_ms);
+  // Hidden-mode boot isolates side channels immediately.
+  if (result == AuthResult::kHidden && options_.isolate_side_channels) {
+    charge_ms(2 * options_.timing.umount_ms);
+    charge_ms(2 * options_.timing.tmpfs_mount_ms);
+    side_channels_on_tmpfs_ = true;
+  }
+  charge_ms(options_.timing.framework_start_ms);
+  ui_ = UiState::kUnlocked;
+  return result;
+}
+
+void AndroidHost::lock_screen() {
+  if (ui_ != UiState::kUnlocked) throw util::PolicyError("not unlocked");
+  ui_ = UiState::kScreenLocked;
+}
+
+AndroidHost::LockResult AndroidHost::enter_lock_screen_password(
+    const std::string& password) {
+  if (ui_ != UiState::kScreenLocked) {
+    throw util::PolicyError("screen not locked");
+  }
+  charge_ms(options_.timing.screen_lock_verify_ms);
+  if (password == options_.screen_lock_password) {
+    ui_ = UiState::kUnlocked;
+    return LockResult::kUnlocked;
+  }
+  if (device_->mode() != Mode::kPublic) return LockResult::kRejected;
+
+  // Fast switch (Sec. IV-D / V-B): IMountService hands the password to
+  // Vold, which derives the key (PBKDF2) and checks the volume head.
+  charge_ms(options_.timing.vold_cmd_ms);
+  charge_ms(options_.timing.pbkdf2_ms);
+  // Framework shutdown releases /data; unmount public, isolate side
+  // channels, bring up the hidden volume, restart the framework.
+  charge_ms(options_.timing.framework_stop_ms);
+  charge_ms(options_.timing.umount_ms);  // /data
+  if (options_.isolate_side_channels) {
+    charge_ms(2 * options_.timing.umount_ms);  // /cache, /devlog
+    charge_ms(2 * options_.timing.tmpfs_mount_ms);
+  }
+  charge_ms(options_.timing.dm_setup_ms);
+  const bool switched = device_->switch_to_hidden(password);
+  if (!switched) {
+    // Wrong guess: remount public and restart the framework.
+    charge_ms(options_.timing.mount_ms);
+    charge_ms(options_.timing.framework_start_ms);
+    return LockResult::kRejected;
+  }
+  if (options_.isolate_side_channels) side_channels_on_tmpfs_ = true;
+  charge_ms(options_.timing.mount_ms);
+  charge_ms(options_.timing.framework_start_ms);
+  ui_ = UiState::kUnlocked;
+  return LockResult::kSwitchedToHidden;
+}
+
+void AndroidHost::reboot() {
+  charge_ms(options_.timing.shutdown_ms);
+  device_->reboot();
+  // tmpfs contents are RAM: gone after power cycle (Sec. IV-D).
+  tmpfs_records_.clear();
+  side_channels_on_tmpfs_ = false;
+  charge_ms(options_.timing.bootloader_kernel_ms);
+  ui_ = UiState::kPasswordPrompt;
+}
+
+void AndroidHost::log_activity(const std::string& path) {
+  const bool hidden = device_->mode() == Mode::kHidden;
+  const ActivityRecord rec{path, hidden};
+  if (side_channels_on_tmpfs_) {
+    tmpfs_records_.push_back(rec);
+  } else {
+    devlog_persistent_.push_back(rec);
+    cache_persistent_.push_back(rec);
+  }
+}
+
+void AndroidHost::app_write_file(const std::string& path,
+                                 util::ByteSpan data) {
+  if (ui_ != UiState::kUnlocked) throw util::PolicyError("UI locked");
+  device_->data_fs().write_file(path, data);
+  log_activity(path);
+}
+
+util::Bytes AndroidHost::app_read_file(const std::string& path) {
+  if (ui_ != UiState::kUnlocked) throw util::PolicyError("UI locked");
+  log_activity(path);
+  return device_->data_fs().read_file(path);
+}
+
+}  // namespace mobiceal::core

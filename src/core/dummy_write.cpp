@@ -1,0 +1,91 @@
+#include "core/dummy_write.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace mobiceal::core {
+
+DummyWriteEngine::DummyWriteEngine(DummyWriteConfig config, util::Rng& rng,
+                                   const util::SimClock* clock)
+    : config_(config), rng_(rng), clock_(clock) {
+  if (config_.x == 0) throw util::PolicyError("dummy write: x must be > 0");
+  if (config_.lambda <= 0.0) {
+    throw util::PolicyError("dummy write: lambda must be > 0");
+  }
+  if (config_.num_volumes < 2) {
+    throw util::PolicyError("dummy write: need at least 2 volumes");
+  }
+  refresh_stored_rand();
+}
+
+void DummyWriteEngine::refresh_stored_rand() {
+  // Models get_random_bytes() / hardware-noise extraction (Sec. IV-B);
+  // the kernel prototype reuses jiffies, refreshed at most hourly.
+  stored_rand_ = rng_.next_u64();
+  if (clock_) last_refresh_ns_ = clock_->now();
+}
+
+void DummyWriteEngine::maybe_refresh() {
+  if (clock_ && clock_->now() - last_refresh_ns_ >= config_.refresh_ns) {
+    refresh_stored_rand();
+  }
+}
+
+bool DummyWriteEngine::should_trigger() {
+  // rand ~ U[1, 2x]; fire iff rand <= stored_rand mod x. Probability is
+  // (stored_rand mod x) / 2x, strictly below 50% and unknowable to an
+  // adversary who cannot read stored_rand.
+  const std::uint64_t rand = rng_.next_range(1, 2 * config_.x);
+  return rand <= stored_rand_ % config_.x;
+}
+
+std::uint32_t DummyWriteEngine::burst_size() {
+  // m' = -ln(1 - f) / lambda with f ~ U(0,1): standard inverse-CDF sampling
+  // of Exp(lambda), exactly the paper's formula.
+  double f = rng_.next_unit();
+  if (f >= 1.0) f = std::nextafter(1.0, 0.0);
+  const double m_prime = -std::log(1.0 - f) / config_.lambda;
+  const double discretised = config_.rounding == DummyWriteConfig::Rounding::kCeil
+                                 ? std::ceil(m_prime)
+                                 : std::round(m_prime);
+  // A single burst never exceeds 64 chunks: bounds worst-case latency
+  // injected into the foreground write path.
+  return static_cast<std::uint32_t>(std::min(discretised, 64.0));
+}
+
+std::uint32_t DummyWriteEngine::pick_dummy_volume() const {
+  // j = (stored_rand mod (n-1)) + 2: constant between refreshes, so dummy
+  // traffic within a window clusters on one volume — same as real usage
+  // clustering on one hidden volume.
+  return static_cast<std::uint32_t>(
+             stored_rand_ % (config_.num_volumes - 1)) + 2;
+}
+
+std::uint32_t DummyWriteEngine::pick_prefix_blocks(
+    std::uint32_t chunk_blocks) {
+  if (rng_.next_unit() < config_.full_fill_prob) return chunk_blocks;
+  return static_cast<std::uint32_t>(rng_.next_range(1, chunk_blocks));
+}
+
+void DummyWriteEngine::on_public_allocation(thin::ThinPool& pool) {
+  ++stats_.public_allocations;
+  maybe_refresh();
+  if (!should_trigger()) return;
+  ++stats_.triggers;
+  const std::uint32_t m = burst_size();
+  const std::uint32_t paper_j = pick_dummy_volume();
+  const std::uint32_t thin_id = paper_j - 1;  // thin ids are 0-based
+  for (std::uint32_t i = 0; i < m; ++i) {
+    const std::uint32_t prefix = pick_prefix_blocks(pool.chunk_blocks());
+    const auto phys = pool.write_noise_chunk(thin_id, prefix, rng_, rng_);
+    if (!phys) {
+      ++stats_.skipped_no_space;
+      break;
+    }
+    ++stats_.chunks_written;
+    stats_.blocks_written += prefix;
+  }
+}
+
+}  // namespace mobiceal::core

@@ -1,0 +1,185 @@
+// MobiCealDevice — the extended MobiCeal scheme (Sec. IV-C, Fig. 2/3),
+// composing every substrate:
+//
+//   userdata partition (BlockDevice)
+//     ├─ LVM: PV -> VG -> {thinmeta LV, thindata LV}      (Sec. II-C)
+//     ├─ thin pool over the two LVs, RANDOM allocation,
+//     │    dummy-write observer on the public volume       (Sec. V-A)
+//     │      ├─ V1      public volume  ── dm-crypt(decoy key)  ── ExtFs
+//     │      ├─ Vk      hidden volumes ── dm-crypt(hidden key) ── ExtFs
+//     │      └─ others  dummy volumes  (noise only)
+//     └─ crypto footer in the last 16 KiB                  (Sec. II-A)
+//
+// Volume labels follow the paper: V1..Vn, V1 public, hidden index
+// k = (H(pwd||salt) mod (n-1)) + 2 with H = PBKDF2. Thin volume ids are the
+// 0-based equivalents (paper index - 1).
+//
+// The basic scheme of Sec. IV-B is the special case num_volumes == 2 with
+// one (or zero) hidden passwords.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "blockdev/block_device.hpp"
+#include "core/dummy_write.hpp"
+#include "crypto/random.hpp"
+#include "dm/crypt_target.hpp"
+#include "dm/device_mapper.hpp"
+#include "fde/crypto_footer.hpp"
+#include "fs/ext_fs.hpp"
+#include "lvm/lvm.hpp"
+#include "thin/thin_pool.hpp"
+
+namespace mobiceal::core {
+
+/// Current operating mode (Sec. IV-B "User Steps").
+enum class Mode {
+  kLocked,  // pre-boot, no password accepted yet
+  kPublic,  // decoy password entered; public volume mounted at /data
+  kHidden,  // hidden password entered; hidden volume mounted at /data
+};
+
+/// Outcome of offering a password to boot()/switch paths.
+enum class AuthResult {
+  kPublic,        // password decrypted the public volume
+  kHidden,        // password verified against a hidden volume head
+  kWrongPassword  // neither (indistinguishable from dummy-only setups)
+};
+
+class MobiCealDevice {
+ public:
+  struct Config {
+    /// n — total virtual volumes (public + hidden + dummy). Sec. IV-C.
+    std::uint32_t num_volumes = 8;
+    std::uint32_t chunk_blocks = 16;  // 64 KiB thin chunks
+    std::string cipher_spec = "aes-cbc-essiv:sha256";
+    std::uint32_t kdf_iterations = 2000;
+    /// MobiCeal uses random allocation (Sec. V-A). Setting this false keeps
+    /// the stock sequential allocator — only for the ablation experiments
+    /// that quantify what random allocation buys and costs.
+    bool random_allocation = true;
+    DummyWriteConfig dummy;  // num_volumes is overwritten from here
+    thin::ThinCpuModel thin_cpu = thin::ThinCpuModel::nexus4();
+    dm::CryptCpuModel crypt_cpu = dm::CryptCpuModel::snapdragon_s4();
+    std::uint64_t rng_seed = 1;
+    std::uint32_t fs_inode_count = 1024;
+  };
+
+  /// "vdc cryptfs pde wipe <pub_pwd> <num_vol> <hid_pwds>" (Sec. V-B).
+  /// Formats LVM + thin pool + footer, creates all n volumes, seeds the
+  /// volume heads, formats the public and hidden filesystems. Erases any
+  /// existing content. Device is left in kLocked state.
+  static std::unique_ptr<MobiCealDevice> initialize(
+      std::shared_ptr<blockdev::BlockDevice> userdata, const Config& config,
+      const std::string& public_password,
+      const std::vector<std::string>& hidden_passwords,
+      std::shared_ptr<util::SimClock> clock = nullptr);
+
+  /// Re-attaches to an already-initialised device (power-on): reads the
+  /// footer and thin metadata; state is kLocked until boot().
+  static std::unique_ptr<MobiCealDevice> attach(
+      std::shared_ptr<blockdev::BlockDevice> userdata, const Config& config,
+      std::shared_ptr<util::SimClock> clock = nullptr);
+
+  // -- pre-boot authentication (Sec. V-B "The Boot Process") --------------------
+
+  /// Offers a password at the pre-boot prompt. Decoy password -> public
+  /// mode; hidden password -> hidden mode (basic-scheme path); anything
+  /// else -> kWrongPassword and the device stays locked.
+  AuthResult boot(const std::string& password);
+
+  // -- fast switching (Sec. IV-D / V-B "Switching to the Hidden Volume") --------
+
+  /// Screen-lock entry point: verifies `password` against the hidden volume
+  /// heads. On success: unmounts the public volume (framework shutdown),
+  /// mounts the hidden volume, returns true. Returns false ("-1" in Vold)
+  /// for non-hidden passwords. Throws util::PolicyError unless in public
+  /// mode. One-way: hidden -> public requires reboot().
+  bool switch_to_hidden(const std::string& password);
+
+  /// Full reboot: clears mounted state (and, per Sec. IV-D, the RAM traces)
+  /// and returns to kLocked.
+  void reboot();
+
+  // -- data access -----------------------------------------------------------------
+
+  Mode mode() const noexcept { return mode_; }
+
+  /// Filesystem mounted at /data in the current mode.
+  /// Throws util::PolicyError when locked.
+  fs::FileSystem& data_fs();
+
+  // -- garbage collection (Sec. IV-D "Reclaiming Space") ----------------------------
+
+  /// Reclaims a random fraction (drawn from [min_fraction, 1)) of
+  /// dummy-occupied chunks. Only callable in hidden mode — the only mode
+  /// that can tell dummy chunks from hidden chunks. Hidden volumes named by
+  /// `protected_passwords` (in addition to the active one) are preserved.
+  /// Returns the number of chunks reclaimed.
+  std::uint64_t collect_garbage(
+      double min_fraction = 0.5,
+      const std::vector<std::string>& protected_passwords = {});
+
+  // -- introspection (tests, benchmarks, adversary setup) ----------------------------
+
+  thin::ThinPool& pool() noexcept { return *pool_; }
+  const fde::CryptoFooter& footer() const noexcept { return footer_; }
+  DummyWriteEngine& dummy_engine() noexcept { return *dummy_engine_; }
+  std::uint32_t num_volumes() const noexcept { return config_.num_volumes; }
+
+  /// Paper-style hidden volume index for a password (Sec. IV-C):
+  /// k = (H(pwd||salt) mod (n-1)) + 2. Pure function of footer salt.
+  std::uint32_t hidden_index(const std::string& password) const;
+
+  /// The decoy/hidden key a password would yield (testing; Sec. V-B).
+  util::SecureBytes derive_key(const std::string& password) const;
+
+  /// Thin volume id (0-based) of paper volume V<paper_index>.
+  static std::uint32_t thin_id(std::uint32_t paper_index) {
+    return paper_index - 1;
+  }
+
+ private:
+  MobiCealDevice(std::shared_ptr<blockdev::BlockDevice> userdata,
+                 const Config& config,
+                 std::shared_ptr<util::SimClock> clock);
+
+  void setup_lvm_and_pool(bool format);
+  void wire_dummy_engine();
+
+  /// Encrypted password verification blob at the head of hidden volume Vk
+  /// (Sec. V-B): E_{key}(pad(password)) written to the volume's block 0.
+  util::Bytes make_password_block(const std::string& password,
+                                  util::ByteSpan key);
+  bool verify_hidden_password(const std::string& password,
+                              std::uint32_t paper_k, util::ByteSpan key);
+
+  /// Builds the dm-crypt device over a thin volume (whole volume for V1;
+  /// skipping the head block for hidden volumes).
+  std::shared_ptr<blockdev::BlockDevice> make_crypt_device(
+      std::uint32_t paper_index, util::ByteSpan key);
+
+  std::shared_ptr<blockdev::BlockDevice> userdata_;
+  Config config_;
+  std::shared_ptr<util::SimClock> clock_;
+
+  // Substrate objects (order matters for teardown).
+  std::shared_ptr<lvm::PhysicalVolume> pv_;
+  std::unique_ptr<lvm::VolumeGroup> vg_;
+  std::shared_ptr<thin::ThinPool> pool_;
+  std::unique_ptr<crypto::SecureRandom> sys_rng_;
+  std::unique_ptr<DummyWriteEngine> dummy_engine_;
+  dm::DeviceMapper dm_;
+
+  fde::CryptoFooter footer_;
+  Mode mode_ = Mode::kLocked;
+  std::uint32_t active_paper_volume_ = 0;  // 1 = public, k = hidden
+  util::SecureBytes active_key_;
+  std::unique_ptr<fs::FileSystem> mounted_fs_;
+};
+
+}  // namespace mobiceal::core

@@ -1,0 +1,45 @@
+// AES-128/192/256 block cipher (FIPS-197), from scratch.
+//
+// This backs the dm-crypt reproduction exactly as the Linux kernel's AES
+// backs Android FDE in the paper (Sec. II-A). Encryption is table-driven
+// (T-tables generated at static initialisation from the algebraic S-box
+// definition) for throughput; the tables are process-global constants.
+//
+// Note on side channels: a production kernel uses hardware AES (ARMv8-CE) or
+// bit-sliced implementations; table lookups here are fine for a simulator
+// whose threat model is the *storage image*, not the host CPU cache.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace mobiceal::crypto {
+
+/// AES block size in bytes (fixed by the standard).
+inline constexpr std::size_t kAesBlockSize = 16;
+
+/// One AES key schedule. Supports 128-, 192- and 256-bit keys.
+class Aes {
+ public:
+  /// Expands the key schedule. Throws util::CryptoError unless key length is
+  /// 16, 24 or 32 bytes.
+  explicit Aes(util::ByteSpan key);
+
+  /// Encrypt exactly one 16-byte block (in-place allowed: in == out).
+  void encrypt_block(const std::uint8_t in[16], std::uint8_t out[16]) const;
+
+  /// Decrypt exactly one 16-byte block (in-place allowed).
+  void decrypt_block(const std::uint8_t in[16], std::uint8_t out[16]) const;
+
+  std::size_t key_bits() const noexcept { return key_bits_; }
+
+ private:
+  std::size_t rounds_ = 0;
+  std::size_t key_bits_ = 0;
+  std::array<std::uint32_t, 60> enc_keys_{};  // max Nr+1 = 15 words * 4
+  std::array<std::uint32_t, 60> dec_keys_{};
+};
+
+}  // namespace mobiceal::crypto

@@ -1,0 +1,83 @@
+#include "crypto/kdf.hpp"
+
+#include <cstring>
+
+#include "crypto/sha.hpp"
+#include "util/error.hpp"
+
+namespace mobiceal::crypto {
+
+namespace {
+
+template <typename Hash>
+util::Bytes hmac_impl(util::ByteSpan key, util::ByteSpan message) {
+  constexpr std::size_t kBlock = Hash::kBlockSize;
+  util::Bytes k(kBlock, 0);
+  if (key.size() > kBlock) {
+    const util::Bytes kh = Hash::digest(key);
+    std::memcpy(k.data(), kh.data(), kh.size());
+  } else {
+    std::memcpy(k.data(), key.data(), key.size());
+  }
+  util::Bytes ipad(kBlock), opad(kBlock);
+  for (std::size_t i = 0; i < kBlock; ++i) {
+    ipad[i] = k[i] ^ 0x36;
+    opad[i] = k[i] ^ 0x5C;
+  }
+  Hash inner;
+  inner.update(ipad);
+  inner.update(message);
+  util::Bytes inner_digest(Hash::kDigestSize);
+  inner.finish(inner_digest.data());
+
+  Hash outer;
+  outer.update(opad);
+  outer.update(inner_digest);
+  util::Bytes out(Hash::kDigestSize);
+  outer.finish(out.data());
+  return out;
+}
+
+}  // namespace
+
+util::Bytes hmac(HashAlg alg, util::ByteSpan key, util::ByteSpan message) {
+  switch (alg) {
+    case HashAlg::kSha1:
+      return hmac_impl<Sha1>(key, message);
+    case HashAlg::kSha256:
+      return hmac_impl<Sha256>(key, message);
+  }
+  throw util::CryptoError("hmac: bad alg");
+}
+
+util::Bytes pbkdf2(HashAlg alg, util::ByteSpan password, util::ByteSpan salt,
+                   std::uint32_t iterations, std::size_t dk_len) {
+  if (iterations == 0) throw util::CryptoError("pbkdf2: zero iterations");
+  if (dk_len == 0) throw util::CryptoError("pbkdf2: zero output length");
+
+  const std::size_t h_len =
+      (alg == HashAlg::kSha1) ? Sha1::kDigestSize : Sha256::kDigestSize;
+  util::Bytes dk;
+  dk.reserve(dk_len);
+
+  std::uint32_t block_index = 1;
+  while (dk.size() < dk_len) {
+    // U1 = HMAC(password, salt || INT_BE(block_index))
+    util::Bytes salted(salt.begin(), salt.end());
+    salted.resize(salt.size() + 4);
+    util::store_be32(salted.data() + salt.size(), block_index);
+
+    util::Bytes u = hmac(alg, password, salted);
+    util::Bytes t = u;
+    for (std::uint32_t iter = 1; iter < iterations; ++iter) {
+      u = hmac(alg, password, u);
+      for (std::size_t i = 0; i < h_len; ++i) t[i] ^= u[i];
+    }
+    const std::size_t take = std::min(h_len, dk_len - dk.size());
+    dk.insert(dk.end(), t.begin(), t.begin() + static_cast<long>(take));
+    ++block_index;
+  }
+  return dk;
+}
+
+}  // namespace mobiceal::crypto

@@ -1,0 +1,30 @@
+// HMAC (RFC 2104) and PBKDF2 (RFC 2898 / PKCS #5 v2.0).
+//
+// PBKDF2 is the paper's password pipeline everywhere: footer key derivation
+// (Sec. II-A), hidden-volume index derivation (Sec. IV-C), and the key
+// derivation considerations in Sec. IV-D. Android 4.2's cryptfs used
+// PBKDF2-HMAC-SHA1 with 2000 iterations over the footer salt.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace mobiceal::crypto {
+
+/// Hash algorithm selector for HMAC/PBKDF2.
+enum class HashAlg { kSha1, kSha256 };
+
+/// HMAC over the selected hash. Returns the full-length tag.
+util::Bytes hmac(HashAlg alg, util::ByteSpan key, util::ByteSpan message);
+
+/// PBKDF2 with HMAC-<alg>, RFC 2898 §5.2.
+/// Throws util::CryptoError if iterations == 0 or dk_len == 0.
+util::Bytes pbkdf2(HashAlg alg, util::ByteSpan password, util::ByteSpan salt,
+                   std::uint32_t iterations, std::size_t dk_len);
+
+/// Android 4.2 cryptfs parameters (system/vold/cryptfs.c at that release):
+/// PBKDF2-HMAC-SHA1, 2000 iterations, 16-byte key + 16-byte IV output.
+inline constexpr std::uint32_t kAndroidPbkdf2Iterations = 2000;
+
+}  // namespace mobiceal::crypto

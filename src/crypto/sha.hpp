@@ -1,0 +1,60 @@
+// SHA-1 and SHA-256 (FIPS 180-4), from scratch.
+//
+// SHA-256 backs the ESSIV IV generator and the hidden-volume index
+// derivation k = (H(pwd||salt) mod (n-1)) + 2 (Sec. IV-C). SHA-1 backs
+// PBKDF2-HMAC-SHA1, the KDF Android 4.2's cryptfs used for the footer key.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace mobiceal::crypto {
+
+/// Incremental SHA-256.
+class Sha256 {
+ public:
+  static constexpr std::size_t kDigestSize = 32;
+  static constexpr std::size_t kBlockSize = 64;
+
+  Sha256() { reset(); }
+  void reset();
+  void update(util::ByteSpan data);
+  /// Finalises and writes the 32-byte digest. The object must be reset()
+  /// before reuse.
+  void finish(std::uint8_t out[kDigestSize]);
+
+  /// One-shot convenience.
+  static util::Bytes digest(util::ByteSpan data);
+
+ private:
+  void process_block(const std::uint8_t block[64]);
+  std::array<std::uint32_t, 8> h_{};
+  std::uint64_t total_len_ = 0;
+  std::array<std::uint8_t, 64> buf_{};
+  std::size_t buf_len_ = 0;
+};
+
+/// Incremental SHA-1.
+class Sha1 {
+ public:
+  static constexpr std::size_t kDigestSize = 20;
+  static constexpr std::size_t kBlockSize = 64;
+
+  Sha1() { reset(); }
+  void reset();
+  void update(util::ByteSpan data);
+  void finish(std::uint8_t out[kDigestSize]);
+
+  static util::Bytes digest(util::ByteSpan data);
+
+ private:
+  void process_block(const std::uint8_t block[64]);
+  std::array<std::uint32_t, 5> h_{};
+  std::uint64_t total_len_ = 0;
+  std::array<std::uint8_t, 64> buf_{};
+  std::size_t buf_len_ = 0;
+};
+
+}  // namespace mobiceal::crypto

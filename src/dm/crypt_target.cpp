@@ -1,0 +1,45 @@
+#include "dm/crypt_target.hpp"
+
+namespace mobiceal::dm {
+
+CryptTarget::CryptTarget(std::shared_ptr<blockdev::BlockDevice> lower,
+                         const std::string& spec, util::ByteSpan key,
+                         std::shared_ptr<util::SimClock> clock,
+                         CryptCpuModel cpu)
+    : lower_(std::move(lower)),
+      cipher_(crypto::make_sector_cipher(spec, key)),
+      clock_(std::move(clock)),
+      cpu_(cpu),
+      sectors_per_block_(lower_->block_size() / blockdev::kSectorSize) {}
+
+void CryptTarget::read_block(std::uint64_t index, util::MutByteSpan out) {
+  check_io(index, out.size());
+  util::Bytes ct(block_size());
+  lower_->read_block(index, ct);
+  // Decrypt per 512-byte sector, IV keyed on the logical sector number —
+  // exactly dm-crypt's granularity.
+  const std::uint64_t first_sector = index * sectors_per_block_;
+  for (std::size_t s = 0; s < sectors_per_block_; ++s) {
+    cipher_->decrypt_sector(
+        first_sector + s,
+        {ct.data() + s * blockdev::kSectorSize, blockdev::kSectorSize},
+        {out.data() + s * blockdev::kSectorSize, blockdev::kSectorSize});
+  }
+  if (clock_) clock_->advance(cpu_.decrypt_ns_per_block);
+}
+
+void CryptTarget::write_block(std::uint64_t index, util::ByteSpan data) {
+  check_io(index, data.size());
+  util::Bytes ct(block_size());
+  const std::uint64_t first_sector = index * sectors_per_block_;
+  for (std::size_t s = 0; s < sectors_per_block_; ++s) {
+    cipher_->encrypt_sector(
+        first_sector + s,
+        {data.data() + s * blockdev::kSectorSize, blockdev::kSectorSize},
+        {ct.data() + s * blockdev::kSectorSize, blockdev::kSectorSize});
+  }
+  if (clock_) clock_->advance(cpu_.encrypt_ns_per_block);
+  lower_->write_block(index, ct);
+}
+
+}  // namespace mobiceal::dm

@@ -1,0 +1,52 @@
+#include "dm/device_mapper.hpp"
+
+#include "util/error.hpp"
+
+namespace mobiceal::dm {
+
+void DeviceMapper::create(const std::string& name,
+                          std::shared_ptr<blockdev::BlockDevice> dev) {
+  if (!dev) throw util::IoError("dm create: null device for " + name);
+  const auto [it, inserted] = table_.emplace(name, std::move(dev));
+  (void)it;
+  if (!inserted) throw util::IoError("dm create: name taken: " + name);
+}
+
+void DeviceMapper::remove(const std::string& name) {
+  if (table_.erase(name) == 0) {
+    throw util::IoError("dm remove: no such device: " + name);
+  }
+}
+
+std::shared_ptr<blockdev::BlockDevice> DeviceMapper::get(
+    const std::string& name) const {
+  const auto it = table_.find(name);
+  if (it == table_.end()) {
+    throw util::IoError("dm get: no such device: " + name);
+  }
+  return it->second;
+}
+
+bool DeviceMapper::exists(const std::string& name) const noexcept {
+  return table_.count(name) != 0;
+}
+
+LinearTarget::LinearTarget(std::shared_ptr<blockdev::BlockDevice> lower,
+                           std::uint64_t start_block, std::uint64_t num_blocks)
+    : lower_(std::move(lower)), start_(start_block), num_blocks_(num_blocks) {
+  if (start_ + num_blocks_ > lower_->num_blocks()) {
+    throw util::IoError("dm-linear: region exceeds lower device");
+  }
+}
+
+void LinearTarget::read_block(std::uint64_t index, util::MutByteSpan out) {
+  check_io(index, out.size());
+  lower_->read_block(start_ + index, out);
+}
+
+void LinearTarget::write_block(std::uint64_t index, util::ByteSpan data) {
+  check_io(index, data.size());
+  lower_->write_block(start_ + index, data);
+}
+
+}  // namespace mobiceal::dm

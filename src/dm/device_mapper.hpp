@@ -1,0 +1,59 @@
+// Device mapper framework — reproduction of the Linux dm core that both
+// dm-crypt (Android FDE, Sec. II-A) and dm-thin (Sec. II-C) plug into.
+//
+// A target is itself a BlockDevice stacked over one or more lower devices,
+// so arbitrary stacks compose exactly as `dmsetup` tables do on Android:
+//   eMMC -> dm-thin pool -> thin volume -> dm-crypt -> ext4
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "blockdev/block_device.hpp"
+
+namespace mobiceal::dm {
+
+/// Named-device registry mirroring /dev/mapper. Vold-equivalent code creates
+/// and tears down devices here during boot / mode switch.
+class DeviceMapper {
+ public:
+  /// Registers `dev` under `name`. Throws util::IoError if taken.
+  void create(const std::string& name,
+              std::shared_ptr<blockdev::BlockDevice> dev);
+
+  /// Removes a device (dmsetup remove). Throws if absent.
+  void remove(const std::string& name);
+
+  /// Looks up a device; throws util::IoError if absent.
+  std::shared_ptr<blockdev::BlockDevice> get(const std::string& name) const;
+
+  bool exists(const std::string& name) const noexcept;
+  std::size_t count() const noexcept { return table_.size(); }
+
+ private:
+  std::map<std::string, std::shared_ptr<blockdev::BlockDevice>> table_;
+};
+
+/// dm-linear: maps a contiguous region [start, start+len) of a lower device
+/// as a standalone device. LVM logical volumes are stacks of these.
+class LinearTarget final : public blockdev::BlockDevice {
+ public:
+  LinearTarget(std::shared_ptr<blockdev::BlockDevice> lower,
+               std::uint64_t start_block, std::uint64_t num_blocks);
+
+  std::size_t block_size() const noexcept override {
+    return lower_->block_size();
+  }
+  std::uint64_t num_blocks() const noexcept override { return num_blocks_; }
+  void read_block(std::uint64_t index, util::MutByteSpan out) override;
+  void write_block(std::uint64_t index, util::ByteSpan data) override;
+  void flush() override { lower_->flush(); }
+
+ private:
+  std::shared_ptr<blockdev::BlockDevice> lower_;
+  std::uint64_t start_;
+  std::uint64_t num_blocks_;
+};
+
+}  // namespace mobiceal::dm

@@ -1,0 +1,123 @@
+#include "fde/crypto_footer.hpp"
+
+#include <cstring>
+
+#include "crypto/aes.hpp"
+#include "crypto/kdf.hpp"
+#include "crypto/modes.hpp"
+#include "util/error.hpp"
+
+namespace mobiceal::fde {
+
+namespace {
+constexpr std::size_t kSpecField = 64;
+constexpr std::size_t kSaltSize = 16;
+}  // namespace
+
+util::Bytes CryptoFooter::serialise(std::size_t block_size) const {
+  if (cipher_spec.size() >= kSpecField) {
+    throw util::MetadataError("footer: cipher spec too long");
+  }
+  if (encrypted_master_key.size() != key_size) {
+    throw util::MetadataError("footer: key size mismatch");
+  }
+  if (salt.size() != kSaltSize) {
+    throw util::MetadataError("footer: salt must be 16 bytes");
+  }
+  util::Bytes out(block_size, 0);
+  util::store_le<std::uint32_t>(out.data() + 0, magic);
+  util::store_le<std::uint16_t>(out.data() + 4, major_version);
+  util::store_le<std::uint16_t>(out.data() + 6, minor_version);
+  util::store_le<std::uint32_t>(out.data() + 8, key_size);
+  util::store_le<std::uint32_t>(out.data() + 12, kdf_iterations);
+  std::memcpy(out.data() + 16, cipher_spec.data(), cipher_spec.size());
+  std::memcpy(out.data() + 16 + kSpecField, encrypted_master_key.data(),
+              key_size);
+  std::memcpy(out.data() + 16 + kSpecField + 64, salt.data(), kSaltSize);
+  return out;
+}
+
+CryptoFooter CryptoFooter::parse(util::ByteSpan block) {
+  if (!probe(block)) throw util::MetadataError("footer: bad magic");
+  CryptoFooter f;
+  f.magic = util::load_le<std::uint32_t>(block.data());
+  f.major_version = util::load_le<std::uint16_t>(block.data() + 4);
+  f.minor_version = util::load_le<std::uint16_t>(block.data() + 6);
+  f.key_size = util::load_le<std::uint32_t>(block.data() + 8);
+  f.kdf_iterations = util::load_le<std::uint32_t>(block.data() + 12);
+  if (f.key_size > 64) throw util::MetadataError("footer: bad key size");
+  const char* spec = reinterpret_cast<const char*>(block.data() + 16);
+  f.cipher_spec.assign(spec, strnlen(spec, kSpecField));
+  f.encrypted_master_key.assign(block.data() + 16 + kSpecField,
+                                block.data() + 16 + kSpecField + f.key_size);
+  f.salt.assign(block.data() + 16 + kSpecField + 64,
+                block.data() + 16 + kSpecField + 64 + kSaltSize);
+  return f;
+}
+
+bool CryptoFooter::probe(util::ByteSpan block) {
+  return block.size() >= 16 + kSpecField + 64 + kSaltSize &&
+         util::load_le<std::uint32_t>(block.data()) == kFooterMagic;
+}
+
+KekIv derive_kek(util::ByteSpan password, util::ByteSpan salt,
+                 std::uint32_t iterations) {
+  util::Bytes dk =
+      crypto::pbkdf2(crypto::HashAlg::kSha1, password, salt, iterations, 32);
+  KekIv out;
+  out.kek = util::SecureBytes(util::Bytes(dk.begin(), dk.begin() + 16));
+  out.iv = util::SecureBytes(util::Bytes(dk.begin() + 16, dk.end()));
+  util::secure_zero(dk);
+  return out;
+}
+
+CryptoFooter create_footer(crypto::SecureRandom& rng, util::ByteSpan password,
+                           const std::string& cipher_spec,
+                           std::uint32_t key_size,
+                           std::uint32_t kdf_iterations) {
+  if (key_size % crypto::kAesBlockSize != 0) {
+    throw util::CryptoError("footer: key size must be multiple of 16");
+  }
+  CryptoFooter f;
+  f.cipher_spec = cipher_spec;
+  f.key_size = key_size;
+  f.kdf_iterations = kdf_iterations;
+  f.salt = rng.bytes(kSaltSize);
+  const util::Bytes master = rng.bytes(key_size);
+
+  const KekIv kiv = derive_kek(password, f.salt, kdf_iterations);
+  crypto::Aes aes(kiv.kek.span());
+  f.encrypted_master_key.resize(key_size);
+  crypto::cbc_encrypt(aes, kiv.iv.span(), master, f.encrypted_master_key);
+  return f;
+}
+
+util::SecureBytes decrypt_master_key(const CryptoFooter& footer,
+                                     util::ByteSpan password) {
+  const KekIv kiv = derive_kek(password, footer.salt, footer.kdf_iterations);
+  crypto::Aes aes(kiv.kek.span());
+  util::SecureBytes master(footer.key_size);
+  crypto::cbc_decrypt(aes, kiv.iv.span(), footer.encrypted_master_key,
+                      master.span());
+  return master;
+}
+
+std::uint64_t footer_blocks(std::size_t block_size) {
+  return (kFooterBytes + block_size - 1) / block_size;
+}
+
+void write_footer(blockdev::BlockDevice& dev, const CryptoFooter& footer) {
+  const std::uint64_t fb = footer_blocks(dev.block_size());
+  const std::uint64_t first = dev.num_blocks() - fb;
+  dev.write_block(first, footer.serialise(dev.block_size()));
+  // Remaining footer blocks are reserved; leave contents untouched.
+}
+
+CryptoFooter read_footer(blockdev::BlockDevice& dev) {
+  const std::uint64_t fb = footer_blocks(dev.block_size());
+  util::Bytes block(dev.block_size());
+  dev.read_block(dev.num_blocks() - fb, block);
+  return CryptoFooter::parse(block);
+}
+
+}  // namespace mobiceal::fde

@@ -1,0 +1,82 @@
+// Android crypto footer reproduction (Sec. II-A).
+//
+// Android FDE keeps "the encrypted master key and the salt ... in the
+// encryption footer that is located in the last 16KB of the userdata
+// partition". MobiCeal reuses this footer unchanged, with one twist
+// (Sec. V-B): the master ("decoy") key ciphertext is stored once, and the
+// *hidden* key is whatever that ciphertext decrypts to under the hidden
+// password — so no extra footer space betrays the hidden volume's existence.
+// Decrypting with ANY password yields a syntactically valid key; only
+// mounting (ext4 magic) or the volume-head password check says which keys
+// are real. That fail-closed-but-indistinguishable property is load-bearing
+// for deniability and is tested explicitly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "blockdev/block_device.hpp"
+#include "crypto/random.hpp"
+#include "util/bytes.hpp"
+
+namespace mobiceal::fde {
+
+/// Footer size: last 16 KiB of the partition (Android layout).
+inline constexpr std::uint64_t kFooterBytes = 16 * 1024;
+
+/// Android's cryptfs magic.
+inline constexpr std::uint32_t kFooterMagic = 0xD0B5B1C4;
+
+struct CryptoFooter {
+  std::uint32_t magic = kFooterMagic;
+  std::uint16_t major_version = 1;
+  std::uint16_t minor_version = 0;
+  std::string cipher_spec = "aes-cbc-essiv:sha256";
+  std::uint32_t key_size = 16;          // master key bytes
+  std::uint32_t kdf_iterations = 2000;  // Android 4.2 cryptfs default
+  util::Bytes encrypted_master_key;     // key_size bytes
+  util::Bytes salt;                     // 16 bytes
+
+  /// Serialises into one device block (the first block of the footer
+  /// region); throws util::MetadataError if the spec string is too long.
+  util::Bytes serialise(std::size_t block_size) const;
+
+  /// Parses a footer block. Throws util::MetadataError on bad magic.
+  static CryptoFooter parse(util::ByteSpan block);
+
+  /// True iff the block carries the footer magic (cheap probe).
+  static bool probe(util::ByteSpan block);
+};
+
+/// Derives the key-encryption-key and IV from a password via
+/// PBKDF2-HMAC-SHA1 (Android 4.2 scheme): 16-byte KEK + 16-byte IV.
+struct KekIv {
+  util::SecureBytes kek;
+  util::SecureBytes iv;
+};
+KekIv derive_kek(util::ByteSpan password, util::ByteSpan salt,
+                 std::uint32_t iterations);
+
+/// Creates a fresh footer: random master key and salt, master key encrypted
+/// under `password`.
+CryptoFooter create_footer(crypto::SecureRandom& rng, util::ByteSpan password,
+                           const std::string& cipher_spec,
+                           std::uint32_t key_size = 16,
+                           std::uint32_t kdf_iterations = 2000);
+
+/// Decrypts the footer's master-key ciphertext under `password`.
+/// NOTE: succeeds for any password — correctness is established upstream by
+/// attempting a mount. This is deliberate (deniability).
+util::SecureBytes decrypt_master_key(const CryptoFooter& footer,
+                                     util::ByteSpan password);
+
+/// Number of device blocks the footer occupies.
+std::uint64_t footer_blocks(std::size_t block_size);
+
+/// Writes the footer into the last 16 KiB of `dev`.
+void write_footer(blockdev::BlockDevice& dev, const CryptoFooter& footer);
+
+/// Reads the footer from the last 16 KiB of `dev`.
+CryptoFooter read_footer(blockdev::BlockDevice& dev);
+
+}  // namespace mobiceal::fde

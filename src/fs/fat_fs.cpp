@@ -1,0 +1,474 @@
+#include "fs/fat_fs.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace mobiceal::fs {
+
+namespace {
+constexpr std::uint32_t kFatVersion = 1;
+}
+
+FatFs::FatFs(std::shared_ptr<blockdev::BlockDevice> dev)
+    : dev_(std::move(dev)), bs_(dev_->block_size()) {}
+
+void FatFs::init_geometry() {
+  total_blocks_ = dev_->num_blocks();
+  // Solve for the FAT size: clusters = total - 1 (super) - fat_blocks.
+  std::uint64_t fat_blocks = 1;
+  for (int iter = 0; iter < 4; ++iter) {
+    const std::uint64_t clusters = total_blocks_ - 1 - fat_blocks;
+    fat_blocks = (clusters * 4 + bs_ - 1) / bs_;
+  }
+  fat_start_ = 1;
+  fat_blocks_ = fat_blocks;
+  data_start_ = 1 + fat_blocks;
+  if (data_start_ + 4 > total_blocks_) {
+    throw util::FsError("fatfs: device too small");
+  }
+  nr_clusters_ = static_cast<std::uint32_t>(total_blocks_ - data_start_);
+}
+
+std::unique_ptr<FatFs> FatFs::format(
+    std::shared_ptr<blockdev::BlockDevice> dev) {
+  auto fs = std::unique_ptr<FatFs>(new FatFs(std::move(dev)));
+  fs->init_geometry();
+  fs->fat_.assign(fs->nr_clusters_, kClusterFree);
+  fs->free_clusters_ = fs->nr_clusters_;
+  fs->root_first_ = kClusterEof;
+  fs->root_size_ = 0;
+  fs->high_water_ = 0;
+  fs->fat_dirty_ = true;
+  fs->sync();
+  return fs;
+}
+
+std::unique_ptr<FatFs> FatFs::mount(
+    std::shared_ptr<blockdev::BlockDevice> dev) {
+  auto fs = std::unique_ptr<FatFs>(new FatFs(std::move(dev)));
+  fs->load();
+  return fs;
+}
+
+bool FatFs::probe(blockdev::BlockDevice& dev) {
+  util::Bytes block(dev.block_size());
+  dev.read_block(0, block);
+  return util::load_le<std::uint64_t>(block.data()) == kMagic;
+}
+
+void FatFs::write_superblock() {
+  util::Bytes sb(bs_, 0);
+  util::store_le<std::uint64_t>(sb.data() + 0, kMagic);
+  util::store_le<std::uint32_t>(sb.data() + 8, kFatVersion);
+  util::store_le<std::uint64_t>(sb.data() + 12, total_blocks_);
+  util::store_le<std::uint32_t>(sb.data() + 20, nr_clusters_);
+  util::store_le<std::uint32_t>(sb.data() + 24, free_clusters_);
+  util::store_le<std::uint32_t>(sb.data() + 28, root_first_);
+  util::store_le<std::uint64_t>(sb.data() + 32, root_size_);
+  util::store_le<std::uint64_t>(sb.data() + 40, high_water_);
+  dev_->write_block(0, sb);
+}
+
+void FatFs::load() {
+  util::Bytes sb(bs_);
+  dev_->read_block(0, sb);
+  if (util::load_le<std::uint64_t>(sb.data()) != kMagic) {
+    throw util::FsError("fatfs mount: bad superblock magic");
+  }
+  total_blocks_ = util::load_le<std::uint64_t>(sb.data() + 12);
+  nr_clusters_ = util::load_le<std::uint32_t>(sb.data() + 20);
+  free_clusters_ = util::load_le<std::uint32_t>(sb.data() + 24);
+  root_first_ = util::load_le<std::uint32_t>(sb.data() + 28);
+  root_size_ = util::load_le<std::uint64_t>(sb.data() + 32);
+  high_water_ = util::load_le<std::uint64_t>(sb.data() + 40);
+  init_geometry();
+
+  fat_.assign(nr_clusters_, kClusterFree);
+  util::Bytes block(bs_);
+  for (std::uint64_t b = 0; b < fat_blocks_; ++b) {
+    dev_->read_block(fat_start_ + b, block);
+    for (std::size_t e = 0; e < bs_ / 4; ++e) {
+      const std::uint64_t idx = b * (bs_ / 4) + e;
+      if (idx >= nr_clusters_) break;
+      fat_[idx] = util::load_le<std::uint32_t>(block.data() + e * 4);
+    }
+  }
+  fat_dirty_ = false;
+}
+
+void FatFs::sync() {
+  if (fat_dirty_) {
+    util::Bytes block(bs_);
+    for (std::uint64_t b = 0; b < fat_blocks_; ++b) {
+      std::memset(block.data(), 0, bs_);
+      for (std::size_t e = 0; e < bs_ / 4; ++e) {
+        const std::uint64_t idx = b * (bs_ / 4) + e;
+        if (idx >= nr_clusters_) break;
+        util::store_le<std::uint32_t>(block.data() + e * 4, fat_[idx]);
+      }
+      dev_->write_block(fat_start_ + b, block);
+    }
+    fat_dirty_ = false;
+  }
+  write_superblock();
+  dev_->flush();
+}
+
+// ---- cluster chains ---------------------------------------------------------
+
+std::uint32_t FatFs::alloc_cluster() {
+  if (free_clusters_ == 0) throw util::NoSpaceError("fatfs: disk full");
+  // Strictly sequential first-fit from cluster 0 — the FAT32 behaviour the
+  // offset-based hidden-volume baselines depend on.
+  for (std::uint32_t c = 0; c < nr_clusters_; ++c) {
+    if (fat_[c] == kClusterFree) {
+      fat_[c] = kClusterEof;
+      --free_clusters_;
+      fat_dirty_ = true;
+      high_water_ = std::max<std::uint64_t>(high_water_, c + 1);
+      return c;
+    }
+  }
+  throw util::NoSpaceError("fatfs: FAT scan found no free cluster");
+}
+
+void FatFs::free_chain(std::uint32_t first) {
+  std::uint32_t c = first;
+  while (c != kClusterEof) {
+    if (c >= nr_clusters_) throw util::FsError("fatfs: corrupt chain");
+    const std::uint32_t next = fat_[c];
+    if (next == kClusterFree) throw util::FsError("fatfs: free in chain");
+    fat_[c] = kClusterFree;
+    ++free_clusters_;
+    c = next;
+  }
+  fat_dirty_ = true;
+}
+
+util::Bytes FatFs::read_chain(std::uint32_t first, std::uint64_t size) {
+  util::Bytes out(size);
+  util::Bytes block(bs_);
+  std::uint32_t c = first;
+  std::uint64_t done = 0;
+  while (done < size && c != kClusterEof) {
+    dev_->read_block(cluster_block(c), block);
+    const std::size_t take = std::min<std::uint64_t>(bs_, size - done);
+    std::memcpy(out.data() + done, block.data(), take);
+    done += take;
+    c = fat_[c];
+  }
+  if (done < size) std::memset(out.data() + done, 0, size - done);
+  return out;
+}
+
+void FatFs::write_chain(std::uint32_t& first, std::uint64_t offset,
+                        util::ByteSpan data, std::uint64_t& size) {
+  if (data.empty()) return;
+  util::Bytes block(bs_);
+
+  // Walk the chain once to the starting cluster, extending as needed, then
+  // advance cluster-by-cluster while writing.
+  bool fresh = false;
+  if (first == kClusterEof) {
+    first = alloc_cluster();
+    fresh = true;
+  }
+  std::uint32_t c = first;
+  for (std::uint64_t i = 0; i < offset / bs_; ++i) {
+    if (fat_[c] == kClusterEof) {
+      const std::uint32_t n = alloc_cluster();
+      fat_[c] = n;
+      fat_dirty_ = true;
+      fresh = true;
+      c = n;
+    } else {
+      c = fat_[c];
+      fresh = false;
+    }
+  }
+
+  std::uint64_t pos = offset;
+  std::size_t done = 0;
+  while (true) {
+    const std::size_t in_cluster = pos % bs_;
+    const std::size_t take =
+        std::min<std::size_t>(bs_ - in_cluster, data.size() - done);
+    if (take == bs_) {
+      dev_->write_block(cluster_block(c), {data.data() + done, bs_});
+    } else {
+      if (fresh) {
+        std::memset(block.data(), 0, bs_);
+      } else {
+        dev_->read_block(cluster_block(c), block);
+      }
+      std::memcpy(block.data() + in_cluster, data.data() + done, take);
+      dev_->write_block(cluster_block(c), block);
+    }
+    pos += take;
+    done += take;
+    if (done >= data.size()) break;
+    if (fat_[c] == kClusterEof) {
+      const std::uint32_t n = alloc_cluster();
+      fat_[c] = n;
+      fat_dirty_ = true;
+      fresh = true;
+      c = n;
+    } else {
+      c = fat_[c];
+      fresh = false;
+    }
+  }
+  size = std::max(size, offset + data.size());
+}
+
+// ---- directories ---------------------------------------------------------------
+
+FatFs::Dirent FatFs::root_dirent() const {
+  Dirent d;
+  d.first_cluster = root_first_;
+  d.size = root_size_;
+  d.type = kTypeDir;
+  return d;
+}
+
+std::vector<FatFs::Dirent> FatFs::dir_entries(const Dirent& dir) {
+  if (dir.type != kTypeDir) throw util::FsError("not a directory");
+  const util::Bytes data = read_chain(dir.first_cluster, dir.size);
+  std::vector<Dirent> out;
+  for (std::size_t off = 0; off + kDirentSize <= data.size();
+       off += kDirentSize) {
+    const std::uint8_t type = data[off + 16];
+    if (type == 0) continue;
+    Dirent d;
+    d.first_cluster = util::load_le<std::uint32_t>(data.data() + off);
+    d.size = util::load_le<std::uint64_t>(data.data() + off + 8);
+    d.type = type;
+    const std::uint8_t name_len = data[off + 17];
+    d.name.assign(reinterpret_cast<const char*>(data.data() + off + 18),
+                  std::min<std::size_t>(name_len, kMaxName));
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+namespace {
+void serialise_dirent_into(util::MutByteSpan rec, std::uint32_t first,
+                           std::uint64_t size, std::uint8_t type,
+                           const std::string& name) {
+  std::memset(rec.data(), 0, rec.size());
+  mobiceal::util::store_le<std::uint32_t>(rec.data(), first);
+  mobiceal::util::store_le<std::uint64_t>(rec.data() + 8, size);
+  rec[16] = type;
+  rec[17] = static_cast<std::uint8_t>(name.size());
+  std::memcpy(rec.data() + 18, name.data(), name.size());
+}
+}  // namespace
+
+void FatFs::dir_upsert(Dirent& dir, const Dirent& entry) {
+  if (entry.name.size() > kMaxName) {
+    throw util::FsError("name too long: " + entry.name);
+  }
+  const util::Bytes data = read_chain(dir.first_cluster, dir.size);
+  std::uint64_t slot = dir.size;  // default: append
+  std::uint64_t tombstone = dir.size;
+  bool have_tombstone = false;
+  for (std::size_t off = 0; off + kDirentSize <= data.size();
+       off += kDirentSize) {
+    const std::uint8_t type = data[off + 16];
+    if (type == 0) {
+      if (!have_tombstone) {
+        tombstone = off;
+        have_tombstone = true;
+      }
+      continue;
+    }
+    const std::uint8_t name_len = data[off + 17];
+    const std::string name(
+        reinterpret_cast<const char*>(data.data() + off + 18),
+        std::min<std::size_t>(name_len, kMaxName));
+    if (name == entry.name) {
+      slot = off;  // replace in place
+      break;
+    }
+  }
+  if (slot == dir.size && have_tombstone) slot = tombstone;
+  util::Bytes rec(kDirentSize);
+  serialise_dirent_into(rec, entry.first_cluster, entry.size, entry.type,
+                        entry.name);
+  write_chain(dir.first_cluster, slot, rec, dir.size);
+}
+
+void FatFs::dir_remove(Dirent& dir, const std::string& name) {
+  const util::Bytes data = read_chain(dir.first_cluster, dir.size);
+  for (std::size_t off = 0; off + kDirentSize <= data.size();
+       off += kDirentSize) {
+    if (data[off + 16] == 0) continue;
+    const std::uint8_t name_len = data[off + 17];
+    const std::string entry(
+        reinterpret_cast<const char*>(data.data() + off + 18),
+        std::min<std::size_t>(name_len, kMaxName));
+    if (entry == name) {
+      const util::Bytes zero(kDirentSize, 0);
+      write_chain(dir.first_cluster, off, zero, dir.size);
+      return;
+    }
+  }
+  throw util::FsError("no such entry: " + name);
+}
+
+// ---- path resolution -----------------------------------------------------------
+
+std::optional<FatFs::Dirent> FatFs::resolve(const std::string& path) {
+  Dirent cur = root_dirent();
+  for (const auto& part : split_path(path)) {
+    if (cur.type != kTypeDir) return std::nullopt;
+    bool found = false;
+    for (auto& e : dir_entries(cur)) {
+      if (e.name == part) {
+        cur = e;
+        found = true;
+        break;
+      }
+    }
+    if (!found) return std::nullopt;
+  }
+  return cur;
+}
+
+std::pair<FatFs::Dirent, std::string> FatFs::resolve_parent(
+    const std::string& path) {
+  auto parts = split_path(path);
+  if (parts.empty()) throw util::FsError("cannot operate on /");
+  const std::string leaf = parts.back();
+  std::string parent_path = "/";
+  for (std::size_t i = 0; i + 1 < parts.size(); ++i) {
+    parent_path += parts[i];
+    if (i + 2 < parts.size()) parent_path += "/";
+  }
+  const auto parent = parts.size() == 1
+                          ? std::optional<Dirent>(root_dirent())
+                          : resolve(parent_path);
+  if (!parent || parent->type != kTypeDir) {
+    throw util::FsError("no such directory: " + parent_path);
+  }
+  return {*parent, leaf};
+}
+
+void FatFs::update_entry(const std::string& path, const Dirent& entry) {
+  auto parts = split_path(path);
+  auto [parent, leaf] = resolve_parent(path);
+  Dirent updated = entry;
+  updated.name = leaf;
+  dir_upsert(parent, updated);
+  // Persist the parent: root lives in the superblock; a nested parent's
+  // record can only have changed if its chain grew.
+  if (parts.size() == 1) {
+    root_first_ = parent.first_cluster;
+    root_size_ = parent.size;
+  } else {
+    std::string parent_path = "/";
+    for (std::size_t i = 0; i + 1 < parts.size(); ++i) {
+      parent_path += parts[i];
+      if (i + 2 < parts.size()) parent_path += "/";
+    }
+    update_entry(parent_path, parent);
+  }
+}
+
+// ---- public API --------------------------------------------------------------------
+
+void FatFs::create(const std::string& path) {
+  if (resolve(path)) throw util::FsError("exists: " + path);
+  Dirent d;
+  d.first_cluster = kClusterEof;
+  d.size = 0;
+  d.type = kTypeFile;
+  update_entry(path, d);
+}
+
+void FatFs::mkdir(const std::string& path) {
+  if (resolve(path)) throw util::FsError("exists: " + path);
+  Dirent d;
+  d.first_cluster = kClusterEof;
+  d.size = 0;
+  d.type = kTypeDir;
+  update_entry(path, d);
+}
+
+void FatFs::unlink(const std::string& path) {
+  const auto d = resolve(path);
+  if (!d) throw util::FsError("no such path: " + path);
+  if (d->type == kTypeDir && !dir_entries(*d).empty()) {
+    throw util::FsError("directory not empty: " + path);
+  }
+  if (d->first_cluster != kClusterEof) free_chain(d->first_cluster);
+  auto [parent, leaf] = resolve_parent(path);
+  dir_remove(parent, leaf);
+  auto parts = split_path(path);
+  if (parts.size() == 1) {
+    root_first_ = parent.first_cluster;
+    root_size_ = parent.size;
+  }
+}
+
+bool FatFs::exists(const std::string& path) {
+  return resolve(path).has_value();
+}
+
+void FatFs::write(const std::string& path, std::uint64_t offset,
+                  util::ByteSpan data) {
+  auto d = resolve(path);
+  if (!d || d->type != kTypeFile) throw util::FsError("not a file: " + path);
+  write_chain(d->first_cluster, offset, data, d->size);
+  update_entry(path, *d);
+}
+
+util::Bytes FatFs::read(const std::string& path, std::uint64_t offset,
+                        std::uint64_t len) {
+  const auto d = resolve(path);
+  if (!d || d->type != kTypeFile) throw util::FsError("not a file: " + path);
+  if (offset >= d->size) return {};
+  const std::uint64_t n = std::min(len, d->size - offset);
+  util::Bytes out(n);
+  util::Bytes block(bs_);
+  // Walk the FAT (in memory) to the starting cluster, then stream.
+  std::uint32_t c = d->first_cluster;
+  for (std::uint64_t i = 0; i < offset / bs_ && c != kClusterEof; ++i) {
+    c = fat_[c];
+  }
+  std::uint64_t pos = offset;
+  std::size_t done = 0;
+  while (done < n && c != kClusterEof) {
+    const std::size_t in_cluster = pos % bs_;
+    const std::size_t take = std::min<std::size_t>(bs_ - in_cluster, n - done);
+    dev_->read_block(cluster_block(c), block);
+    std::memcpy(out.data() + done, block.data() + in_cluster, take);
+    pos += take;
+    done += take;
+    c = fat_[c];
+  }
+  if (done < n) std::memset(out.data() + done, 0, n - done);
+  return out;
+}
+
+FileInfo FatFs::stat(const std::string& path) {
+  const auto d = resolve(path);
+  if (!d) throw util::FsError("no such path: " + path);
+  return {d->type == kTypeDir, d->size, (d->size + bs_ - 1) / bs_};
+}
+
+std::vector<std::string> FatFs::list(const std::string& path) {
+  const auto d = split_path(path).empty()
+                     ? std::optional<Dirent>(root_dirent())
+                     : resolve(path);
+  if (!d) throw util::FsError("no such path: " + path);
+  std::vector<std::string> out;
+  for (const auto& e : dir_entries(*d)) out.push_back(e.name);
+  return out;
+}
+
+std::uint64_t FatFs::free_bytes() { return std::uint64_t{free_clusters_} * bs_; }
+
+}  // namespace mobiceal::fs

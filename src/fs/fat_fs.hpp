@@ -1,0 +1,108 @@
+// FatFs — a FAT32-style filesystem, from scratch.
+//
+// Cluster-chained files with a single file allocation table and strictly
+// sequential first-fit allocation from the start of the disk. This is the
+// allocation behaviour Mobiflage's external-storage PDE relies on ("the data
+// written to the public volume should be placed sequentially from the
+// beginning of the disk so as to avoid over-writing the hidden volume",
+// Sec. II-B) — we need it to reproduce the single-snapshot baselines and to
+// show MobiCeal is FS-agnostic.
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "fs/filesystem.hpp"
+
+namespace mobiceal::fs {
+
+class FatFs final : public FileSystem {
+ public:
+  /// "FATSIMFS" little-endian.
+  static constexpr std::uint64_t kMagic = 0x53464D4953544146ULL;
+  static constexpr std::uint32_t kClusterFree = 0;
+  static constexpr std::uint32_t kClusterEof = 0xFFFFFFFFu;
+
+  static std::unique_ptr<FatFs> format(
+      std::shared_ptr<blockdev::BlockDevice> dev);
+  static std::unique_ptr<FatFs> mount(
+      std::shared_ptr<blockdev::BlockDevice> dev);
+  static bool probe(blockdev::BlockDevice& dev);
+
+  const char* type() const noexcept override { return "fatfs"; }
+  void create(const std::string& path) override;
+  void mkdir(const std::string& path) override;
+  void unlink(const std::string& path) override;
+  bool exists(const std::string& path) override;
+  void write(const std::string& path, std::uint64_t offset,
+             util::ByteSpan data) override;
+  util::Bytes read(const std::string& path, std::uint64_t offset,
+                   std::uint64_t len) override;
+  FileInfo stat(const std::string& path) override;
+  std::vector<std::string> list(const std::string& path) override;
+  void sync() override;
+  std::uint64_t free_bytes() override;
+
+  /// Highest cluster index ever allocated + 1 — the "high water mark" a
+  /// Mobiflage-style scheme watches to avoid clobbering its hidden volume.
+  std::uint64_t high_water_cluster() const noexcept { return high_water_; }
+
+ private:
+  struct Dirent {
+    std::uint32_t first_cluster = 0;
+    std::uint64_t size = 0;
+    std::uint8_t type = 0;  // 1 file, 2 dir
+    std::string name;
+  };
+  static constexpr std::size_t kDirentSize = 80;
+  static constexpr std::size_t kMaxName = 62;
+  static constexpr std::uint8_t kTypeFile = 1;
+  static constexpr std::uint8_t kTypeDir = 2;
+
+  explicit FatFs(std::shared_ptr<blockdev::BlockDevice> dev);
+  void init_geometry();
+  void write_superblock();
+  void load();
+
+  std::uint32_t alloc_cluster();
+  void free_chain(std::uint32_t first);
+  std::uint32_t chain_at(std::uint32_t first, std::uint64_t index,
+                         bool extend);
+
+  std::uint64_t cluster_block(std::uint32_t cluster) const {
+    return data_start_ + cluster;
+  }
+
+  // Directory content helpers (directories are cluster-chained like files).
+  util::Bytes read_chain(std::uint32_t first, std::uint64_t size);
+  void write_chain(std::uint32_t& first, std::uint64_t offset,
+                   util::ByteSpan data, std::uint64_t& size);
+
+  std::vector<Dirent> dir_entries(const Dirent& dir);
+  void dir_upsert(Dirent& dir, const Dirent& entry);
+  void dir_remove(Dirent& dir, const std::string& name);
+
+  /// Resolves a path to its dirent; root is a synthetic dirent.
+  std::optional<Dirent> resolve(const std::string& path);
+  std::pair<Dirent, std::string> resolve_parent(const std::string& path);
+  /// Writes an updated child dirent back into its parent (by path).
+  void update_entry(const std::string& path, const Dirent& entry);
+
+  Dirent root_dirent() const;
+
+  std::shared_ptr<blockdev::BlockDevice> dev_;
+  std::size_t bs_;
+  std::uint64_t total_blocks_ = 0;
+  std::uint64_t fat_start_ = 0, fat_blocks_ = 0;
+  std::uint64_t data_start_ = 0;
+  std::uint32_t nr_clusters_ = 0;
+  std::uint32_t free_clusters_ = 0;
+  std::uint32_t root_first_ = kClusterEof;
+  std::uint64_t root_size_ = 0;
+  std::uint64_t high_water_ = 0;
+
+  std::vector<std::uint32_t> fat_;  // cached FAT, flushed on sync
+  bool fat_dirty_ = false;
+};
+
+}  // namespace mobiceal::fs

@@ -1,0 +1,82 @@
+// Filesystem interface for the block-based filesystems that run on top of
+// MobiCeal volumes.
+//
+// MobiCeal's central practicality claim is file-system friendliness: because
+// PDE lives in the block layer, *any* block filesystem deploys unmodified on
+// top (Sec. I, contribution 2). We provide two with opposite allocation
+// behaviour — fs::ExtFs (ext4-like, locality-aware) and fs::FatFs (FAT32-
+// like, strictly sequential) — both implementing this interface, and run the
+// benchmarks over both.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "blockdev/block_device.hpp"
+
+namespace mobiceal::fs {
+
+/// File metadata returned by stat().
+struct FileInfo {
+  bool is_dir = false;
+  std::uint64_t size = 0;
+  std::uint64_t blocks = 0;
+};
+
+/// Minimal VFS: path-based whole-file and ranged operations.
+/// Paths are absolute, '/'-separated ("/dcim/photo1.jpg").
+/// All methods throw util::FsError on failure unless documented otherwise.
+class FileSystem {
+ public:
+  virtual ~FileSystem() = default;
+
+  virtual const char* type() const noexcept = 0;
+
+  /// Creates an empty regular file. Parent directory must exist.
+  virtual void create(const std::string& path) = 0;
+
+  /// Creates a directory. Parent must exist.
+  virtual void mkdir(const std::string& path) = 0;
+
+  /// Removes a file (or an empty directory).
+  virtual void unlink(const std::string& path) = 0;
+
+  /// True if the path resolves.
+  virtual bool exists(const std::string& path) = 0;
+
+  /// Writes `data` at byte `offset`, extending the file as needed.
+  virtual void write(const std::string& path, std::uint64_t offset,
+                     util::ByteSpan data) = 0;
+
+  /// Reads up to `len` bytes from `offset`; short reads at EOF.
+  virtual util::Bytes read(const std::string& path, std::uint64_t offset,
+                           std::uint64_t len) = 0;
+
+  virtual FileInfo stat(const std::string& path) = 0;
+
+  /// Directory listing (names only, no '.'/'..').
+  virtual std::vector<std::string> list(const std::string& path) = 0;
+
+  /// Flushes all cached metadata and issues a device barrier
+  /// (fsync/fdatasync semantics for the whole FS).
+  virtual void sync() = 0;
+
+  /// Free data capacity in bytes.
+  virtual std::uint64_t free_bytes() = 0;
+
+  // Convenience helpers built on the primitives above.
+
+  /// Creates (if needed) and writes a whole file in one call.
+  void write_file(const std::string& path, util::ByteSpan data);
+
+  /// Reads a whole file.
+  util::Bytes read_file(const std::string& path);
+};
+
+/// Splits "/a/b/c" into {"a","b","c"}. Throws util::FsError on relative or
+/// empty components.
+std::vector<std::string> split_path(const std::string& path);
+
+}  // namespace mobiceal::fs

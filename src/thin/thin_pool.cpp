@@ -1,0 +1,563 @@
+#include "thin/thin_pool.hpp"
+
+#include <bit>
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace mobiceal::thin {
+
+namespace {
+constexpr std::uint64_t kAllOnes = ~std::uint64_t{0};
+}
+
+ThinPool::ThinPool(std::shared_ptr<blockdev::BlockDevice> metadata_dev,
+                   std::shared_ptr<blockdev::BlockDevice> data_dev,
+                   std::shared_ptr<util::SimClock> clock)
+    : metadata_dev_(std::move(metadata_dev)),
+      data_dev_(std::move(data_dev)),
+      clock_(std::move(clock)) {}
+
+std::shared_ptr<ThinPool> ThinPool::format(
+    std::shared_ptr<blockdev::BlockDevice> metadata_dev,
+    std::shared_ptr<blockdev::BlockDevice> data_dev, const Config& config,
+    std::shared_ptr<util::SimClock> clock) {
+  if (config.chunk_blocks == 0 || config.max_volumes == 0) {
+    throw util::IoError("thin format: bad config");
+  }
+  auto pool = std::shared_ptr<ThinPool>(
+      new ThinPool(std::move(metadata_dev), std::move(data_dev), clock));
+  Superblock sb;
+  sb.policy = config.policy;
+  sb.chunk_blocks = config.chunk_blocks;
+  sb.max_volumes = config.max_volumes;
+  sb.nr_chunks = pool->data_dev_->num_blocks() / config.chunk_blocks;
+  if (sb.nr_chunks == 0) {
+    throw util::IoError("thin format: data device smaller than one chunk");
+  }
+  sb.max_chunks_per_volume = config.max_chunks_per_volume
+                                 ? config.max_chunks_per_volume
+                                 : sb.nr_chunks;
+  sb.txn_id = 0;
+  pool->sb_ = sb;
+  pool->cpu_ = config.cpu;
+  pool->geom_ =
+      MetadataGeometry::compute(sb, pool->metadata_dev_->block_size());
+  if (pool->geom_.total_blocks > pool->metadata_dev_->num_blocks()) {
+    throw util::IoError(
+        "thin format: metadata device too small: need " +
+        std::to_string(pool->geom_.total_blocks) + " blocks, have " +
+        std::to_string(pool->metadata_dev_->num_blocks()));
+  }
+
+  const std::uint64_t words = (sb.nr_chunks + 63) / 64;
+  pool->bitmap_.assign(words, 0);
+  // Mark the padding bits past nr_chunks as allocated so no scan picks them.
+  for (std::uint64_t c = sb.nr_chunks; c < words * 64; ++c) {
+    bit_set(pool->bitmap_, c);
+  }
+  pool->free_chunks_ = sb.nr_chunks;
+  pool->volumes_.assign(sb.max_volumes, {});
+  pool->store_metadata();
+  return pool;
+}
+
+std::shared_ptr<ThinPool> ThinPool::open(
+    std::shared_ptr<blockdev::BlockDevice> metadata_dev,
+    std::shared_ptr<blockdev::BlockDevice> data_dev,
+    std::shared_ptr<util::SimClock> clock) {
+  auto pool = std::shared_ptr<ThinPool>(
+      new ThinPool(std::move(metadata_dev), std::move(data_dev), clock));
+  pool->load_metadata();
+  return pool;
+}
+
+// ---- metadata (de)serialisation ---------------------------------------------
+
+void ThinPool::store_metadata() {
+  const std::size_t bs = metadata_dev_->block_size();
+  util::Bytes block(bs);
+
+  // Shadow-paging: stage the entire new state into the INACTIVE area, then
+  // flip the superblock pointer with one atomic block write. A crash at any
+  // point leaves a parseable old-or-new state, never a mix.
+  const std::uint32_t target_area = 1 - sb_.active_area;
+  const std::uint64_t base = geom_.area_start(target_area);
+
+  // 1. Bitmap blocks.
+  const std::uint64_t words = bitmap_.size();
+  for (std::uint64_t b = 0; b < geom_.bitmap_blocks; ++b) {
+    std::memset(block.data(), 0, bs);
+    const std::uint64_t first_word = b * (bs / 8);
+    const std::uint64_t n_words =
+        std::min<std::uint64_t>(bs / 8, words - std::min(words, first_word));
+    for (std::uint64_t w = 0; w < n_words; ++w) {
+      util::store_le<std::uint64_t>(block.data() + w * 8,
+                                    bitmap_[first_word + w]);
+    }
+    metadata_dev_->write_block(base + b, block);
+  }
+
+  // 2. Volume table.
+  const std::uint64_t descs_per_block = bs / kVolumeDescSize;
+  for (std::uint64_t b = 0; b < geom_.volume_table_blocks; ++b) {
+    std::memset(block.data(), 0, bs);
+    for (std::uint64_t d = 0; d < descs_per_block; ++d) {
+      const std::uint64_t vol = b * descs_per_block + d;
+      if (vol >= volumes_.size()) break;
+      std::uint8_t* p = block.data() + d * kVolumeDescSize;
+      util::store_le<std::uint32_t>(p, volumes_[vol].active ? 1u : 0u);
+      util::store_le<std::uint64_t>(p + 8, volumes_[vol].virtual_chunks);
+      util::store_le<std::uint64_t>(p + 16, volumes_[vol].mapped);
+    }
+    metadata_dev_->write_block(base + geom_.volume_table_offset + b, block);
+  }
+
+  // 3. Mapping tables for active volumes.
+  const std::uint64_t entries_per_block = bs / 8;
+  for (std::uint32_t vol = 0; vol < volumes_.size(); ++vol) {
+    if (!volumes_[vol].active) continue;
+    const auto& map = volumes_[vol].map;
+    const std::uint64_t map_blocks =
+        (map.size() + entries_per_block - 1) / entries_per_block;
+    for (std::uint64_t b = 0; b < map_blocks; ++b) {
+      std::memset(block.data(), 0xFF, bs);  // kUnmapped fill
+      for (std::uint64_t e = 0; e < entries_per_block; ++e) {
+        const std::uint64_t v = b * entries_per_block + e;
+        if (v >= map.size()) break;
+        util::store_le<std::uint64_t>(block.data() + e * 8, map[v]);
+      }
+      metadata_dev_->write_block(
+          base + geom_.maps_offset + vol * geom_.map_blocks_per_volume + b,
+          block);
+    }
+  }
+
+  // 4. Barrier, then the superblock flip — the atomic commit point.
+  metadata_dev_->flush();
+  sb_.active_area = target_area;
+  std::memset(block.data(), 0, bs);
+  sb_.checksum = sb_.compute_checksum();
+  util::store_le<std::uint64_t>(block.data() + 0, sb_.magic);
+  util::store_le<std::uint32_t>(block.data() + 8, sb_.version);
+  util::store_le<std::uint32_t>(block.data() + 12,
+                                static_cast<std::uint32_t>(sb_.policy));
+  util::store_le<std::uint32_t>(block.data() + 16, sb_.chunk_blocks);
+  util::store_le<std::uint32_t>(block.data() + 20, sb_.max_volumes);
+  util::store_le<std::uint64_t>(block.data() + 24, sb_.nr_chunks);
+  util::store_le<std::uint64_t>(block.data() + 32, sb_.max_chunks_per_volume);
+  util::store_le<std::uint64_t>(block.data() + 40, sb_.txn_id);
+  util::store_le<std::uint64_t>(block.data() + 48, sb_.alloc_cursor);
+  util::store_le<std::uint32_t>(block.data() + 56, sb_.active_area);
+  util::store_le<std::uint64_t>(block.data() + 64, sb_.checksum);
+  metadata_dev_->write_block(0, block);
+  metadata_dev_->flush();
+}
+
+void ThinPool::load_metadata() {
+  const std::size_t bs = metadata_dev_->block_size();
+  util::Bytes block(bs);
+  metadata_dev_->read_block(0, block);
+
+  sb_.magic = util::load_le<std::uint64_t>(block.data() + 0);
+  if (sb_.magic != kThinMagic) {
+    throw util::MetadataError("thin superblock: bad magic");
+  }
+  sb_.version = util::load_le<std::uint32_t>(block.data() + 8);
+  sb_.policy = static_cast<AllocPolicy>(
+      util::load_le<std::uint32_t>(block.data() + 12));
+  sb_.chunk_blocks = util::load_le<std::uint32_t>(block.data() + 16);
+  sb_.max_volumes = util::load_le<std::uint32_t>(block.data() + 20);
+  sb_.nr_chunks = util::load_le<std::uint64_t>(block.data() + 24);
+  sb_.max_chunks_per_volume =
+      util::load_le<std::uint64_t>(block.data() + 32);
+  sb_.txn_id = util::load_le<std::uint64_t>(block.data() + 40);
+  sb_.alloc_cursor = util::load_le<std::uint64_t>(block.data() + 48);
+  sb_.active_area = util::load_le<std::uint32_t>(block.data() + 56);
+  sb_.checksum = util::load_le<std::uint64_t>(block.data() + 64);
+  if (sb_.active_area > 1) {
+    throw util::MetadataError("thin superblock: bad active area");
+  }
+  if (sb_.checksum != sb_.compute_checksum()) {
+    throw util::MetadataError("thin superblock: checksum mismatch");
+  }
+  geom_ = MetadataGeometry::compute(sb_, bs);
+  const std::uint64_t base = geom_.area_start(sb_.active_area);
+
+  // Bitmap.
+  const std::uint64_t words = (sb_.nr_chunks + 63) / 64;
+  bitmap_.assign(words, 0);
+  for (std::uint64_t b = 0; b < geom_.bitmap_blocks; ++b) {
+    metadata_dev_->read_block(base + b, block);
+    const std::uint64_t first_word = b * (bs / 8);
+    for (std::uint64_t w = 0; w < bs / 8; ++w) {
+      if (first_word + w >= words) break;
+      bitmap_[first_word + w] = util::load_le<std::uint64_t>(block.data() + w * 8);
+    }
+  }
+  for (std::uint64_t c = sb_.nr_chunks; c < words * 64; ++c) {
+    bit_set(bitmap_, c);
+  }
+  free_chunks_ = 0;
+  for (std::uint64_t c = 0; c < sb_.nr_chunks; ++c) {
+    if (!bit_test(bitmap_, c)) ++free_chunks_;
+  }
+
+  // Volume table.
+  volumes_.assign(sb_.max_volumes, {});
+  const std::uint64_t descs_per_block = bs / kVolumeDescSize;
+  for (std::uint64_t b = 0; b < geom_.volume_table_blocks; ++b) {
+    metadata_dev_->read_block(base + geom_.volume_table_offset + b, block);
+    for (std::uint64_t d = 0; d < descs_per_block; ++d) {
+      const std::uint64_t vol = b * descs_per_block + d;
+      if (vol >= volumes_.size()) break;
+      const std::uint8_t* p = block.data() + d * kVolumeDescSize;
+      volumes_[vol].active = util::load_le<std::uint32_t>(p) == 1;
+      volumes_[vol].virtual_chunks = util::load_le<std::uint64_t>(p + 8);
+      volumes_[vol].mapped = util::load_le<std::uint64_t>(p + 16);
+    }
+  }
+
+  // Mapping tables.
+  const std::uint64_t entries_per_block = bs / 8;
+  for (std::uint32_t vol = 0; vol < volumes_.size(); ++vol) {
+    auto& v = volumes_[vol];
+    if (!v.active) continue;
+    v.map.assign(v.virtual_chunks, kUnmapped);
+    const std::uint64_t map_blocks =
+        (v.map.size() + entries_per_block - 1) / entries_per_block;
+    for (std::uint64_t b = 0; b < map_blocks; ++b) {
+      metadata_dev_->read_block(
+          base + geom_.maps_offset + vol * geom_.map_blocks_per_volume + b,
+          block);
+      for (std::uint64_t e = 0; e < entries_per_block; ++e) {
+        const std::uint64_t idx = b * entries_per_block + e;
+        if (idx >= v.map.size()) break;
+        v.map[idx] = util::load_le<std::uint64_t>(block.data() + e * 8);
+      }
+    }
+  }
+  txn_allocated_.clear();
+  txn_freed_.clear();
+}
+
+// ---- bitmap helpers ----------------------------------------------------------
+
+bool ThinPool::bit_test(const std::vector<std::uint64_t>& bm,
+                        std::uint64_t chunk) const {
+  return (bm[chunk / 64] >> (chunk % 64)) & 1;
+}
+
+void ThinPool::bit_set(std::vector<std::uint64_t>& bm, std::uint64_t chunk) {
+  bm[chunk / 64] |= std::uint64_t{1} << (chunk % 64);
+}
+
+void ThinPool::bit_clear(std::vector<std::uint64_t>& bm, std::uint64_t chunk) {
+  bm[chunk / 64] &= ~(std::uint64_t{1} << (chunk % 64));
+}
+
+void ThinPool::mark_allocated(std::uint64_t chunk) {
+  bit_set(bitmap_, chunk);
+  --free_chunks_;
+  txn_allocated_.push_back(chunk);
+}
+
+void ThinPool::mark_free(std::uint64_t chunk) {
+  bit_clear(bitmap_, chunk);
+  ++free_chunks_;
+  txn_freed_.push_back(chunk);
+}
+
+// ---- allocation ---------------------------------------------------------------
+
+std::uint64_t ThinPool::allocate_chunk() {
+  if (free_chunks_ == 0) {
+    throw util::NoSpaceError("thin pool exhausted");
+  }
+  charge(cpu_.alloc_ns);
+  const std::uint64_t chunk = sb_.policy == AllocPolicy::kRandom
+                                  ? pick_random()
+                                  : pick_sequential();
+  mark_allocated(chunk);
+  return chunk;
+}
+
+std::uint64_t ThinPool::pick_sequential() {
+  // Stock dm-thin: first-fit from the persistent cursor.
+  for (std::uint64_t i = 0; i < sb_.nr_chunks; ++i) {
+    const std::uint64_t c = (sb_.alloc_cursor + i) % sb_.nr_chunks;
+    if (!bit_test(bitmap_, c)) {
+      sb_.alloc_cursor = (c + 1) % sb_.nr_chunks;
+      return c;
+    }
+  }
+  throw util::NoSpaceError("thin pool exhausted (sequential scan)");
+}
+
+std::uint64_t ThinPool::pick_random() {
+  // MobiCeal random allocation (Sec. V-A): draw i uniformly in [0, free)
+  // and take the i-th free chunk. The scan is word-wise via popcount.
+  util::Rng& rng = alloc_rng_ ? *alloc_rng_ : default_rng_;
+  std::uint64_t target = rng.next_below(free_chunks_);
+  for (std::uint64_t w = 0; w < bitmap_.size(); ++w) {
+    const std::uint64_t free_here =
+        64 - static_cast<std::uint64_t>(std::popcount(bitmap_[w]));
+    if (target >= free_here) {
+      target -= free_here;
+      continue;
+    }
+    for (std::uint64_t b = 0; b < 64; ++b) {
+      if (!((bitmap_[w] >> b) & 1)) {
+        if (target == 0) return w * 64 + b;
+        --target;
+      }
+    }
+  }
+  throw util::NoSpaceError("thin pool exhausted (random scan)");
+}
+
+// ---- volume lifecycle -----------------------------------------------------------
+
+void ThinPool::check_volume(std::uint32_t id) const {
+  if (id >= volumes_.size() || !volumes_[id].active) {
+    throw util::IoError("thin: no such volume: " + std::to_string(id));
+  }
+}
+
+bool ThinPool::volume_exists(std::uint32_t id) const {
+  return id < volumes_.size() && volumes_[id].active;
+}
+
+void ThinPool::create_thin(std::uint32_t id, std::uint64_t virtual_chunks) {
+  if (id >= volumes_.size()) {
+    throw util::IoError("thin create: volume id out of range");
+  }
+  if (volumes_[id].active) {
+    throw util::IoError("thin create: volume exists: " + std::to_string(id));
+  }
+  if (virtual_chunks == 0 || virtual_chunks > sb_.max_chunks_per_volume) {
+    throw util::IoError("thin create: bad virtual size");
+  }
+  volumes_[id].active = true;
+  volumes_[id].virtual_chunks = virtual_chunks;
+  volumes_[id].mapped = 0;
+  volumes_[id].map.assign(virtual_chunks, kUnmapped);
+}
+
+void ThinPool::delete_thin(std::uint32_t id) {
+  check_volume(id);
+  for (std::uint64_t v = 0; v < volumes_[id].map.size(); ++v) {
+    if (volumes_[id].map[v] != kUnmapped) {
+      mark_free(volumes_[id].map[v]);
+    }
+  }
+  volumes_[id] = {};
+}
+
+std::shared_ptr<ThinVolume> ThinPool::open_thin(std::uint32_t id) {
+  check_volume(id);
+  return std::make_shared<ThinVolume>(shared_from_this(), id);
+}
+
+void ThinPool::observe_volume(std::uint32_t id, bool observed) {
+  check_volume(id);
+  volumes_[id].observed = observed;
+}
+
+// ---- transactions ------------------------------------------------------------------
+
+void ThinPool::commit() {
+  // Exception safety: a failed store (device fault) must leave the
+  // in-memory superblock describing the still-committed on-disk state.
+  const Superblock saved = sb_;
+  ++sb_.txn_id;
+  try {
+    store_metadata();
+  } catch (...) {
+    sb_ = saved;
+    throw;
+  }
+  txn_allocated_.clear();
+  txn_freed_.clear();
+}
+
+// ---- PDE support --------------------------------------------------------------------
+
+std::optional<std::uint64_t> ThinPool::write_noise_chunk(
+    std::uint32_t id, std::uint32_t noise_blocks, util::Rng& noise_source,
+    util::Rng& placement) {
+  check_volume(id);
+  auto& vol = volumes_[id];
+  const std::uint64_t unmapped = vol.virtual_chunks - vol.mapped;
+  if (unmapped == 0 || free_chunks_ == 0) return std::nullopt;
+  if (noise_blocks == 0 || noise_blocks > sb_.chunk_blocks) {
+    noise_blocks = sb_.chunk_blocks;
+  }
+
+  // Pick the target virtual chunk uniformly among unmapped positions so the
+  // volume's own mapping table shows no growth pattern.
+  std::uint64_t target = placement.next_below(unmapped);
+  std::uint64_t vchunk = kUnmapped;
+  for (std::uint64_t v = 0; v < vol.map.size(); ++v) {
+    if (vol.map[v] == kUnmapped) {
+      if (target == 0) {
+        vchunk = v;
+        break;
+      }
+      --target;
+    }
+  }
+
+  const std::uint64_t phys = allocate_chunk();
+  vol.map[vchunk] = phys;
+  ++vol.mapped;
+
+  const std::size_t bs = data_dev_->block_size();
+  util::Bytes noise(bs);
+  for (std::uint32_t b = 0; b < noise_blocks; ++b) {
+    noise_source.fill(noise);
+    data_dev_->write_block(phys * sb_.chunk_blocks + b, noise);
+  }
+  return phys;
+}
+
+void ThinPool::discard(std::uint32_t id, std::uint64_t vchunk) {
+  check_volume(id);
+  auto& vol = volumes_[id];
+  if (vchunk >= vol.map.size() || vol.map[vchunk] == kUnmapped) {
+    throw util::IoError("thin discard: chunk not mapped");
+  }
+  mark_free(vol.map[vchunk]);
+  vol.map[vchunk] = kUnmapped;
+  --vol.mapped;
+}
+
+// ---- introspection ---------------------------------------------------------------------
+
+std::uint64_t ThinPool::mapped_chunks(std::uint32_t id) const {
+  check_volume(id);
+  return volumes_[id].mapped;
+}
+
+std::uint64_t ThinPool::virtual_chunks(std::uint32_t id) const {
+  check_volume(id);
+  return volumes_[id].virtual_chunks;
+}
+
+const std::vector<std::uint64_t>& ThinPool::mapping(std::uint32_t id) const {
+  check_volume(id);
+  return volumes_[id].map;
+}
+
+bool ThinPool::chunk_allocated(std::uint64_t phys_chunk) const {
+  if (phys_chunk >= sb_.nr_chunks) {
+    throw util::IoError("chunk_allocated: out of range");
+  }
+  return bit_test(bitmap_, phys_chunk);
+}
+
+bool ThinPool::check_consistency() const {
+  std::vector<std::uint8_t> refs(sb_.nr_chunks, 0);
+  std::uint64_t mapped_total = 0;
+  for (std::uint32_t v = 0; v < volumes_.size(); ++v) {
+    const auto& vol = volumes_[v];
+    if (!vol.active) continue;
+    std::uint64_t mapped = 0;
+    for (std::uint64_t phys : vol.map) {
+      if (phys == kUnmapped) continue;
+      if (phys >= sb_.nr_chunks) return false;      // out-of-range mapping
+      if (!bit_test(bitmap_, phys)) return false;   // mapped but free
+      if (refs[phys]++) return false;               // cross-volume share
+      ++mapped;
+    }
+    if (mapped != vol.mapped) return false;         // stale counter
+    mapped_total += mapped;
+  }
+  // Bitmap population must equal the mapped total (plus any chunks
+  // allocated in the open transaction that are already mapped — both are
+  // reflected in bitmap_ here, so the counts must agree exactly).
+  std::uint64_t allocated = 0;
+  for (std::uint64_t c = 0; c < sb_.nr_chunks; ++c) {
+    if (bit_test(bitmap_, c)) ++allocated;
+  }
+  if (allocated != mapped_total) return false;      // leaked chunk
+  return free_chunks_ == sb_.nr_chunks - allocated;
+}
+
+// ---- I/O path ------------------------------------------------------------------------------
+
+void ThinPool::volume_read(std::uint32_t id, std::uint64_t lblock,
+                           util::MutByteSpan out) {
+  auto& vol = volumes_[id];
+  const std::uint64_t vchunk = lblock / sb_.chunk_blocks;
+  const std::uint64_t off = lblock % sb_.chunk_blocks;
+  charge(cpu_.lookup_read_ns);
+  const std::uint64_t phys = vol.map[vchunk];
+  if (phys == kUnmapped) {
+    std::memset(out.data(), 0, out.size());
+    return;
+  }
+  data_dev_->read_block(phys * sb_.chunk_blocks + off, out);
+}
+
+void ThinPool::volume_write(std::uint32_t id, std::uint64_t lblock,
+                            util::ByteSpan data) {
+  auto& vol = volumes_[id];
+  const std::uint64_t vchunk = lblock / sb_.chunk_blocks;
+  const std::uint64_t off = lblock % sb_.chunk_blocks;
+  charge(cpu_.lookup_write_ns);
+
+  bool fresh = false;
+  std::uint64_t phys = vol.map[vchunk];
+  if (phys == kUnmapped) {
+    phys = allocate_chunk();
+    vol.map[vchunk] = phys;
+    ++vol.mapped;
+    fresh = true;
+  }
+  data_dev_->write_block(phys * sb_.chunk_blocks + off, data);
+
+  // Fire the dummy-write hook after the triggering write completes, exactly
+  // once per fresh provision, and never re-entrantly (a dummy write's own
+  // allocations must not trigger more dummy writes).
+  if (fresh && vol.observed && observer_ && !in_observer_) {
+    in_observer_ = true;
+    try {
+      observer_(id, phys);
+    } catch (...) {
+      in_observer_ = false;
+      throw;
+    }
+    in_observer_ = false;
+  }
+}
+
+// ---- ThinVolume ------------------------------------------------------------------------------
+
+ThinVolume::ThinVolume(std::shared_ptr<ThinPool> pool, std::uint32_t id)
+    : pool_(std::move(pool)), id_(id) {}
+
+std::size_t ThinVolume::block_size() const noexcept {
+  return pool_->data_dev_->block_size();
+}
+
+std::uint64_t ThinVolume::num_blocks() const noexcept {
+  return pool_->volumes_[id_].virtual_chunks * pool_->sb_.chunk_blocks;
+}
+
+void ThinVolume::read_block(std::uint64_t index, util::MutByteSpan out) {
+  check_io(index, out.size());
+  pool_->volume_read(id_, index, out);
+}
+
+void ThinVolume::write_block(std::uint64_t index, util::ByteSpan data) {
+  check_io(index, data.size());
+  pool_->volume_write(id_, index, data);
+}
+
+void ThinVolume::flush() {
+  pool_->commit();
+  pool_->data_dev_->flush();
+}
+
+}  // namespace mobiceal::thin

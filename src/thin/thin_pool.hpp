@@ -1,0 +1,235 @@
+// Thin-provisioning pool (dm-thin reproduction, Sec. II-C) with the two
+// MobiCeal kernel modifications from Sec. V-A as switchable policies:
+//
+//   1. allocation policy: stock sequential first-fit, or MobiCeal's
+//      uniformly random free-chunk selection;
+//   2. an allocation observer hook through which core::DummyWriteEngine
+//      injects dummy writes when the *public* volume provisions chunks.
+//
+// Metadata (superblock, global bitmap, volume table, mapping tables) lives
+// on a dedicated metadata device and is committed transactionally: the
+// allocator consults the committed bitmap *plus* the record of blocks
+// allocated within the open transaction, exactly the fix the paper
+// describes ("the block numbers allocated within a transaction are
+// recorded", Sec. V-A Random Allocation Implementation).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "blockdev/block_device.hpp"
+#include "thin/metadata_format.hpp"
+#include "util/rng.hpp"
+#include "util/sim_clock.hpp"
+
+namespace mobiceal::thin {
+
+/// CPU cost model for the thin layer, charged to the shared SimClock.
+/// Read lookups dominate (mapping-tree walk per block read); allocation
+/// costs are amortised per chunk.
+struct ThinCpuModel {
+  std::uint64_t lookup_read_ns = 35'000;  // per 4 KiB read through a volume
+  std::uint64_t lookup_write_ns = 2'000;  // per 4 KiB write (cached mapping)
+  std::uint64_t alloc_ns = 30'000;        // per fresh chunk provision
+
+  static ThinCpuModel nexus4() { return {}; }
+  static ThinCpuModel zero() { return {0, 0, 0}; }
+};
+
+class ThinVolume;
+
+class ThinPool : public std::enable_shared_from_this<ThinPool> {
+ public:
+  struct Config {
+    std::uint32_t chunk_blocks = 16;  // 64 KiB chunks over 4 KiB blocks
+    std::uint32_t max_volumes = 16;
+    /// Cap on each volume's virtual size, in chunks. 0 = pool capacity.
+    std::uint64_t max_chunks_per_volume = 0;
+    AllocPolicy policy = AllocPolicy::kSequential;
+    ThinCpuModel cpu = ThinCpuModel::nexus4();
+  };
+
+  /// Observer invoked after a *client* write provisions a fresh chunk on an
+  /// observed volume. Dummy writes issued from inside the observer do not
+  /// re-trigger it.
+  using AllocationObserver =
+      std::function<void(std::uint32_t volume_id, std::uint64_t phys_chunk)>;
+
+  /// Formats fresh metadata onto `metadata_dev` and returns an open pool.
+  /// Throws util::IoError if the metadata device is too small.
+  static std::shared_ptr<ThinPool> format(
+      std::shared_ptr<blockdev::BlockDevice> metadata_dev,
+      std::shared_ptr<blockdev::BlockDevice> data_dev, const Config& config,
+      std::shared_ptr<util::SimClock> clock = nullptr);
+
+  /// Opens an existing pool from committed metadata. State written after the
+  /// last commit is discarded — this is the crash-recovery path.
+  static std::shared_ptr<ThinPool> open(
+      std::shared_ptr<blockdev::BlockDevice> metadata_dev,
+      std::shared_ptr<blockdev::BlockDevice> data_dev,
+      std::shared_ptr<util::SimClock> clock = nullptr);
+
+  // -- volume lifecycle -----------------------------------------------------
+
+  /// Creates thin volume `id` with the given virtual size (chunks).
+  /// Volume ids are dense small integers in [0, max_volumes).
+  void create_thin(std::uint32_t id, std::uint64_t virtual_chunks);
+
+  /// Deletes a volume, returning all its chunks to the free pool.
+  void delete_thin(std::uint32_t id);
+
+  /// Opens a BlockDevice view of a volume.
+  std::shared_ptr<ThinVolume> open_thin(std::uint32_t id);
+
+  bool volume_exists(std::uint32_t id) const;
+
+  // -- transactions ----------------------------------------------------------
+
+  /// Persists all metadata; the superblock (with a new txn id) is written
+  /// last as the commit point.
+  void commit();
+
+  std::uint64_t txn_id() const noexcept { return sb_.txn_id; }
+
+  /// Chunks allocated since the last commit (the paper's in-transaction
+  /// record; exposed for the transaction-safety property tests).
+  const std::vector<std::uint64_t>& txn_allocations() const noexcept {
+    return txn_allocated_;
+  }
+
+  // -- PDE support (used by core::MobiCeal) -----------------------------------
+
+  void set_allocation_observer(AllocationObserver obs) {
+    observer_ = std::move(obs);
+  }
+  /// Marks a volume as observed: client allocations on it fire the observer.
+  void observe_volume(std::uint32_t id, bool observed);
+
+  /// Allocates one chunk for `id` at a random unmapped virtual position and
+  /// fills the first `noise_blocks` (1..chunk_blocks) with `noise`. Used by
+  /// the dummy-write engine; never fires the observer. Returns the physical
+  /// chunk, or nullopt when the pool or the volume is full.
+  std::optional<std::uint64_t> write_noise_chunk(std::uint32_t id,
+                                                 std::uint32_t noise_blocks,
+                                                 util::Rng& noise_source,
+                                                 util::Rng& placement);
+
+  /// Unmaps one virtual chunk, clearing its bitmap bit. Data content is left
+  /// in place (discard does not scrub), as on real dm-thin.
+  void discard(std::uint32_t id, std::uint64_t vchunk);
+
+  // -- introspection ----------------------------------------------------------
+
+  const Superblock& superblock() const noexcept { return sb_; }
+  std::uint64_t nr_chunks() const noexcept { return sb_.nr_chunks; }
+  std::uint64_t free_chunks() const noexcept { return free_chunks_; }
+  std::uint32_t chunk_blocks() const noexcept { return sb_.chunk_blocks; }
+  std::uint64_t mapped_chunks(std::uint32_t id) const;
+  std::uint64_t virtual_chunks(std::uint32_t id) const;
+
+  /// Mapping of volume `id`: entries are physical chunks or kUnmapped.
+  const std::vector<std::uint64_t>& mapping(std::uint32_t id) const;
+
+  /// True if the physical chunk is allocated (committed or in-txn).
+  bool chunk_allocated(std::uint64_t phys_chunk) const;
+
+  /// Full consistency check (thin_check equivalent): every mapped chunk is
+  /// in range, marked in the bitmap, and mapped by exactly one volume;
+  /// per-volume mapped counts and the free counter agree with the bitmap.
+  /// Note: allocated-but-unmapped chunks are legal mid-transaction but not
+  /// after a commit. Returns true iff consistent.
+  bool check_consistency() const;
+
+  std::shared_ptr<blockdev::BlockDevice> data_device() const noexcept {
+    return data_dev_;
+  }
+
+  /// Sets the RNG used for random allocation (defaults to an internal
+  /// xoshiro seeded with 0; MobiCeal wires the CSPRNG here).
+  void set_alloc_rng(util::Rng* rng) noexcept { alloc_rng_ = rng; }
+
+ private:
+  friend class ThinVolume;
+
+  ThinPool(std::shared_ptr<blockdev::BlockDevice> metadata_dev,
+           std::shared_ptr<blockdev::BlockDevice> data_dev,
+           std::shared_ptr<util::SimClock> clock);
+
+  struct VolumeState {
+    bool active = false;
+    bool observed = false;
+    std::uint64_t virtual_chunks = 0;
+    std::uint64_t mapped = 0;
+    std::vector<std::uint64_t> map;  // vchunk -> phys chunk / kUnmapped
+  };
+
+  void load_metadata();
+  void store_metadata();
+  void check_volume(std::uint32_t id) const;
+
+  /// Allocates a free physical chunk per policy; records it in the open
+  /// transaction. Throws util::NoSpaceError when the pool is exhausted.
+  std::uint64_t allocate_chunk();
+  std::uint64_t pick_sequential();
+  std::uint64_t pick_random();
+  void mark_allocated(std::uint64_t chunk);
+  void mark_free(std::uint64_t chunk);
+  bool bit_test(const std::vector<std::uint64_t>& bm,
+                std::uint64_t chunk) const;
+  static void bit_set(std::vector<std::uint64_t>& bm, std::uint64_t chunk);
+  static void bit_clear(std::vector<std::uint64_t>& bm, std::uint64_t chunk);
+
+  /// I/O path used by ThinVolume.
+  void volume_read(std::uint32_t id, std::uint64_t lblock,
+                   util::MutByteSpan out);
+  void volume_write(std::uint32_t id, std::uint64_t lblock,
+                    util::ByteSpan data);
+
+  void charge(std::uint64_t ns) {
+    if (clock_) clock_->advance(ns);
+  }
+
+  std::shared_ptr<blockdev::BlockDevice> metadata_dev_;
+  std::shared_ptr<blockdev::BlockDevice> data_dev_;
+  std::shared_ptr<util::SimClock> clock_;
+  Superblock sb_;
+  MetadataGeometry geom_{};
+  ThinCpuModel cpu_;
+
+  /// Effective allocation bitmap (committed state + open transaction).
+  std::vector<std::uint64_t> bitmap_;
+  std::uint64_t free_chunks_ = 0;
+  std::vector<std::uint64_t> txn_allocated_;
+  std::vector<std::uint64_t> txn_freed_;
+
+  std::vector<VolumeState> volumes_;
+  AllocationObserver observer_;
+  bool in_observer_ = false;
+
+  util::Xoshiro256 default_rng_{0};
+  util::Rng* alloc_rng_ = nullptr;
+};
+
+/// BlockDevice view of one thin volume. Reads of unprovisioned chunks
+/// return zeros; writes provision chunks on demand.
+class ThinVolume final : public blockdev::BlockDevice {
+ public:
+  ThinVolume(std::shared_ptr<ThinPool> pool, std::uint32_t id);
+
+  std::size_t block_size() const noexcept override;
+  std::uint64_t num_blocks() const noexcept override;
+  void read_block(std::uint64_t index, util::MutByteSpan out) override;
+  void write_block(std::uint64_t index, util::ByteSpan data) override;
+  /// Flush commits the pool's open transaction (REQ_FLUSH semantics).
+  void flush() override;
+
+  std::uint32_t id() const noexcept { return id_; }
+
+ private:
+  std::shared_ptr<ThinPool> pool_;
+  std::uint32_t id_;
+};
+
+}  // namespace mobiceal::thin

@@ -1,0 +1,98 @@
+// Byte-buffer helpers shared by every layer of the MobiCeal stack.
+//
+// The storage stack moves raw bytes between layers (sectors, blocks, keys,
+// footers). We standardise on std::vector<std::uint8_t> for owning buffers
+// and std::span for views, plus a few conversion helpers used by tests and
+// tools (hex encode/decode, little-endian field packing).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mobiceal::util {
+
+using Bytes = std::vector<std::uint8_t>;
+using ByteSpan = std::span<const std::uint8_t>;
+using MutByteSpan = std::span<std::uint8_t>;
+
+/// Encode a byte span as lowercase hex.
+std::string to_hex(ByteSpan data);
+
+/// Decode a hex string (upper or lower case, even length) into bytes.
+/// Throws std::invalid_argument on malformed input.
+Bytes from_hex(std::string_view hex);
+
+/// Copy a std::string into a byte buffer (no terminator).
+Bytes bytes_of(std::string_view s);
+
+/// Interpret a byte buffer as a std::string (for test assertions).
+std::string string_of(ByteSpan data);
+
+/// Load a little-endian unsigned integer of width sizeof(T) from `p`.
+template <typename T>
+T load_le(const std::uint8_t* p) {
+  T v{};
+  std::memcpy(&v, p, sizeof(T));
+  return v;  // host is little-endian on all supported platforms
+}
+
+/// Store a little-endian unsigned integer of width sizeof(T) at `p`.
+template <typename T>
+void store_le(std::uint8_t* p, T v) {
+  std::memcpy(p, &v, sizeof(T));
+}
+
+/// Load a big-endian 32-bit word (used by SHA/AES test vectors).
+std::uint32_t load_be32(const std::uint8_t* p);
+/// Store a big-endian 32-bit word.
+void store_be32(std::uint8_t* p, std::uint32_t v);
+/// Load a big-endian 64-bit word.
+std::uint64_t load_be64(const std::uint8_t* p);
+/// Store a big-endian 64-bit word.
+void store_be64(std::uint8_t* p, std::uint64_t v);
+
+/// XOR `src` into `dst` (sizes must match).
+void xor_into(MutByteSpan dst, ByteSpan src);
+
+/// Constant-time equality comparison; returns true iff equal.
+/// Runs in time dependent only on the lengths, never on contents.
+bool ct_equal(ByteSpan a, ByteSpan b);
+
+/// Best-effort secure zeroisation that the optimiser may not elide.
+void secure_zero(MutByteSpan data);
+
+/// Owning byte buffer that zeroises its contents on destruction.
+/// Used for key material so that freed heap pages do not retain secrets.
+class SecureBytes {
+ public:
+  SecureBytes() = default;
+  explicit SecureBytes(std::size_t n) : data_(n, 0) {}
+  explicit SecureBytes(Bytes b) : data_(std::move(b)) {}
+  SecureBytes(const SecureBytes&) = default;
+  SecureBytes& operator=(const SecureBytes&) = default;
+  SecureBytes(SecureBytes&&) noexcept = default;
+  SecureBytes& operator=(SecureBytes&&) noexcept = default;
+  ~SecureBytes() { secure_zero(data_); }
+
+  std::uint8_t* data() { return data_.data(); }
+  const std::uint8_t* data() const { return data_.data(); }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+  std::uint8_t& operator[](std::size_t i) { return data_[i]; }
+  std::uint8_t operator[](std::size_t i) const { return data_[i]; }
+
+  ByteSpan span() const { return {data_.data(), data_.size()}; }
+  MutByteSpan span() { return {data_.data(), data_.size()}; }
+
+  const Bytes& raw() const { return data_; }
+
+ private:
+  Bytes data_;
+};
+
+}  // namespace mobiceal::util

@@ -1,0 +1,57 @@
+// Error taxonomy for the storage stack.
+//
+// Programming errors and unrecoverable states throw exceptions (per the C++
+// Core Guidelines: E.2, E.14). Expected outcomes that callers must branch on
+// (wrong password, volume full) are returned as status enums/optionals at
+// those specific call sites instead.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace mobiceal::util {
+
+/// Base class for all MobiCeal stack errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Out-of-range sector/block access, bad geometry, misaligned I/O.
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error("io: " + what) {}
+};
+
+/// Corrupt or inconsistent on-disk metadata (superblock magic, checksums).
+class MetadataError : public Error {
+ public:
+  explicit MetadataError(const std::string& what)
+      : Error("metadata: " + what) {}
+};
+
+/// Pool/volume out of physical space.
+class NoSpaceError : public Error {
+ public:
+  explicit NoSpaceError(const std::string& what) : Error("nospace: " + what) {}
+};
+
+/// Cryptographic misuse (bad key length, bad IV, truncated buffer).
+class CryptoError : public Error {
+ public:
+  explicit CryptoError(const std::string& what) : Error("crypto: " + what) {}
+};
+
+/// Filesystem-level failure (no such file, directory not empty, ...).
+class FsError : public Error {
+ public:
+  explicit FsError(const std::string& what) : Error("fs: " + what) {}
+};
+
+/// Violation of a PDE safety rule (e.g. GC outside hidden mode).
+class PolicyError : public Error {
+ public:
+  explicit PolicyError(const std::string& what) : Error("policy: " + what) {}
+};
+
+}  // namespace mobiceal::util

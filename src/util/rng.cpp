@@ -1,0 +1,92 @@
+#include "util/rng.hpp"
+
+namespace mobiceal::util {
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  if (bound == 0) return 0;
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit =
+      std::numeric_limits<std::uint64_t>::max() -
+      (std::numeric_limits<std::uint64_t>::max() % bound);
+  std::uint64_t v = next_u64();
+  while (v >= limit) v = next_u64();
+  return v % bound;
+}
+
+std::uint64_t Rng::next_range(std::uint64_t lo, std::uint64_t hi) {
+  return lo + next_below(hi - lo + 1);
+}
+
+double Rng::next_unit() {
+  // 53 random mantissa bits -> uniform double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+void Rng::fill(MutByteSpan out) {
+  std::size_t i = 0;
+  while (i + 8 <= out.size()) {
+    const std::uint64_t v = next_u64();
+    store_le<std::uint64_t>(out.data() + i, v);
+    i += 8;
+  }
+  if (i < out.size()) {
+    const std::uint64_t v = next_u64();
+    for (std::size_t j = 0; i < out.size(); ++i, ++j) {
+      out[i] = static_cast<std::uint8_t>(v >> (8 * j));
+    }
+  }
+}
+
+std::uint64_t SplitMix64::next_u64() {
+  std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Xoshiro256::Xoshiro256(std::uint64_t seed) noexcept {
+  SplitMix64 sm(seed);
+  for (auto& s : s_) s = sm.next_u64();
+}
+
+std::uint64_t Xoshiro256::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+void Xoshiro256::jump() {
+  static constexpr std::uint64_t kJump[] = {
+      0x180EC6D33CFD0ABAULL, 0xD5A61266F0C9392CULL, 0xA9582618E03FC9AAULL,
+      0x39ABDC4529B1661CULL};
+  std::uint64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  for (std::uint64_t jump : kJump) {
+    for (int b = 0; b < 64; ++b) {
+      if (jump & (std::uint64_t{1} << b)) {
+        s0 ^= s_[0];
+        s1 ^= s_[1];
+        s2 ^= s_[2];
+        s3 ^= s_[3];
+      }
+      next_u64();
+    }
+  }
+  s_[0] = s0;
+  s_[1] = s1;
+  s_[2] = s2;
+  s_[3] = s3;
+}
+
+}  // namespace mobiceal::util

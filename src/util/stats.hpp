@@ -1,0 +1,56 @@
+// Statistics used by benchmarks (mean/stddev over repetitions) and by the
+// adversary's randomness tests (entropy, chi-square, monobit, runs test).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace mobiceal::util {
+
+/// Streaming mean / standard deviation (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return mean_; }
+  /// Sample standard deviation (n-1 denominator); 0 when n < 2.
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Shannon entropy of a byte buffer in bits per byte (max 8.0).
+double shannon_entropy(ByteSpan data);
+
+/// Chi-square statistic of the byte histogram against the uniform
+/// distribution (255 degrees of freedom). Random data should fall near 255.
+double chi_square_bytes(ByteSpan data);
+
+/// Chi-square statistic for observed counts against expected counts.
+double chi_square(const std::vector<double>& observed,
+                  const std::vector<double>& expected);
+
+/// NIST-style frequency (monobit) test statistic: |#ones - #zeros| / sqrt(n).
+/// Random data should be below ~3 (3-sigma).
+double monobit_statistic(ByteSpan data);
+
+/// NIST-style runs test z-score. Random data should be below ~3 in absolute
+/// value. Returns 0 for inputs shorter than 16 bytes.
+double runs_z_score(ByteSpan data);
+
+/// True if a buffer "looks like" uniformly random bytes: entropy near 8,
+/// monobit and runs z-scores within bounds. This is exactly the adversary's
+/// toolkit for deciding whether a block holds ciphertext/noise or plaintext.
+bool looks_random(ByteSpan data);
+
+}  // namespace mobiceal::util

@@ -1,0 +1,176 @@
+// AndroidHost state-machine tests: UI/lifecycle transitions, timing
+// accounting for the Table II flows, and the side-channel mount switching.
+#include <gtest/gtest.h>
+
+#include "blockdev/block_device.hpp"
+#include "core/android_host.hpp"
+#include "util/error.hpp"
+
+using namespace mobiceal;
+using core::AndroidHost;
+using core::AuthResult;
+using core::Mode;
+
+namespace {
+
+constexpr char kPub[] = "host-public";
+constexpr char kHid[] = "host-hidden";
+constexpr char kLock[] = "5544";
+
+struct HostFixture {
+  std::shared_ptr<util::SimClock> clock;
+  std::unique_ptr<AndroidHost> host;
+
+  explicit HostFixture(bool isolate = true, std::uint64_t seed = 31) {
+    auto disk = std::make_shared<blockdev::MemBlockDevice>(16384);
+    clock = std::make_shared<util::SimClock>();
+    core::MobiCealDevice::Config cfg;
+    cfg.num_volumes = 6;
+    cfg.chunk_blocks = 4;
+    cfg.kdf_iterations = 16;
+    cfg.fs_inode_count = 128;
+    cfg.rng_seed = seed;
+    auto dev =
+        core::MobiCealDevice::initialize(disk, cfg, kPub, {kHid}, clock);
+    AndroidHost::Options opt;
+    opt.isolate_side_channels = isolate;
+    opt.screen_lock_password = kLock;
+    host = std::make_unique<AndroidHost>(std::move(dev), clock, opt);
+  }
+};
+
+}  // namespace
+
+TEST(AndroidHost, LifecycleStateMachine) {
+  HostFixture f;
+  EXPECT_EQ(f.host->ui_state(), AndroidHost::UiState::kOff);
+  // Operations before power-on are rejected.
+  EXPECT_THROW(f.host->enter_boot_password(kPub), util::PolicyError);
+  EXPECT_THROW(f.host->lock_screen(), util::PolicyError);
+
+  f.host->power_on();
+  EXPECT_EQ(f.host->ui_state(), AndroidHost::UiState::kPasswordPrompt);
+  EXPECT_THROW(f.host->power_on(), util::PolicyError);  // double power-on
+
+  // Wrong password keeps the prompt.
+  EXPECT_EQ(f.host->enter_boot_password("nope"), AuthResult::kWrongPassword);
+  EXPECT_EQ(f.host->ui_state(), AndroidHost::UiState::kPasswordPrompt);
+
+  EXPECT_EQ(f.host->enter_boot_password(kPub), AuthResult::kPublic);
+  EXPECT_EQ(f.host->ui_state(), AndroidHost::UiState::kUnlocked);
+  EXPECT_EQ(f.host->device_mode(), Mode::kPublic);
+
+  f.host->lock_screen();
+  EXPECT_EQ(f.host->ui_state(), AndroidHost::UiState::kScreenLocked);
+  EXPECT_THROW(f.host->lock_screen(), util::PolicyError);  // double lock
+  EXPECT_THROW(f.host->app_write_file("/x", util::Bytes(10, 0)),
+               util::PolicyError);  // locked UI blocks apps
+}
+
+TEST(AndroidHost, ScreenLockThreeWayBranch) {
+  HostFixture f;
+  f.host->power_on();
+  f.host->enter_boot_password(kPub);
+  f.host->lock_screen();
+  // Branch 1: normal unlock.
+  EXPECT_EQ(f.host->enter_lock_screen_password(kLock),
+            AndroidHost::LockResult::kUnlocked);
+  EXPECT_EQ(f.host->device_mode(), Mode::kPublic);
+  f.host->lock_screen();
+  // Branch 2: garbage rejected, still public, still locked.
+  EXPECT_EQ(f.host->enter_lock_screen_password("junk"),
+            AndroidHost::LockResult::kRejected);
+  EXPECT_EQ(f.host->ui_state(), AndroidHost::UiState::kScreenLocked);
+  // Branch 3: hidden password switches modes.
+  EXPECT_EQ(f.host->enter_lock_screen_password(kHid),
+            AndroidHost::LockResult::kSwitchedToHidden);
+  EXPECT_EQ(f.host->device_mode(), Mode::kHidden);
+  EXPECT_EQ(f.host->ui_state(), AndroidHost::UiState::kUnlocked);
+}
+
+TEST(AndroidHost, HiddenBootIsolatesImmediately) {
+  // Booting straight into hidden mode (basic scheme) must isolate side
+  // channels just like the fast switch does.
+  HostFixture f;
+  f.host->power_on();
+  EXPECT_EQ(f.host->enter_boot_password(kHid), AuthResult::kHidden);
+  f.host->app_write_file("/straight_in.bin", util::Bytes(5000, 1));
+  EXPECT_TRUE(f.host->devlog_persistent().empty());
+  EXPECT_EQ(f.host->tmpfs_records().size(), 1u);
+  f.host->reboot();
+  EXPECT_TRUE(f.host->tmpfs_records().empty());  // RAM cleared
+}
+
+TEST(AndroidHost, RebootFromAnyStateLandsAtPrompt) {
+  HostFixture f;
+  f.host->power_on();
+  f.host->enter_boot_password(kPub);
+  f.host->reboot();
+  EXPECT_EQ(f.host->ui_state(), AndroidHost::UiState::kPasswordPrompt);
+  EXPECT_EQ(f.host->device_mode(), Mode::kLocked);
+  // And the cycle works again.
+  EXPECT_EQ(f.host->enter_boot_password(kPub), AuthResult::kPublic);
+}
+
+TEST(AndroidHost, TimingFastSwitchVsRebootGap) {
+  // The Table II relation, as a regression guard on the timing model:
+  // fast switch is 5-10 s, a reboot cycle is at least 5x that.
+  HostFixture f;
+  f.host->power_on();
+  f.host->enter_boot_password(kPub);
+  f.host->lock_screen();
+  const double t0 = f.clock->now_seconds();
+  f.host->enter_lock_screen_password(kHid);
+  const double fast = f.clock->now_seconds() - t0;
+  const double t1 = f.clock->now_seconds();
+  f.host->reboot();
+  f.host->enter_boot_password(kPub);
+  const double slow = f.clock->now_seconds() - t1;
+  EXPECT_GT(fast, 5.0);
+  EXPECT_LT(fast, 10.0);
+  EXPECT_GT(slow, 5.0 * fast);
+}
+
+TEST(AndroidHost, FailedSwitchRestartsFrameworkAndStaysPublic) {
+  // A wrong guess at the lock screen costs a framework bounce but must not
+  // leave the device hidden, unmounted, or unlocked.
+  HostFixture f;
+  f.host->power_on();
+  f.host->enter_boot_password(kPub);
+  f.host->app_write_file("/before.txt", util::Bytes(100, 2));
+  f.host->lock_screen();
+  EXPECT_EQ(f.host->enter_lock_screen_password("wrong-hidden"),
+            AndroidHost::LockResult::kRejected);
+  EXPECT_EQ(f.host->device_mode(), Mode::kPublic);
+  // Unlock normally and the data is still reachable.
+  EXPECT_EQ(f.host->enter_lock_screen_password(kLock),
+            AndroidHost::LockResult::kUnlocked);
+  EXPECT_EQ(f.host->app_read_file("/before.txt"), util::Bytes(100, 2));
+}
+
+TEST(AndroidHost, ActivityRecordsCarrySessionGroundTruth) {
+  HostFixture f(/*isolate=*/false);  // shared-OS model: everything persists
+  f.host->power_on();
+  f.host->enter_boot_password(kPub);
+  f.host->app_write_file("/pub.jpg", util::Bytes(100, 3));
+  f.host->lock_screen();
+  f.host->enter_lock_screen_password(kHid);
+  f.host->app_write_file("/hid.mp4", util::Bytes(100, 4));
+  ASSERT_EQ(f.host->devlog_persistent().size(), 2u);
+  EXPECT_FALSE(f.host->devlog_persistent()[0].hidden_session);
+  EXPECT_TRUE(f.host->devlog_persistent()[1].hidden_session);
+  EXPECT_EQ(f.host->devlog_persistent()[1].path, "/hid.mp4");
+}
+
+TEST(AndroidHost, ConstructorValidatesArguments) {
+  auto disk = std::make_shared<blockdev::MemBlockDevice>(16384);
+  auto clock = std::make_shared<util::SimClock>();
+  core::MobiCealDevice::Config cfg;
+  cfg.num_volumes = 4;
+  cfg.chunk_blocks = 4;
+  cfg.kdf_iterations = 16;
+  cfg.fs_inode_count = 128;
+  auto dev = core::MobiCealDevice::initialize(disk, cfg, kPub, {}, clock);
+  EXPECT_THROW(AndroidHost(nullptr, clock, {}), util::PolicyError);
+  EXPECT_THROW(AndroidHost(std::move(dev), nullptr, {}), util::PolicyError);
+}

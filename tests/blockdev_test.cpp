@@ -1,0 +1,210 @@
+// Block-device substrate tests: all device implementations, the virtual-
+// clock timing wrapper (the measurement instrument for every performance
+// experiment — its accounting must be exact), and the fault-injection
+// helpers.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "blockdev/block_device.hpp"
+#include "blockdev/fault_device.hpp"
+#include "blockdev/sparse_device.hpp"
+#include "blockdev/timed_device.hpp"
+#include "util/error.hpp"
+
+using namespace mobiceal;
+using namespace mobiceal::blockdev;
+
+namespace {
+util::Bytes pattern(std::size_t n, std::uint8_t seed) {
+  util::Bytes out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<std::uint8_t>(seed * 3 + i);
+  }
+  return out;
+}
+}  // namespace
+
+TEST(MemDevice, RoundTripAndBounds) {
+  MemBlockDevice dev(8);
+  EXPECT_EQ(dev.num_blocks(), 8u);
+  EXPECT_EQ(dev.size_bytes(), 8u * 4096);
+  const auto w = pattern(4096, 1);
+  dev.write_block(7, w);
+  util::Bytes r(4096);
+  dev.read_block(7, r);
+  EXPECT_EQ(r, w);
+  EXPECT_THROW(dev.read_block(8, r), util::IoError);
+  EXPECT_THROW(dev.write_block(8, w), util::IoError);
+  util::Bytes small(100);
+  EXPECT_THROW(dev.read_block(0, small), util::IoError);
+}
+
+TEST(MemDevice, StartsZeroed) {
+  MemBlockDevice dev(4);
+  util::Bytes r(4096, 0xFF);
+  dev.read_block(2, r);
+  EXPECT_TRUE(std::all_of(r.begin(), r.end(),
+                          [](std::uint8_t b) { return b == 0; }));
+}
+
+TEST(MemDevice, MultiBlockHelpers) {
+  MemBlockDevice dev(8);
+  const auto w = pattern(3 * 4096, 2);
+  dev.write_blocks(2, w);
+  EXPECT_EQ(dev.read_blocks(2, 3), w);
+  util::Bytes odd(1000);
+  EXPECT_THROW(dev.write_blocks(0, odd), util::IoError);
+}
+
+TEST(MemDevice, SnapshotIsDeepCopy) {
+  MemBlockDevice dev(4);
+  dev.write_block(1, pattern(4096, 3));
+  const auto snap = dev.snapshot();
+  dev.write_block(1, pattern(4096, 9));
+  // The snapshot kept the old contents.
+  EXPECT_EQ(util::Bytes(snap.begin() + 4096, snap.begin() + 8192),
+            pattern(4096, 3));
+}
+
+TEST(FileDevice, PersistsToDisk) {
+  const std::string path = "/tmp/mobiceal_filedev_test.img";
+  std::remove(path.c_str());
+  const auto w = pattern(4096, 4);
+  {
+    FileBlockDevice dev(path, 16);
+    dev.write_block(5, w);
+    dev.flush();
+  }
+  {
+    FileBlockDevice dev(path, 16);
+    util::Bytes r(4096);
+    dev.read_block(5, r);
+    EXPECT_EQ(r, w);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SparseDevice, MaterialisesOnWriteOnly) {
+  SparseBlockDevice dev(1 << 20);  // 4 GiB virtual
+  EXPECT_EQ(dev.materialised_blocks(), 0u);
+  util::Bytes r(4096, 0xAA);
+  dev.read_block(999999, r);  // untouched -> zeros, no materialisation
+  EXPECT_TRUE(std::all_of(r.begin(), r.end(),
+                          [](std::uint8_t b) { return b == 0; }));
+  EXPECT_EQ(dev.materialised_blocks(), 0u);
+  dev.write_block(999999, pattern(4096, 5));
+  EXPECT_EQ(dev.materialised_blocks(), 1u);
+  dev.read_block(999999, r);
+  EXPECT_EQ(r, pattern(4096, 5));
+}
+
+// ---- TimedDevice: the measurement instrument ---------------------------------
+
+TEST(TimedDevice, ChargesExactSequentialCosts) {
+  auto clock = std::make_shared<util::SimClock>();
+  TimingModel m;
+  m.per_io_ns = 10;
+  m.read_per_block_ns = 100;
+  m.write_per_block_ns = 200;
+  m.random_read_penalty_ns = 1000;
+  m.random_write_penalty_ns = 2000;
+  m.flush_ns = 5000;
+  auto dev = std::make_shared<TimedDevice>(
+      std::make_shared<MemBlockDevice>(64), m, clock);
+
+  const auto b = pattern(4096, 6);
+  dev->write_block(0, b);  // first access: random penalty
+  EXPECT_EQ(clock->now(), 10u + 200 + 2000);
+  dev->write_block(1, b);  // sequential
+  EXPECT_EQ(clock->now(), 2210u + 210);
+  util::Bytes r(4096);
+  dev->read_block(2, r);  // sequential to previous access
+  EXPECT_EQ(clock->now(), 2420u + 110);
+  dev->read_block(10, r);  // random read
+  EXPECT_EQ(clock->now(), 2530u + 110 + 1000);
+  dev->flush();
+  EXPECT_EQ(clock->now(), 3640u + 5000);
+}
+
+TEST(TimedDevice, CountsSequentialAndRandom) {
+  auto clock = std::make_shared<util::SimClock>();
+  auto dev = std::make_shared<TimedDevice>(
+      std::make_shared<MemBlockDevice>(64), TimingModel{}, clock);
+  const auto b = pattern(4096, 7);
+  for (int i = 0; i < 8; ++i) dev->write_block(i, b);  // 1 random + 7 seq
+  dev->write_block(32, b);                             // random
+  EXPECT_EQ(dev->writes(), 9u);
+  EXPECT_EQ(dev->sequential_ios(), 7u);
+  EXPECT_EQ(dev->random_ios(), 2u);
+  dev->reset_counters();
+  EXPECT_EQ(dev->writes(), 0u);
+}
+
+TEST(TimedDevice, PresetModelsAreOrderedSensibly) {
+  const auto emmc = TimingModel::nexus4_emmc();
+  const auto ssd = TimingModel::sata_ssd();
+  // SSD streams much faster than eMMC.
+  EXPECT_LT(ssd.write_per_block_ns, emmc.write_per_block_ns / 5);
+  EXPECT_LT(ssd.read_per_block_ns, emmc.read_per_block_ns / 5);
+  // eMMC random writes are penalised much harder than random reads.
+  EXPECT_GT(emmc.random_write_penalty_ns, 3 * emmc.random_read_penalty_ns);
+}
+
+TEST(StatsDevice, CountsOperations) {
+  auto inner = std::make_shared<MemBlockDevice>(8);
+  StatsDevice dev(inner);
+  const auto b = pattern(4096, 8);
+  util::Bytes r(4096);
+  dev.write_block(0, b);
+  dev.write_block(1, b);
+  dev.read_block(0, r);
+  dev.flush();
+  EXPECT_EQ(dev.writes(), 2u);
+  EXPECT_EQ(dev.reads(), 1u);
+  EXPECT_EQ(dev.flushes(), 1u);
+  dev.reset();
+  EXPECT_EQ(dev.writes() + dev.reads() + dev.flushes(), 0u);
+}
+
+// ---- fault injection -----------------------------------------------------------
+
+TEST(RecordingDevice, CapturesOperationOrder) {
+  auto inner = std::make_shared<MemBlockDevice>(8);
+  RecordingDevice dev(inner);
+  const auto b = pattern(4096, 9);
+  util::Bytes r(4096);
+  dev.write_block(3, b);
+  dev.read_block(3, r);
+  dev.flush();
+  ASSERT_EQ(dev.ops().size(), 3u);
+  EXPECT_EQ(dev.ops()[0].kind, DeviceOp::Kind::kWrite);
+  EXPECT_EQ(dev.ops()[0].block, 3u);
+  EXPECT_EQ(dev.ops()[1].kind, DeviceOp::Kind::kRead);
+  EXPECT_EQ(dev.ops()[2].kind, DeviceOp::Kind::kFlush);
+  dev.clear();
+  EXPECT_TRUE(dev.ops().empty());
+}
+
+TEST(FaultyDevice, FailsExactlyOnBudgetExhaustion) {
+  auto inner = std::make_shared<MemBlockDevice>(8);
+  FaultyDevice dev(inner, 2);
+  const auto b = pattern(4096, 10);
+  dev.write_block(0, b);
+  dev.write_block(1, b);
+  EXPECT_THROW(dev.write_block(2, b), InjectedFault);
+  // Reads are unaffected; rearm allows further writes.
+  util::Bytes r(4096);
+  dev.read_block(0, r);
+  EXPECT_EQ(r, b);
+  dev.rearm(1);
+  dev.write_block(2, b);
+  EXPECT_THROW(dev.write_block(3, b), InjectedFault);
+}
+
+TEST(FaultyDevice, NegativeBudgetNeverFails) {
+  auto inner = std::make_shared<MemBlockDevice>(8);
+  FaultyDevice dev(inner, -1);
+  const auto b = pattern(4096, 11);
+  for (int i = 0; i < 8; ++i) dev.write_block(i % 8, b);
+}

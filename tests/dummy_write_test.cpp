@@ -1,0 +1,265 @@
+// DummyWriteEngine distribution properties — the statistical guarantees the
+// deniability argument rests on (DESIGN.md §6.1-6.2), checked empirically
+// with parameterized sweeps over lambda and x.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "blockdev/block_device.hpp"
+#include "core/dummy_write.hpp"
+#include "crypto/random.hpp"
+#include "thin/thin_pool.hpp"
+#include "util/error.hpp"
+#include "util/stats.hpp"
+#include "util/rng.hpp"
+#include "util/sim_clock.hpp"
+
+using namespace mobiceal;
+using core::DummyWriteConfig;
+using core::DummyWriteEngine;
+
+namespace {
+DummyWriteConfig base_config() {
+  DummyWriteConfig cfg;
+  cfg.num_volumes = 8;
+  return cfg;
+}
+}  // namespace
+
+TEST(DummyWrite, RejectsDegenerateConfig) {
+  util::Xoshiro256 rng(1);
+  auto cfg = base_config();
+  cfg.x = 0;
+  EXPECT_THROW(DummyWriteEngine(cfg, rng, nullptr), util::PolicyError);
+  cfg = base_config();
+  cfg.lambda = 0.0;
+  EXPECT_THROW(DummyWriteEngine(cfg, rng, nullptr), util::PolicyError);
+  cfg = base_config();
+  cfg.num_volumes = 1;
+  EXPECT_THROW(DummyWriteEngine(cfg, rng, nullptr), util::PolicyError);
+}
+
+TEST(DummyWrite, TriggerProbabilityMatchesStoredRand) {
+  // For a FIXED stored_rand, P(trigger) = (stored_rand mod x) / 2x exactly.
+  util::Xoshiro256 rng(7);
+  auto cfg = base_config();
+  cfg.x = 50;
+  DummyWriteEngine engine(cfg, rng, nullptr);
+  const double expected =
+      static_cast<double>(engine.stored_rand() % cfg.x) / (2.0 * cfg.x);
+  int fires = 0;
+  const int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (engine.should_trigger()) ++fires;
+  }
+  EXPECT_NEAR(static_cast<double>(fires) / kTrials, expected, 0.02);
+}
+
+TEST(DummyWrite, TriggerProbabilityNeverReachesHalf) {
+  // The design guarantee: "the probability of performing dummy write will
+  // be always under 50%" (Sec. IV-B) — for every stored_rand value.
+  util::Xoshiro256 rng(11);
+  auto cfg = base_config();
+  cfg.x = 10;
+  DummyWriteEngine engine(cfg, rng, nullptr);
+  for (int refresh = 0; refresh < 50; ++refresh) {
+    engine.refresh_stored_rand();
+    int fires = 0;
+    const int kTrials = 4000;
+    for (int i = 0; i < kTrials; ++i) {
+      if (engine.should_trigger()) ++fires;
+    }
+    EXPECT_LT(static_cast<double>(fires) / kTrials, 0.5);
+  }
+}
+
+TEST(DummyWrite, StoredRandRefreshesOnClockOnly) {
+  util::Xoshiro256 rng(13);
+  util::SimClock clock;
+  auto cfg = base_config();
+  cfg.refresh_ns = util::SimClock::from_seconds(3600);
+  DummyWriteEngine engine(cfg, rng, &clock);
+  const std::uint64_t initial = engine.stored_rand();
+
+  // Within the refresh window: stable.
+  clock.advance(util::SimClock::from_seconds(100));
+  engine.should_trigger();  // decisions don't refresh
+  EXPECT_EQ(engine.stored_rand(), initial);
+
+  // Past the window: the next public allocation refreshes it. Drive via a
+  // tiny pool.
+  auto meta = std::make_shared<blockdev::MemBlockDevice>(64);
+  auto data = std::make_shared<blockdev::MemBlockDevice>(256);
+  thin::ThinPool::Config pc;
+  pc.chunk_blocks = 4;
+  pc.max_volumes = 8;
+  pc.cpu = thin::ThinCpuModel::zero();
+  auto pool = thin::ThinPool::format(meta, data, pc);
+  for (std::uint32_t v = 0; v < 8; ++v) pool->create_thin(v, 8);
+  clock.advance(util::SimClock::from_seconds(4000));
+  engine.on_public_allocation(*pool);
+  EXPECT_NE(engine.stored_rand(), initial);
+}
+
+// Parameterized: burst-size distribution across lambda values.
+class BurstSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(BurstSweep, MeanMatchesRoundedExponential) {
+  const double lambda = GetParam();
+  util::Xoshiro256 rng(17);
+  auto cfg = base_config();
+  cfg.lambda = lambda;
+  DummyWriteEngine engine(cfg, rng, nullptr);
+  double sum = 0;
+  const int kTrials = 50000;
+  for (int i = 0; i < kTrials; ++i) sum += engine.burst_size();
+  // Exact mean of round(Exp(lambda)): sum_{k>=1} P(X >= k - 1/2)
+  //   = e^{-lambda/2} / (1 - e^{-lambda}).
+  const double expected =
+      std::exp(-lambda / 2.0) / (1.0 - std::exp(-lambda));
+  EXPECT_NEAR(sum / kTrials, expected, 0.03 * expected + 0.01);
+}
+
+TEST_P(BurstSweep, VarianceIsWide) {
+  // "the exponential distribution ... can ensure that the value of m can
+  // have a large variance which is good for deniability" (Sec. IV-B).
+  const double lambda = GetParam();
+  util::Xoshiro256 rng(19);
+  auto cfg = base_config();
+  cfg.lambda = lambda;
+  cfg.rounding = DummyWriteConfig::Rounding::kCeil;  // strictly positive
+  DummyWriteEngine engine(cfg, rng, nullptr);
+  util::RunningStats stats;
+  for (int i = 0; i < 20000; ++i) {
+    stats.add(static_cast<double>(engine.burst_size()));
+  }
+  // Exponential: stddev ≈ mean (discretisation shifts it slightly).
+  EXPECT_GT(stats.stddev(), 0.5 / lambda);
+  EXPECT_GE(stats.min(), 1.0);  // ceil rounding never yields zero
+}
+
+INSTANTIATE_TEST_SUITE_P(Lambdas, BurstSweep,
+                         ::testing::Values(0.5, 1.0, 2.0, 4.0));
+
+TEST(DummyWrite, BurstIsCappedAtSixtyFour) {
+  util::Xoshiro256 rng(23);
+  auto cfg = base_config();
+  cfg.lambda = 0.01;  // absurdly heavy tail
+  DummyWriteEngine engine(cfg, rng, nullptr);
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_LE(engine.burst_size(), 64u);
+  }
+}
+
+TEST(DummyWrite, VolumeSelectionFollowsPaperFormula) {
+  // j = (stored_rand mod (n-1)) + 2, constant between refreshes.
+  util::Xoshiro256 rng(29);
+  auto cfg = base_config();
+  cfg.num_volumes = 6;
+  DummyWriteEngine engine(cfg, rng, nullptr);
+  for (int refresh = 0; refresh < 64; ++refresh) {
+    engine.refresh_stored_rand();
+    const std::uint32_t expected =
+        static_cast<std::uint32_t>(engine.stored_rand() % 5) + 2;
+    EXPECT_EQ(engine.pick_dummy_volume(), expected);
+    EXPECT_GE(engine.pick_dummy_volume(), 2u);
+    EXPECT_LE(engine.pick_dummy_volume(), 6u);
+    // Stable until the next refresh.
+    EXPECT_EQ(engine.pick_dummy_volume(), engine.pick_dummy_volume());
+  }
+}
+
+TEST(DummyWrite, VolumeSelectionCoversAllDummyVolumesAcrossRefreshes) {
+  util::Xoshiro256 rng(31);
+  auto cfg = base_config();
+  cfg.num_volumes = 5;
+  DummyWriteEngine engine(cfg, rng, nullptr);
+  std::set<std::uint32_t> seen;
+  for (int i = 0; i < 200; ++i) {
+    engine.refresh_stored_rand();
+    seen.insert(engine.pick_dummy_volume());
+  }
+  EXPECT_EQ(seen.size(), 4u);  // V2..V5 all reachable
+}
+
+// Parameterized over x: long-run trigger rate averaged over stored_rand
+// refreshes approaches (x-1)/(4x) ~ 25%.
+class TriggerSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(TriggerSweep, LongRunRateNearQuarter) {
+  const std::uint32_t x = GetParam();
+  util::Xoshiro256 rng(37 + x);
+  auto cfg = base_config();
+  cfg.x = x;
+  DummyWriteEngine engine(cfg, rng, nullptr);
+  int fires = 0;
+  const int kRefreshes = 400;
+  const int kPerState = 200;
+  for (int r = 0; r < kRefreshes; ++r) {
+    engine.refresh_stored_rand();
+    for (int i = 0; i < kPerState; ++i) {
+      if (engine.should_trigger()) ++fires;
+    }
+  }
+  const double rate =
+      static_cast<double>(fires) / (kRefreshes * kPerState);
+  const double expected = (static_cast<double>(x) - 1.0) / (4.0 * x);
+  EXPECT_NEAR(rate, expected, 0.03);
+}
+
+INSTANTIATE_TEST_SUITE_P(Xs, TriggerSweep,
+                         ::testing::Values(2u, 10u, 50u, 100u));
+
+TEST(DummyWrite, EndToEndStatsAccounting) {
+  // Drive the engine against a real pool and verify the counters add up.
+  crypto::SecureRandom rng(41);
+  auto meta = std::make_shared<blockdev::MemBlockDevice>(64);
+  auto data = std::make_shared<blockdev::MemBlockDevice>(4096);
+  thin::ThinPool::Config pc;
+  pc.chunk_blocks = 4;
+  pc.max_volumes = 8;
+  pc.policy = thin::AllocPolicy::kRandom;
+  pc.cpu = thin::ThinCpuModel::zero();
+  auto pool = thin::ThinPool::format(meta, data, pc);
+  for (std::uint32_t v = 0; v < 8; ++v) pool->create_thin(v, 128);
+
+  auto cfg = base_config();
+  cfg.lambda = 0.5;  // plenty of dummy traffic
+  DummyWriteEngine engine(cfg, rng, nullptr);
+  for (int i = 0; i < 300; ++i) engine.on_public_allocation(*pool);
+
+  const auto& st = engine.stats();
+  EXPECT_EQ(st.public_allocations, 300u);
+  EXPECT_GT(st.triggers, 0u);
+  EXPECT_LE(st.triggers, 300u);
+  EXPECT_GE(st.blocks_written, st.chunks_written);  // >=1 block per chunk
+  EXPECT_LE(st.blocks_written, st.chunks_written * 4);
+  // Every dummy chunk landed in a non-public volume.
+  std::uint64_t non_public_mapped = 0;
+  for (std::uint32_t v = 1; v < 8; ++v) {
+    non_public_mapped += pool->mapped_chunks(v);
+  }
+  EXPECT_EQ(non_public_mapped, st.chunks_written);
+  EXPECT_EQ(pool->mapped_chunks(0), 0u);  // never writes to the public volume
+}
+
+TEST(DummyWrite, SkipsGracefullyWhenDummyVolumesFull) {
+  crypto::SecureRandom rng(43);
+  auto meta = std::make_shared<blockdev::MemBlockDevice>(64);
+  auto data = std::make_shared<blockdev::MemBlockDevice>(512);
+  thin::ThinPool::Config pc;
+  pc.chunk_blocks = 4;
+  pc.max_volumes = 4;
+  pc.cpu = thin::ThinCpuModel::zero();
+  auto pool = thin::ThinPool::format(meta, data, pc);
+  for (std::uint32_t v = 0; v < 4; ++v) pool->create_thin(v, 1);  // tiny
+
+  auto cfg = base_config();
+  cfg.num_volumes = 4;
+  cfg.lambda = 0.2;
+  DummyWriteEngine engine(cfg, rng, nullptr);
+  for (int i = 0; i < 500; ++i) engine.on_public_allocation(*pool);
+  // With 1-chunk dummy volumes the engine must hit the no-space path and
+  // carry on rather than throwing.
+  EXPECT_GT(engine.stats().skipped_no_space, 0u);
+}

@@ -1,0 +1,150 @@
+// Android crypto-footer and key-derivation tests — the decoy/hidden key
+// scheme that gives MobiCeal deniable key management (Sec. II-A, V-B).
+#include <gtest/gtest.h>
+
+#include "blockdev/block_device.hpp"
+#include "crypto/random.hpp"
+#include "fde/crypto_footer.hpp"
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+using namespace mobiceal;
+using namespace mobiceal::fde;
+
+TEST(Footer, SerialiseParseRoundTrip) {
+  crypto::SecureRandom rng(1);
+  const auto f =
+      create_footer(rng, util::bytes_of("pw"), "aes-cbc-essiv:sha256", 16,
+                    2000);
+  const auto block = f.serialise(4096);
+  const auto g = CryptoFooter::parse(block);
+  EXPECT_EQ(g.magic, kFooterMagic);
+  EXPECT_EQ(g.cipher_spec, "aes-cbc-essiv:sha256");
+  EXPECT_EQ(g.key_size, 16u);
+  EXPECT_EQ(g.kdf_iterations, 2000u);
+  EXPECT_EQ(g.encrypted_master_key, f.encrypted_master_key);
+  EXPECT_EQ(g.salt, f.salt);
+}
+
+TEST(Footer, ParseRejectsGarbage) {
+  util::Bytes block(4096, 0xAB);
+  EXPECT_THROW(CryptoFooter::parse(block), util::MetadataError);
+  EXPECT_FALSE(CryptoFooter::probe(block));
+}
+
+TEST(Footer, SerialiseValidatesFields) {
+  crypto::SecureRandom rng(2);
+  auto f = create_footer(rng, util::bytes_of("pw"), "aes-cbc-essiv:sha256");
+  f.salt.resize(8);
+  EXPECT_THROW(f.serialise(4096), util::MetadataError);
+  f = create_footer(rng, util::bytes_of("pw"), "aes-cbc-essiv:sha256");
+  f.cipher_spec = std::string(100, 'x');
+  EXPECT_THROW(f.serialise(4096), util::MetadataError);
+}
+
+TEST(Footer, LivesInLastSixteenKiB) {
+  auto dev = std::make_shared<blockdev::MemBlockDevice>(64);
+  crypto::SecureRandom rng(3);
+  const auto f = create_footer(rng, util::bytes_of("pw"),
+                               "aes-cbc-essiv:sha256");
+  write_footer(*dev, f);
+  // 16 KiB = 4 blocks of 4 KiB: footer block is num_blocks - 4.
+  EXPECT_EQ(footer_blocks(4096), 4u);
+  util::Bytes block(4096);
+  dev->read_block(60, block);
+  EXPECT_TRUE(CryptoFooter::probe(block));
+  const auto g = read_footer(*dev);
+  EXPECT_EQ(g.salt, f.salt);
+}
+
+TEST(Kdf, KekDerivationIsDeterministicAndSaltSensitive) {
+  const auto pw = util::bytes_of("correct horse battery staple");
+  const util::Bytes salt1(16, 0x01), salt2(16, 0x02);
+  const auto a = derive_kek(pw, salt1, 100);
+  const auto b = derive_kek(pw, salt1, 100);
+  const auto c = derive_kek(pw, salt2, 100);
+  EXPECT_TRUE(util::ct_equal(a.kek.span(), b.kek.span()));
+  EXPECT_TRUE(util::ct_equal(a.iv.span(), b.iv.span()));
+  EXPECT_FALSE(util::ct_equal(a.kek.span(), c.kek.span()));
+}
+
+TEST(Keys, CorrectPasswordRecoversMasterKey) {
+  crypto::SecureRandom rng(4);
+  // Recreate with a known RNG so we can regenerate the master key stream:
+  // instead, verify by consistency: decrypting twice yields the same key,
+  // and an FDE stack built on it round-trips (covered in baselines tests).
+  const auto f = create_footer(rng, util::bytes_of("pw"),
+                               "aes-cbc-essiv:sha256");
+  const auto k1 = decrypt_master_key(f, util::bytes_of("pw"));
+  const auto k2 = decrypt_master_key(f, util::bytes_of("pw"));
+  EXPECT_TRUE(util::ct_equal(k1.span(), k2.span()));
+  EXPECT_EQ(k1.size(), 16u);
+}
+
+TEST(Keys, AnyPasswordYieldsAKeyNeverAnError) {
+  // The deniability property: the footer is a silent oracle. Wrong
+  // passwords decrypt to *some* key; nothing distinguishes them here.
+  crypto::SecureRandom rng(5);
+  const auto f = create_footer(rng, util::bytes_of("real-password"),
+                               "aes-cbc-essiv:sha256");
+  const auto real = decrypt_master_key(f, util::bytes_of("real-password"));
+  for (int i = 0; i < 50; ++i) {
+    const auto guess = "guess-" + std::to_string(i);
+    const auto k = decrypt_master_key(f, util::bytes_of(guess));
+    EXPECT_EQ(k.size(), 16u);
+    EXPECT_FALSE(util::ct_equal(k.span(), real.span()));
+  }
+}
+
+TEST(Keys, HiddenKeySchemeSharesTheCiphertext) {
+  // MobiCeal's trick (Sec. V-B): the hidden key is the decryption of the
+  // SAME footer ciphertext under the hidden password — no extra footer
+  // space, deterministic, and distinct from the decoy key.
+  crypto::SecureRandom rng(6);
+  const auto f = create_footer(rng, util::bytes_of("decoy"),
+                               "aes-cbc-essiv:sha256");
+  const auto decoy = decrypt_master_key(f, util::bytes_of("decoy"));
+  const auto hidden1 = decrypt_master_key(f, util::bytes_of("hidden"));
+  const auto hidden2 = decrypt_master_key(f, util::bytes_of("hidden"));
+  EXPECT_TRUE(util::ct_equal(hidden1.span(), hidden2.span()));
+  EXPECT_FALSE(util::ct_equal(hidden1.span(), decoy.span()));
+}
+
+TEST(Keys, FooterFieldsLookRandomInSnapshots) {
+  // Salt and encrypted master key carry no structure an adversary could
+  // use to infer how many passwords exist.
+  crypto::SecureRandom rng(7);
+  util::Bytes accumulated;
+  for (int i = 0; i < 64; ++i) {
+    const auto f = create_footer(rng, util::bytes_of("pw"),
+                                 "aes-cbc-essiv:sha256");
+    accumulated.insert(accumulated.end(), f.salt.begin(), f.salt.end());
+    accumulated.insert(accumulated.end(), f.encrypted_master_key.begin(),
+                       f.encrypted_master_key.end());
+  }
+  EXPECT_TRUE(util::looks_random(accumulated));
+}
+
+TEST(Keys, RejectsBadKeySize) {
+  crypto::SecureRandom rng(8);
+  EXPECT_THROW(
+      create_footer(rng, util::bytes_of("pw"), "aes-cbc-essiv:sha256", 15),
+      util::CryptoError);
+}
+
+// Parameterized: the scheme works for XTS-sized keys too.
+class FooterKeySize : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(FooterKeySize, RoundTrips) {
+  crypto::SecureRandom rng(9 + GetParam());
+  const auto f = create_footer(rng, util::bytes_of("pw"), "aes-xts-plain64",
+                               GetParam());
+  const auto block = f.serialise(4096);
+  const auto g = CryptoFooter::parse(block);
+  EXPECT_EQ(g.key_size, GetParam());
+  const auto k = decrypt_master_key(g, util::bytes_of("pw"));
+  EXPECT_EQ(k.size(), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(KeySizes, FooterKeySize,
+                         ::testing::Values(16u, 32u, 64u));

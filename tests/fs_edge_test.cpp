@@ -1,0 +1,214 @@
+// Filesystem edge cases and stress patterns beyond the core fs_test suite:
+// deep nesting, directory churn, block-boundary I/O, remount-under-crypt,
+// and capacity behaviour.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "blockdev/block_device.hpp"
+#include "dm/crypt_target.hpp"
+#include "fs/ext_fs.hpp"
+#include "fs/fat_fs.hpp"
+#include "util/error.hpp"
+
+using namespace mobiceal;
+
+namespace {
+util::Bytes payload(std::size_t n, std::uint64_t seed) {
+  util::Bytes out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<std::uint8_t>(seed * 131 + i * 29);
+  }
+  return out;
+}
+}  // namespace
+
+TEST(FsEdge, DeeplyNestedDirectories) {
+  auto dev = std::make_shared<blockdev::MemBlockDevice>(4096);
+  auto fs = fs::ExtFs::format(dev, 512);
+  std::string path;
+  for (int depth = 0; depth < 24; ++depth) {
+    path += "/d" + std::to_string(depth);
+    fs->mkdir(path);
+  }
+  fs->write_file(path + "/leaf.txt", util::bytes_of("deep"));
+  fs->sync();
+  EXPECT_EQ(fs->read_file(path + "/leaf.txt"), util::bytes_of("deep"));
+  EXPECT_TRUE(fs->fsck());
+}
+
+TEST(FsEdge, LargeDirectoryListsCompletely) {
+  auto dev = std::make_shared<blockdev::MemBlockDevice>(8192);
+  auto fs = fs::ExtFs::format(dev, 2048);
+  fs->mkdir("/big");
+  const int kFiles = 500;  // directory spans many blocks
+  for (int i = 0; i < kFiles; ++i) {
+    fs->create("/big/file_" + std::to_string(i));
+  }
+  EXPECT_EQ(fs->list("/big").size(), static_cast<std::size_t>(kFiles));
+  // Delete every third entry; listing shrinks accordingly and names of the
+  // survivors are intact.
+  for (int i = 0; i < kFiles; i += 3) {
+    fs->unlink("/big/file_" + std::to_string(i));
+  }
+  const auto names = fs->list("/big");
+  EXPECT_EQ(names.size(), static_cast<std::size_t>(kFiles - (kFiles + 2) / 3));
+  EXPECT_TRUE(std::find(names.begin(), names.end(), "file_1") != names.end());
+  EXPECT_TRUE(std::find(names.begin(), names.end(), "file_0") == names.end());
+  EXPECT_TRUE(fs->fsck());
+}
+
+TEST(FsEdge, WritesStraddlingBlockBoundaries) {
+  auto dev = std::make_shared<blockdev::MemBlockDevice>(2048);
+  auto fs = fs::ExtFs::format(dev, 128);
+  fs->create("/straddle.bin");
+  // Write 100 bytes across the 4096-byte boundary.
+  const auto piece = payload(100, 1);
+  fs->write("/straddle.bin", 4046, piece);
+  EXPECT_EQ(fs->read("/straddle.bin", 4046, 100), piece);
+  // Overwrite exactly at the boundary.
+  const auto piece2 = payload(4096, 2);
+  fs->write("/straddle.bin", 4096, piece2);
+  EXPECT_EQ(fs->read("/straddle.bin", 4096, 4096), piece2);
+  // The straddling bytes before the boundary survived.
+  EXPECT_EQ(fs->read("/straddle.bin", 4046, 50),
+            util::Bytes(piece.begin(), piece.begin() + 50));
+}
+
+TEST(FsEdge, NameLengthLimits) {
+  auto dev = std::make_shared<blockdev::MemBlockDevice>(2048);
+  auto fs = fs::ExtFs::format(dev, 128);
+  const std::string ok(57, 'a');
+  fs->create("/" + ok);
+  EXPECT_TRUE(fs->exists("/" + ok));
+  const std::string too_long(64, 'b');
+  EXPECT_THROW(fs->create("/" + too_long), util::FsError);
+}
+
+TEST(FsEdge, FileGrowthThroughAllMappingLevels) {
+  // Cross direct (40 KiB), single-indirect (+2 MiB) and into
+  // double-indirect territory in one growing file, verifying content at
+  // each stage.
+  auto dev = std::make_shared<blockdev::MemBlockDevice>(16384);
+  auto fs = fs::ExtFs::format(dev, 64);
+  fs->create("/grow.bin");
+  std::uint64_t off = 0;
+  std::uint8_t seed = 0;
+  std::vector<std::pair<std::uint64_t, util::Bytes>> probes;
+  while (off < 3 * 1024 * 1024) {
+    const auto chunk = payload(64 * 1024, ++seed);
+    fs->write("/grow.bin", off, chunk);
+    if (off % (512 * 1024) == 0) probes.emplace_back(off, chunk);
+    off += chunk.size();
+  }
+  fs->sync();
+  for (const auto& [pos, expect] : probes) {
+    EXPECT_EQ(fs->read("/grow.bin", pos, expect.size()), expect)
+        << "offset " << pos;
+  }
+  EXPECT_TRUE(fs->fsck());
+}
+
+TEST(FsEdge, DiskFullFailsCleanlyAndRecovers) {
+  auto dev = std::make_shared<blockdev::MemBlockDevice>(512);  // 2 MiB
+  auto fs = fs::ExtFs::format(dev, 64);
+  bool filled = false;
+  int written = 0;
+  try {
+    for (int i = 0; i < 100; ++i) {
+      fs->write_file("/f" + std::to_string(i), payload(64 * 1024, i));
+      ++written;
+    }
+  } catch (const util::NoSpaceError&) {
+    filled = true;
+  }
+  EXPECT_TRUE(filled);
+  EXPECT_GT(written, 5);
+  // Remove something; the FS is usable again.
+  fs->unlink("/f0");
+  fs->write_file("/after.bin", payload(32 * 1024, 200));
+  EXPECT_EQ(fs->read_file("/after.bin"), payload(32 * 1024, 200));
+}
+
+TEST(FsEdge, ZeroLengthFilesAndReads) {
+  auto dev = std::make_shared<blockdev::MemBlockDevice>(1024);
+  auto fs = fs::ExtFs::format(dev, 64);
+  fs->create("/empty");
+  EXPECT_EQ(fs->stat("/empty").size, 0u);
+  EXPECT_TRUE(fs->read_file("/empty").empty());
+  EXPECT_TRUE(fs->read("/empty", 100, 10).empty());  // past EOF
+  fs->write("/empty", 0, {});                        // no-op write
+  EXPECT_EQ(fs->stat("/empty").size, 0u);
+}
+
+TEST(FsEdge, RemountUnderCryptAfterHeavyChurn) {
+  // The full pipeline a MobiCeal volume exercises: churn + sync + remount
+  // through dm-crypt, contents intact, fsck clean.
+  auto raw = std::make_shared<blockdev::MemBlockDevice>(8192);
+  const util::Bytes key(16, 0x31);
+  auto make_crypt = [&] {
+    return std::make_shared<dm::CryptTarget>(raw, "aes-cbc-essiv:sha256",
+                                             key);
+  };
+  {
+    auto fs = fs::ExtFs::format(make_crypt(), 512);
+    for (int round = 0; round < 4; ++round) {
+      for (int i = 0; i < 25; ++i) {
+        const std::string p = "/c" + std::to_string(i);
+        if (fs->exists(p)) fs->unlink(p);
+        fs->write_file(p, payload(10000 + i * 777, round * 25 + i));
+      }
+      fs->sync();
+    }
+  }
+  auto fs = fs::ExtFs::mount(make_crypt());
+  for (int i = 0; i < 25; ++i) {
+    EXPECT_EQ(fs->read_file("/c" + std::to_string(i)),
+              payload(10000 + i * 777, 75 + i));
+  }
+  auto* ext = dynamic_cast<fs::ExtFs*>(fs.get());
+  ASSERT_NE(ext, nullptr);
+  EXPECT_TRUE(ext->fsck());
+}
+
+TEST(FsEdge, FatChainIntegrityAfterInterleavedChurn) {
+  auto dev = std::make_shared<blockdev::MemBlockDevice>(4096);
+  auto fs = fs::FatFs::format(dev);
+  // Interleave writes to two files so their cluster chains interleave,
+  // then delete one and verify the other's chain survived.
+  fs->create("/a.bin");
+  fs->create("/b.bin");
+  for (int i = 0; i < 50; ++i) {
+    fs->write("/a.bin", std::uint64_t(i) * 4096, payload(4096, 2 * i));
+    fs->write("/b.bin", std::uint64_t(i) * 4096, payload(4096, 2 * i + 1));
+  }
+  fs->unlink("/a.bin");
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(fs->read("/b.bin", std::uint64_t(i) * 4096, 4096),
+              payload(4096, 2 * i + 1))
+        << i;
+  }
+  // Freed clusters are reusable without corrupting b.
+  fs->write_file("/c.bin", payload(100 * 1024, 99));
+  EXPECT_EQ(fs->read("/b.bin", 0, 4096), payload(4096, 1));
+}
+
+TEST(FsEdge, FatRejectsOperationsOnWrongTypes) {
+  auto dev = std::make_shared<blockdev::MemBlockDevice>(2048);
+  auto fs = fs::FatFs::format(dev);
+  fs->mkdir("/dir");
+  fs->create("/file");
+  EXPECT_THROW(fs->write("/dir", 0, util::bytes_of("x")), util::FsError);
+  EXPECT_THROW(fs->read("/dir", 0, 1), util::FsError);
+  EXPECT_THROW(fs->list("/file"), util::FsError);
+  EXPECT_THROW(fs->create("/file/child"), util::FsError);
+}
+
+TEST(FsEdge, ProbeDoesNotDisturbDeviceState) {
+  auto dev = std::make_shared<blockdev::MemBlockDevice>(2048);
+  fs::ExtFs::format(dev, 64)->sync();
+  const auto before = dev->snapshot();
+  EXPECT_TRUE(fs::ExtFs::probe(*dev));
+  EXPECT_FALSE(fs::FatFs::probe(*dev));
+  EXPECT_EQ(dev->snapshot(), before);  // probing is read-only
+}

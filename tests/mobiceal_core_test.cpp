@@ -1,0 +1,317 @@
+// Integration tests for the MobiCeal core: initialisation, boot paths,
+// fast switching, dummy writes, key separation, garbage collection, and the
+// PDE safety invariants from DESIGN.md §6.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "blockdev/block_device.hpp"
+#include "core/mobiceal.hpp"
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+using namespace mobiceal;
+using core::AuthResult;
+using core::MobiCealDevice;
+using core::Mode;
+
+namespace {
+
+constexpr char kPub[] = "decoy-password";
+constexpr char kHid[] = "hidden-password";
+constexpr char kHid2[] = "second-hidden-pw";
+
+MobiCealDevice::Config small_config() {
+  MobiCealDevice::Config cfg;
+  cfg.num_volumes = 6;
+  cfg.chunk_blocks = 4;
+  cfg.kdf_iterations = 16;  // fast tests; RFC vectors cover the KDF itself
+  cfg.fs_inode_count = 128;
+  cfg.thin_cpu = thin::ThinCpuModel::zero();
+  cfg.crypt_cpu = dm::CryptCpuModel::zero();
+  cfg.rng_seed = 42;
+  return cfg;
+}
+
+std::shared_ptr<blockdev::MemBlockDevice> small_disk() {
+  return std::make_shared<blockdev::MemBlockDevice>(16384);  // 64 MiB
+}
+
+util::Bytes payload(std::size_t n, std::uint8_t seed) {
+  util::Bytes out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<std::uint8_t>(seed ^ (i * 31));
+  }
+  return out;
+}
+
+}  // namespace
+
+TEST(MobiCeal, InitializeCreatesAllVolumes) {
+  auto disk = small_disk();
+  auto dev = MobiCealDevice::initialize(disk, small_config(), kPub, {kHid});
+  EXPECT_EQ(dev->mode(), Mode::kLocked);
+  for (std::uint32_t paper = 1; paper <= 6; ++paper) {
+    EXPECT_TRUE(dev->pool().volume_exists(MobiCealDevice::thin_id(paper)));
+  }
+  // Every non-public volume has its head chunk mapped (hidden heads must be
+  // indistinguishable from dummy heads).
+  for (std::uint32_t paper = 2; paper <= 6; ++paper) {
+    EXPECT_GE(dev->pool().mapped_chunks(MobiCealDevice::thin_id(paper)), 1u);
+  }
+}
+
+TEST(MobiCeal, BootWithDecoyEntersPublicMode) {
+  auto disk = small_disk();
+  auto dev = MobiCealDevice::initialize(disk, small_config(), kPub, {kHid});
+  EXPECT_EQ(dev->boot(kPub), AuthResult::kPublic);
+  EXPECT_EQ(dev->mode(), Mode::kPublic);
+  dev->data_fs().write_file("/notes.txt", util::bytes_of("public data"));
+  EXPECT_EQ(dev->data_fs().read_file("/notes.txt"),
+            util::bytes_of("public data"));
+}
+
+TEST(MobiCeal, BootWithHiddenEntersHiddenMode) {
+  auto disk = small_disk();
+  auto dev = MobiCealDevice::initialize(disk, small_config(), kPub, {kHid});
+  EXPECT_EQ(dev->boot(kHid), AuthResult::kHidden);
+  EXPECT_EQ(dev->mode(), Mode::kHidden);
+  dev->data_fs().write_file("/secret.txt", util::bytes_of("sensitive"));
+  EXPECT_EQ(dev->data_fs().read_file("/secret.txt"),
+            util::bytes_of("sensitive"));
+}
+
+TEST(MobiCeal, WrongPasswordStaysLocked) {
+  auto disk = small_disk();
+  auto dev = MobiCealDevice::initialize(disk, small_config(), kPub, {kHid});
+  EXPECT_EQ(dev->boot("not-a-password"), AuthResult::kWrongPassword);
+  EXPECT_EQ(dev->mode(), Mode::kLocked);
+  EXPECT_THROW(dev->data_fs(), util::PolicyError);
+}
+
+TEST(MobiCeal, FastSwitchPublicToHidden) {
+  auto disk = small_disk();
+  auto dev = MobiCealDevice::initialize(disk, small_config(), kPub, {kHid});
+  ASSERT_EQ(dev->boot(kPub), AuthResult::kPublic);
+  dev->data_fs().write_file("/public.txt", util::bytes_of("cover story"));
+
+  EXPECT_FALSE(dev->switch_to_hidden("wrong-guess"));
+  EXPECT_EQ(dev->mode(), Mode::kPublic);  // unchanged after bad guess
+
+  EXPECT_TRUE(dev->switch_to_hidden(kHid));
+  EXPECT_EQ(dev->mode(), Mode::kHidden);
+  dev->data_fs().write_file("/evidence.mp4", payload(20000, 7));
+  EXPECT_EQ(dev->data_fs().read_file("/evidence.mp4"), payload(20000, 7));
+
+  // One-way: switching back requires a reboot.
+  EXPECT_THROW(dev->switch_to_hidden(kHid), util::PolicyError);
+  dev->reboot();
+  EXPECT_EQ(dev->mode(), Mode::kLocked);
+  EXPECT_EQ(dev->boot(kPub), AuthResult::kPublic);
+  EXPECT_EQ(dev->data_fs().read_file("/public.txt"),
+            util::bytes_of("cover story"));
+}
+
+TEST(MobiCeal, DataPersistsAcrossRebootAndAttach) {
+  auto disk = small_disk();
+  const auto cfg = small_config();
+  {
+    auto dev = MobiCealDevice::initialize(disk, cfg, kPub, {kHid});
+    ASSERT_EQ(dev->boot(kHid), AuthResult::kHidden);
+    dev->data_fs().write_file("/s.bin", payload(50000, 9));
+    dev->reboot();
+  }
+  // Fresh attach models a power cycle: all state from disk.
+  auto dev = MobiCealDevice::attach(disk, cfg);
+  ASSERT_EQ(dev->boot(kHid), AuthResult::kHidden);
+  EXPECT_EQ(dev->data_fs().read_file("/s.bin"), payload(50000, 9));
+}
+
+TEST(MobiCeal, PublicAndHiddenAreIsolated) {
+  auto disk = small_disk();
+  auto dev = MobiCealDevice::initialize(disk, small_config(), kPub, {kHid});
+  ASSERT_EQ(dev->boot(kPub), AuthResult::kPublic);
+  dev->data_fs().write_file("/a.txt", util::bytes_of("public"));
+  ASSERT_TRUE(dev->switch_to_hidden(kHid));
+  EXPECT_FALSE(dev->data_fs().exists("/a.txt"));  // different namespace
+  dev->data_fs().write_file("/b.txt", util::bytes_of("hidden"));
+  dev->reboot();
+  ASSERT_EQ(dev->boot(kPub), AuthResult::kPublic);
+  EXPECT_FALSE(dev->data_fs().exists("/b.txt"));
+  EXPECT_TRUE(dev->data_fs().exists("/a.txt"));
+}
+
+TEST(MobiCeal, DecoyAndHiddenKeysDiffer) {
+  auto disk = small_disk();
+  auto dev = MobiCealDevice::initialize(disk, small_config(), kPub, {kHid});
+  const auto kd = dev->derive_key(kPub);
+  const auto kh = dev->derive_key(kHid);
+  EXPECT_FALSE(util::ct_equal(kd.span(), kh.span()));
+  // Key derivation is deterministic.
+  EXPECT_TRUE(util::ct_equal(kh.span(), dev->derive_key(kHid).span()));
+}
+
+TEST(MobiCeal, HiddenIndexInRangeAndDeterministic) {
+  auto disk = small_disk();
+  auto dev = MobiCealDevice::initialize(disk, small_config(), kPub, {kHid});
+  const std::uint32_t k = dev->hidden_index(kHid);
+  EXPECT_GE(k, 2u);
+  EXPECT_LE(k, 6u);
+  EXPECT_EQ(k, dev->hidden_index(kHid));
+}
+
+TEST(MobiCeal, MultiLevelDeniabilityTwoHiddenVolumes) {
+  auto disk = small_disk();
+  auto dev =
+      MobiCealDevice::initialize(disk, small_config(), kPub, {kHid, kHid2});
+  EXPECT_NE(dev->hidden_index(kHid), dev->hidden_index(kHid2));
+
+  ASSERT_EQ(dev->boot(kHid), AuthResult::kHidden);
+  dev->data_fs().write_file("/level1.txt", util::bytes_of("L1"));
+  dev->reboot();
+
+  ASSERT_EQ(dev->boot(kHid2), AuthResult::kHidden);
+  EXPECT_FALSE(dev->data_fs().exists("/level1.txt"));
+  dev->data_fs().write_file("/level2.txt", util::bytes_of("L2"));
+  dev->reboot();
+
+  ASSERT_EQ(dev->boot(kHid), AuthResult::kHidden);
+  EXPECT_EQ(dev->data_fs().read_file("/level1.txt"), util::bytes_of("L1"));
+}
+
+TEST(MobiCeal, DummyWritesFireOnPublicTraffic) {
+  auto disk = small_disk();
+  auto cfg = small_config();
+  cfg.dummy.x = 50;
+  cfg.dummy.lambda = 1.0;
+  auto dev = MobiCealDevice::initialize(disk, cfg, kPub, {kHid});
+  ASSERT_EQ(dev->boot(kPub), AuthResult::kPublic);
+  for (int i = 0; i < 40; ++i) {
+    dev->data_fs().write_file("/f" + std::to_string(i), payload(30000, i));
+  }
+  const auto& stats = dev->dummy_engine().stats();
+  EXPECT_GT(stats.public_allocations, 0u);
+  EXPECT_GT(stats.triggers, 0u);  // ~24.5% of hundreds of allocations
+  EXPECT_GT(stats.chunks_written, 0u);
+}
+
+TEST(MobiCeal, HiddenWritesDoNotFireDummyEngine) {
+  auto disk = small_disk();
+  auto dev = MobiCealDevice::initialize(disk, small_config(), kPub, {kHid});
+  ASSERT_EQ(dev->boot(kHid), AuthResult::kHidden);
+  const auto before = dev->dummy_engine().stats().public_allocations;
+  dev->data_fs().write_file("/h.bin", payload(100000, 3));
+  EXPECT_EQ(dev->dummy_engine().stats().public_allocations, before);
+}
+
+TEST(MobiCeal, PublicWritesNeverOverwriteHiddenData) {
+  // DESIGN.md §6.4 — the global bitmap prevents cross-volume clobbering
+  // even when the public volume writes heavily after hidden data exists.
+  auto disk = small_disk();
+  auto dev = MobiCealDevice::initialize(disk, small_config(), kPub, {kHid});
+  ASSERT_EQ(dev->boot(kHid), AuthResult::kHidden);
+  const auto secret = payload(200000, 5);
+  dev->data_fs().write_file("/secret.bin", secret);
+  dev->reboot();
+
+  ASSERT_EQ(dev->boot(kPub), AuthResult::kPublic);
+  for (int i = 0; i < 30; ++i) {
+    dev->data_fs().write_file("/bulk" + std::to_string(i), payload(65536, i));
+  }
+  dev->reboot();
+
+  ASSERT_EQ(dev->boot(kHid), AuthResult::kHidden);
+  EXPECT_EQ(dev->data_fs().read_file("/secret.bin"), secret);
+}
+
+TEST(MobiCeal, GcRequiresHiddenMode) {
+  auto disk = small_disk();
+  auto dev = MobiCealDevice::initialize(disk, small_config(), kPub, {kHid});
+  ASSERT_EQ(dev->boot(kPub), AuthResult::kPublic);
+  EXPECT_THROW(dev->collect_garbage(), util::PolicyError);
+}
+
+TEST(MobiCeal, GcReclaimsDummySpaceButSparesHiddenVolumes) {
+  auto disk = small_disk();
+  auto cfg = small_config();
+  cfg.dummy.x = 50;
+  cfg.dummy.lambda = 0.5;  // aggressive dummy traffic
+  auto dev = MobiCealDevice::initialize(disk, cfg, kPub, {kHid, kHid2});
+
+  ASSERT_EQ(dev->boot(kHid2), AuthResult::kHidden);
+  const auto secret2 = payload(120000, 11);
+  dev->data_fs().write_file("/deep.bin", secret2);
+  dev->reboot();
+
+  ASSERT_EQ(dev->boot(kPub), AuthResult::kPublic);
+  for (int i = 0; i < 40; ++i) {
+    dev->data_fs().write_file("/p" + std::to_string(i), payload(40000, i));
+  }
+  dev->reboot();
+
+  ASSERT_EQ(dev->boot(kHid), AuthResult::kHidden);
+  const auto free_before = dev->pool().free_chunks();
+  // Protect the second hidden volume by supplying its password.
+  const auto reclaimed = dev->collect_garbage(0.5, {kHid2});
+  EXPECT_GT(reclaimed, 0u);
+  EXPECT_GT(dev->pool().free_chunks(), free_before);
+  dev->reboot();
+
+  // The protected hidden volume survived GC.
+  ASSERT_EQ(dev->boot(kHid2), AuthResult::kHidden);
+  EXPECT_EQ(dev->data_fs().read_file("/deep.bin"), secret2);
+}
+
+TEST(MobiCeal, RejectsDegenerateConfigs) {
+  auto disk = small_disk();
+  auto cfg = small_config();
+  EXPECT_THROW(
+      MobiCealDevice::initialize(disk, cfg, kPub, {kPub}),
+      util::PolicyError);  // hidden == public password
+  cfg.num_volumes = 1;
+  EXPECT_THROW(MobiCealDevice::initialize(disk, cfg, kPub, {}),
+               util::PolicyError);
+  cfg.num_volumes = 3;
+  EXPECT_THROW(
+      MobiCealDevice::initialize(disk, cfg, kPub, {"a", "b", "c"}),
+      util::PolicyError);  // more hidden passwords than volumes
+}
+
+TEST(MobiCeal, BasicSchemeNoHiddenPasswords) {
+  // Sec. IV-B: encryption without deniability still creates dummy volumes.
+  auto disk = small_disk();
+  auto cfg = small_config();
+  cfg.num_volumes = 2;
+  auto dev = MobiCealDevice::initialize(disk, cfg, kPub, {});
+  ASSERT_EQ(dev->boot(kPub), AuthResult::kPublic);
+  dev->data_fs().write_file("/f.txt", util::bytes_of("x"));
+  EXPECT_EQ(dev->mode(), Mode::kPublic);
+}
+
+TEST(MobiCeal, NonPublicChunksLookRandomOnDisk) {
+  // DESIGN.md §6.5: everything outside the public volume's chunks must be
+  // indistinguishable from randomness in a raw snapshot.
+  auto disk = small_disk();
+  auto dev = MobiCealDevice::initialize(disk, small_config(), kPub, {kHid});
+  ASSERT_EQ(dev->boot(kHid), AuthResult::kHidden);
+  dev->data_fs().write_file("/s.bin", payload(100000, 2));
+  dev->reboot();
+
+  // Inspect hidden-volume chunks through the pool mapping: raw contents
+  // must pass the randomness battery.
+  const auto& map = dev->pool().mapping(MobiCealDevice::thin_id(
+      dev->hidden_index(kHid)));
+  auto data_dev = dev->pool().data_device();
+  int checked = 0;
+  for (std::uint64_t v = 0; v < map.size() && checked < 8; ++v) {
+    if (map[v] == thin::kUnmapped) continue;
+    util::Bytes chunk(data_dev->block_size());
+    data_dev->read_block(map[v] * dev->pool().chunk_blocks(), chunk);
+    // Skip never-written tail blocks (zeros are fine — dummy chunks have
+    // them too); check the written head block.
+    if (util::shannon_entropy(chunk) < 1.0) continue;
+    EXPECT_TRUE(util::looks_random(chunk));
+    ++checked;
+  }
+  EXPECT_GT(checked, 0);
+}

@@ -1,0 +1,255 @@
+// Deep PDE security properties, end to end against raw device images —
+// the invariants of DESIGN.md §6 that the unit suites don't cover directly.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "adversary/attacks.hpp"
+#include "adversary/metadata_reader.hpp"
+#include "adversary/snapshot.hpp"
+#include "blockdev/block_device.hpp"
+#include "core/mobiceal.hpp"
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+using namespace mobiceal;
+using adversary::Snapshot;
+using core::AuthResult;
+using core::MobiCealDevice;
+
+namespace {
+
+constexpr char kPub[] = "prop-public";
+constexpr char kHid[] = "prop-hidden";
+
+MobiCealDevice::Config prop_config(std::uint64_t seed) {
+  MobiCealDevice::Config cfg;
+  cfg.num_volumes = 6;
+  cfg.chunk_blocks = 4;
+  cfg.kdf_iterations = 16;
+  cfg.fs_inode_count = 128;
+  cfg.thin_cpu = thin::ThinCpuModel::zero();
+  cfg.crypt_cpu = dm::CryptCpuModel::zero();
+  cfg.rng_seed = seed;
+  return cfg;
+}
+
+util::Bytes payload(std::size_t n, std::uint8_t seed) {
+  util::Bytes out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<std::uint8_t>(seed * 7 + i);
+  }
+  return out;
+}
+
+}  // namespace
+
+TEST(SecurityProperties, HiddenHeadsIndistinguishableFromDummyHeads) {
+  // Invariant 6.5 applied to the head chunks specifically: the encrypted
+  // password block at the head of a hidden volume must pass the same
+  // randomness battery as the noise heads of dummy volumes, and no simple
+  // statistic may separate the two populations.
+  auto disk = std::make_shared<blockdev::MemBlockDevice>(16384);
+  auto dev = MobiCealDevice::initialize(disk, prop_config(51), kPub, {kHid});
+  const std::uint32_t hidden_k = dev->hidden_index(kHid);
+
+  auto data_dev = dev->pool().data_device();
+  std::map<std::uint32_t, double> head_entropy;
+  for (std::uint32_t paper = 2; paper <= 6; ++paper) {
+    const auto& map = dev->pool().mapping(MobiCealDevice::thin_id(paper));
+    ASSERT_NE(map[0], thin::kUnmapped);
+    util::Bytes head(4096);
+    data_dev->read_block(map[0] * dev->pool().chunk_blocks(), head);
+    EXPECT_TRUE(util::looks_random(head)) << "volume V" << paper;
+    head_entropy[paper] = util::shannon_entropy(head);
+  }
+  // The hidden head's entropy sits inside the dummy heads' range (±noise).
+  double dummy_min = 8.0, dummy_max = 0.0;
+  for (const auto& [paper, h] : head_entropy) {
+    if (paper == hidden_k) continue;
+    dummy_min = std::min(dummy_min, h);
+    dummy_max = std::max(dummy_max, h);
+  }
+  EXPECT_GE(head_entropy[hidden_k], dummy_min - 0.05);
+  EXPECT_LE(head_entropy[hidden_k], dummy_max + 0.05);
+}
+
+TEST(SecurityProperties, WrongPasswordSweepNeverUnlocksAnything) {
+  auto disk = std::make_shared<blockdev::MemBlockDevice>(16384);
+  auto dev = MobiCealDevice::initialize(disk, prop_config(52), kPub, {kHid});
+  for (int i = 0; i < 64; ++i) {
+    const std::string guess = "brute-force-" + std::to_string(i);
+    EXPECT_EQ(dev->boot(guess), AuthResult::kWrongPassword) << guess;
+    EXPECT_EQ(dev->mode(), core::Mode::kLocked);
+  }
+  // The real passwords still work afterwards (no lockout side effects).
+  EXPECT_EQ(dev->boot(kPub), AuthResult::kPublic);
+}
+
+TEST(SecurityProperties, SnapshotRevealsNoPlaintextAnywhere) {
+  // After realistic mixed usage, no 4 KiB block of the raw image contains
+  // the stored plaintext (all volumes sit behind dm-crypt).
+  auto disk = std::make_shared<blockdev::MemBlockDevice>(16384);
+  auto dev = MobiCealDevice::initialize(disk, prop_config(53), kPub, {kHid});
+  const std::string marker =
+      "TOPSECRET-MARKER-STRING-THAT-MUST-NEVER-TOUCH-DISK-IN-PLAINTEXT";
+  util::Bytes doc;
+  while (doc.size() < 40000) {
+    doc.insert(doc.end(), marker.begin(), marker.end());
+  }
+  dev->boot(kPub);
+  dev->data_fs().write_file("/public_doc.txt", doc);
+  ASSERT_TRUE(dev->switch_to_hidden(kHid));
+  dev->data_fs().write_file("/hidden_doc.txt", doc);
+  dev->reboot();
+
+  const auto snap = Snapshot::take(*disk);
+  const std::string image(snap.image.begin(), snap.image.end());
+  EXPECT_EQ(image.find(marker), std::string::npos);
+}
+
+TEST(SecurityProperties, PoolStaysConsistentUnderMixedWorkload) {
+  auto disk = std::make_shared<blockdev::MemBlockDevice>(16384);
+  auto cfg = prop_config(54);
+  cfg.dummy.lambda = 0.5;
+  auto dev = MobiCealDevice::initialize(disk, cfg, kPub, {kHid});
+  EXPECT_TRUE(dev->pool().check_consistency());
+
+  dev->boot(kPub);
+  for (int i = 0; i < 12; ++i) {
+    dev->data_fs().write_file("/f" + std::to_string(i),
+                              payload(30000, static_cast<std::uint8_t>(i)));
+  }
+  dev->data_fs().sync();
+  EXPECT_TRUE(dev->pool().check_consistency());
+
+  ASSERT_TRUE(dev->switch_to_hidden(kHid));
+  dev->data_fs().write_file("/h.bin", payload(80000, 99));
+  const auto reclaimed = dev->collect_garbage(0.5);
+  (void)reclaimed;
+  EXPECT_TRUE(dev->pool().check_consistency());
+  dev->reboot();
+  EXPECT_TRUE(dev->pool().check_consistency());
+}
+
+TEST(SecurityProperties, DummyBudgetNoFalsePositivesOnPurePublicUse) {
+  // The budget attack must not cry wolf: across seeds, a device that holds
+  // NO hidden data (only dummy traffic) is never flagged. False positives
+  // would let users be coerced over noise — and would also let real hidden
+  // data hide behind "the detector always fires anyway".
+  for (std::uint64_t seed = 60; seed < 72; ++seed) {
+    auto disk = std::make_shared<blockdev::MemBlockDevice>(16384);
+    auto cfg = prop_config(seed);
+    auto dev = MobiCealDevice::initialize(disk, cfg, kPub, {});
+    dev->boot(kPub);
+    dev->data_fs().write_file("/base", payload(50000, 1));
+    dev->reboot();
+    const auto d0 = Snapshot::take(*disk);
+
+    dev->boot(kPub);
+    for (int i = 0; i < 12; ++i) {
+      dev->data_fs().write_file("/p" + std::to_string(i),
+                                payload(45000, static_cast<std::uint8_t>(i)));
+    }
+    dev->reboot();
+    const auto d1 = Snapshot::take(*disk);
+
+    adversary::ThinMetadataReader r0(d0), r1(d1);
+    const auto rep = adversary::dummy_budget_attack(r0, r1, /*lambda=*/1.0);
+    EXPECT_FALSE(rep.suspects_hidden_data)
+        << "seed " << seed << ": " << rep.reasoning;
+  }
+}
+
+TEST(SecurityProperties, MetadataForensicsMatchLiveStateAfterChurn) {
+  // Whatever the adversary parses from a cold image must agree exactly
+  // with the live pool — otherwise either the reader or the commit path is
+  // wrong, and either bug breaks the deniability analysis.
+  auto disk = std::make_shared<blockdev::MemBlockDevice>(16384);
+  auto cfg = prop_config(55);
+  cfg.dummy.lambda = 0.5;
+  auto dev = MobiCealDevice::initialize(disk, cfg, kPub, {kHid});
+  dev->boot(kPub);
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 6; ++i) {
+      dev->data_fs().write_file(
+          "/r" + std::to_string(round) + "f" + std::to_string(i),
+          payload(25000, static_cast<std::uint8_t>(round * 6 + i)));
+    }
+    if (round == 1) {
+      for (int i = 0; i < 3; ++i) {
+        dev->data_fs().unlink("/r1f" + std::to_string(i));
+      }
+    }
+    dev->data_fs().sync();
+  }
+  dev->reboot();
+
+  adversary::ThinMetadataReader reader(Snapshot::take(*disk));
+  for (std::uint32_t paper = 1; paper <= 6; ++paper) {
+    const std::uint32_t id = MobiCealDevice::thin_id(paper);
+    EXPECT_EQ(reader.chunks_of_volume(id).size(),
+              dev->pool().mapped_chunks(id))
+        << "volume V" << paper;
+  }
+  EXPECT_TRUE(reader.orphan_chunks().empty());
+  EXPECT_EQ(reader.superblock().txn_id, dev->pool().txn_id());
+}
+
+TEST(SecurityProperties, GcNeverTouchesPublicOrActiveHiddenChunks) {
+  auto disk = std::make_shared<blockdev::MemBlockDevice>(16384);
+  auto cfg = prop_config(56);
+  cfg.dummy.lambda = 0.3;
+  auto dev = MobiCealDevice::initialize(disk, cfg, kPub, {kHid});
+  dev->boot(kPub);
+  for (int i = 0; i < 15; ++i) {
+    dev->data_fs().write_file("/p" + std::to_string(i),
+                              payload(40000, static_cast<std::uint8_t>(i)));
+  }
+  ASSERT_TRUE(dev->switch_to_hidden(kHid));
+  dev->data_fs().write_file("/h.bin", payload(60000, 77));
+  dev->data_fs().sync();
+
+  const auto pub_before = dev->pool().mapped_chunks(0);
+  const std::uint32_t hid_id =
+      MobiCealDevice::thin_id(dev->hidden_index(kHid));
+  const auto hid_before = dev->pool().mapped_chunks(hid_id);
+  dev->collect_garbage(0.8);
+  EXPECT_EQ(dev->pool().mapped_chunks(0), pub_before);
+  EXPECT_EQ(dev->pool().mapped_chunks(hid_id), hid_before);
+}
+
+TEST(SecurityProperties, VolumeCountDoesNotRevealHiddenCount) {
+  // Devices initialised with 0, 1 and 2 hidden passwords expose identical
+  // volume-table shapes: same n, all volumes active, all same virtual
+  // size. (The *number of hidden volumes* is the secret; Sec. IV-C.)
+  std::vector<std::vector<std::string>> configs = {
+      {}, {kHid}, {kHid, "second-hidden"}};
+  std::vector<std::vector<std::uint64_t>> shapes;
+  for (std::size_t c = 0; c < configs.size(); ++c) {
+    auto disk = std::make_shared<blockdev::MemBlockDevice>(16384);
+    auto dev = MobiCealDevice::initialize(disk, prop_config(57), kPub,
+                                          configs[c]);
+    adversary::ThinMetadataReader reader(Snapshot::take(*disk));
+    std::vector<std::uint64_t> shape;
+    for (const auto& v : reader.volumes()) {
+      shape.push_back(v.active ? v.virtual_chunks : 0);
+    }
+    shapes.push_back(std::move(shape));
+  }
+  EXPECT_EQ(shapes[0], shapes[1]);
+  EXPECT_EQ(shapes[1], shapes[2]);
+}
+
+TEST(SecurityProperties, FreshDeviceHeadsHaveMappedChunkZeroEverywhere) {
+  // The head-seeding rule: if only hidden volumes had their first virtual
+  // chunk mapped, "vchunk 0 mapped" would leak which volumes are hidden.
+  auto disk = std::make_shared<blockdev::MemBlockDevice>(16384);
+  auto dev = MobiCealDevice::initialize(disk, prop_config(58), kPub, {kHid});
+  adversary::ThinMetadataReader reader(Snapshot::take(*disk));
+  for (std::uint32_t v = 1; v < 6; ++v) {  // all non-public volumes
+    EXPECT_NE(reader.volumes()[v].map[0], thin::kUnmapped)
+        << "volume V" << v + 1;
+  }
+}
