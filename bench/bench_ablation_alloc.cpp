@@ -13,6 +13,7 @@
 
 #include "adversary/metadata_reader.hpp"
 #include "harness.hpp"
+#include "util/error.hpp"
 
 using namespace mobiceal;
 using namespace mobiceal::bench;
@@ -36,15 +37,20 @@ Outcome run(bool random_alloc, std::uint64_t bytes, std::uint64_t seed) {
   out.write_kbps = kbps(bytes, dd_write(s, "/pub1.dat", bytes));
   out.read_kbps = kbps(bytes, dd_read(s, "/pub1.dat", bytes));
 
-  // Hidden session: a single large file (the dangerous pattern).
-  s.mobiceal->switch_to_hidden("bench-hidden");
+  // Hidden session: a single large file (the dangerous pattern). A failed
+  // switch would silently write the "secret" into the public volume and
+  // corrupt the layout metric — fail loudly instead.
+  if (!s.scheme->switch_volume("bench-hidden")) {
+    throw util::PolicyError("ablation: fast switch to hidden failed");
+  }
+  s.fs = &s.scheme->data_fs();
   const std::uint64_t hidden_bytes = bytes / 2;
   dd_write(s, "/big_secret.bin", hidden_bytes);
-  s.mobiceal->reboot();
-  s.mobiceal->boot("bench-public");
-  s.fs = &s.mobiceal->data_fs();
+  s.scheme->reboot();
+  s.scheme->unlock("bench-public");
+  s.fs = &s.scheme->data_fs();
   dd_write(s, "/pub2.dat", bytes / 4);
-  s.mobiceal->reboot();
+  s.scheme->reboot();
 
   // Adversary: longest run of consecutive non-public allocated chunks.
   adversary::Snapshot snap{s.raw->snapshot(), s.raw->block_size()};

@@ -10,10 +10,46 @@
 #include <cstdio>
 
 #include "adversary/attacks.hpp"
+#include "core/mobiceal.hpp"
 #include "harness.hpp"
 
 using namespace mobiceal;
 using namespace mobiceal::bench;
+
+namespace {
+
+// This ablation inspects MobiCeal's DummyWriteEngine counters — internals
+// the PdeScheme API deliberately does not expose — so it builds the
+// concrete device the way make_scheme_stack("mobiceal", ...) does.
+struct MobiCealStack {
+  BenchStack bench;  // clock/raw/timed keepalives + fs pointer
+  std::unique_ptr<core::MobiCealDevice> dev;
+};
+
+MobiCealStack make_mobiceal_stack(const StackOptions& o) {
+  MobiCealStack s;
+  s.bench.clock = std::make_shared<util::SimClock>();
+  s.bench.raw = std::make_shared<blockdev::MemBlockDevice>(o.device_blocks);
+  s.bench.timed = std::make_shared<blockdev::TimedDevice>(
+      s.bench.raw, o.device_model, s.bench.clock);
+
+  core::MobiCealDevice::Config cfg;
+  cfg.num_volumes = 8;
+  cfg.chunk_blocks = 16;
+  cfg.kdf_iterations = 2000;
+  cfg.fs_inode_count = 1024;
+  cfg.rng_seed = o.seed;
+  cfg.dummy.lambda = o.lambda;
+  cfg.dummy.x = o.x;
+  s.dev = core::MobiCealDevice::initialize(s.bench.timed, cfg,
+                                           "bench-public", {"bench-hidden"},
+                                           s.bench.clock);
+  s.dev->boot("bench-public");
+  s.bench.fs = &s.dev->data_fs();
+  return s;
+}
+
+}  // namespace
 
 int main() {
   const std::uint64_t bytes = env_bench_bytes(24);
@@ -48,9 +84,9 @@ int main() {
         o.lambda = lambda;
         o.x = x;
         o.device_blocks = (bytes / 4096) * 6 + 32768;
-        BenchStack stack = make_stack(StackKind::kMobiCealPublic, o);
-        tput.add(kbps(bytes, dd_write(stack, "/f.dat", bytes)));
-        const auto& st = stack.mobiceal->dummy_engine().stats();
+        MobiCealStack stack = make_mobiceal_stack(o);
+        tput.add(kbps(bytes, dd_write(stack.bench, "/f.dat", bytes)));
+        const auto& st = stack.dev->dummy_engine().stats();
         rate.add(st.public_allocations
                      ? static_cast<double>(st.chunks_written) /
                            static_cast<double>(st.public_allocations)

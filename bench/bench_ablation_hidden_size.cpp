@@ -13,7 +13,6 @@
 
 using namespace mobiceal;
 using adversary::GameConfig;
-using adversary::SystemKind;
 
 int main() {
   const int trials = bench::env_bench_reps(16);
@@ -27,7 +26,7 @@ int main() {
   const std::uint32_t public_bytes = 96 * 1024;
   for (const double ratio : {0.05, 0.15, 0.4, 1.0}) {
     GameConfig cfg;
-    cfg.system = SystemKind::kMobiCeal;
+    cfg.scheme = "mobiceal";
     cfg.trials = static_cast<std::uint64_t>(trials);
     cfg.rounds = 3;
     cfg.public_files_per_round = 10;

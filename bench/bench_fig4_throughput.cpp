@@ -7,6 +7,11 @@
 //   MC-P     — MobiCeal public volume
 //   MC-H     — MobiCeal hidden volume
 //
+// The row list is built by walking the SchemeRegistry: each Fig. 4 scheme
+// contributes a public-volume row plus a hidden-volume row when its
+// capabilities include one ("A-T-*" is the registered "mobipluto" backend
+// minus the random fill — thin provisioning + FDE on a stock kernel).
+//
 // Paper shape targets (Sec. VI-B): thin volumes barely affect writes but
 // cost ~18% on reads; the MobiCeal kernel mods (dummy writes + random
 // allocation) cost ~18% on writes but barely affect reads.
@@ -15,6 +20,8 @@
 // MOBICEAL_BENCH_REPS (defaults 48 MB x 5; the paper used 400 MB x 10 on
 // real hardware — virtual-clock throughput is size-invariant past a few MB).
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "harness.hpp"
 
@@ -23,18 +30,26 @@ using namespace mobiceal::bench;
 
 namespace {
 
+struct RowSpec {
+  std::string label;
+  std::string scheme;  // SchemeRegistry key
+  bool hidden = false;
+  bool skip_random_fill = false;
+};
+
 struct Row {
   util::RunningStats dd_write, dd_read, b_write, b_read;
 };
 
-Row run_config(StackKind kind, std::uint64_t bytes, int reps) {
+Row run_config(const RowSpec& spec, std::uint64_t bytes, int reps) {
   Row row;
   for (int rep = 0; rep < reps; ++rep) {
     StackOptions o;
     o.seed = 1000 + rep;
     // Size the device to hold both files plus dummy traffic.
     o.device_blocks = (bytes / 4096) * 4 + 32768;
-    BenchStack s = make_stack(kind, o);
+    o.skip_random_fill = spec.skip_random_fill;
+    BenchStack s = make_scheme_stack(spec.scheme, spec.hidden, o);
 
     row.dd_write.add(kbps(bytes, dd_write(s, "/dd.dbf", bytes)));
     row.dd_read.add(kbps(bytes, dd_read(s, "/dd.dbf", bytes)));
@@ -60,29 +75,46 @@ int main() {
   std::printf("%-8s %16s %16s %16s %16s\n", "config", "dd-Write", "dd-Read",
               "B-Write", "B-Read");
 
-  const StackKind kinds[] = {StackKind::kAndroidFde, StackKind::kThinPublic,
-                             StackKind::kThinHidden,
-                             StackKind::kMobiCealPublic,
-                             StackKind::kMobiCealHidden};
+  // Fig. 4 schemes in paper order; rows expand per registry capabilities.
+  const struct {
+    const char* scheme;
+    const char* pub_label;
+    const char* hid_label;
+    bool skip_random_fill;
+  } kFig4Schemes[] = {
+      {"android_fde", "Android", nullptr, false},
+      {"mobipluto", "A-T-P", "A-T-H", true},
+      {"mobiceal", "MC-P", "MC-H", false},
+  };
+  std::vector<RowSpec> specs;
+  for (const auto& s : kFig4Schemes) {
+    const auto& entry = api::SchemeRegistry::entry(s.scheme);
+    specs.push_back({s.pub_label, s.scheme, false, s.skip_random_fill});
+    if (s.hid_label != nullptr &&
+        entry.capabilities.has(api::Capability::kHiddenVolume)) {
+      specs.push_back({s.hid_label, s.scheme, true, s.skip_random_fill});
+    }
+  }
+
   double android_write = 0, android_read = 0;
   double atp_write = 0, ath_read = 0;
   double mcp_write = 0, mch_read = 0;
-  for (StackKind kind : kinds) {
-    const Row row = run_config(kind, bytes, reps);
-    std::printf("%-8s", stack_name(kind));
+  for (const RowSpec& spec : specs) {
+    const Row row = run_config(spec, bytes, reps);
+    std::printf("%-8s", spec.label.c_str());
     print_cell(row.dd_write);
     print_cell(row.dd_read);
     print_cell(row.b_write);
     print_cell(row.b_read);
     std::printf("\n");
-    if (kind == StackKind::kAndroidFde) {
+    if (spec.label == "Android") {
       android_write = row.dd_write.mean();
       android_read = row.dd_read.mean();
     }
-    if (kind == StackKind::kThinPublic) atp_write = row.dd_write.mean();
-    if (kind == StackKind::kThinHidden) ath_read = row.dd_read.mean();
-    if (kind == StackKind::kMobiCealPublic) mcp_write = row.dd_write.mean();
-    if (kind == StackKind::kMobiCealHidden) mch_read = row.dd_read.mean();
+    if (spec.label == "A-T-P") atp_write = row.dd_write.mean();
+    if (spec.label == "A-T-H") ath_read = row.dd_read.mean();
+    if (spec.label == "MC-P") mcp_write = row.dd_write.mean();
+    if (spec.label == "MC-H") mch_read = row.dd_read.mean();
   }
 
   std::printf("\n-- shape checks against the paper --\n");

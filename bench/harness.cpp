@@ -9,18 +9,6 @@ namespace mobiceal::bench {
 namespace {
 constexpr char kPub[] = "bench-public";
 constexpr char kHid[] = "bench-hidden";
-
-core::MobiCealDevice::Config mobiceal_config(const StackOptions& o) {
-  core::MobiCealDevice::Config cfg;
-  cfg.num_volumes = 8;
-  cfg.chunk_blocks = 16;  // 64 KiB chunks, the dm-thin default
-  cfg.kdf_iterations = 2000;
-  cfg.fs_inode_count = 1024;
-  cfg.rng_seed = o.seed;
-  cfg.dummy.lambda = o.lambda;
-  cfg.dummy.x = o.x;
-  return cfg;
-}
 }  // namespace
 
 const char* stack_name(StackKind kind) {
@@ -37,82 +25,81 @@ const char* stack_name(StackKind kind) {
   return "?";
 }
 
-BenchStack make_stack(StackKind kind, const StackOptions& o) {
+BenchStack make_scheme_stack(const std::string& scheme_name, bool hidden,
+                             const StackOptions& o) {
   BenchStack s;
   s.clock = std::make_shared<util::SimClock>();
   s.raw = std::make_shared<blockdev::MemBlockDevice>(o.device_blocks);
   s.timed = std::make_shared<blockdev::TimedDevice>(s.raw, o.device_model,
                                                     s.clock);
 
+  api::SchemeOptions opts;
+  opts.device = s.timed;
+  opts.clock = s.clock;
+  opts.public_password = kPub;
+  opts.rng_seed = o.seed;
+  opts.num_volumes = 8;
+  opts.chunk_blocks = 16;  // 64 KiB chunks, the dm-thin default
+  opts.kdf_iterations = 2000;
+  opts.fs_inode_count = 1024;
+  opts.lambda = o.lambda;
+  opts.x = o.x;
+  opts.random_allocation = o.mobiceal_random_alloc;
+  opts.skip_random_fill = o.skip_random_fill;
+
+  const auto& entry = api::SchemeRegistry::entry(scheme_name);
+  if (entry.capabilities.has(api::Capability::kHiddenVolume)) {
+    opts.hidden_passwords = {kHid};
+  } else if (hidden) {
+    throw util::PolicyError("bench: scheme '" + scheme_name +
+                            "' has no hidden volume");
+  }
+
+  s.scheme = api::SchemeRegistry::create(scheme_name, opts);
+  const auto unlocked = s.scheme->unlock(hidden ? kHid : kPub);
+  if (!unlocked.ok ||
+      unlocked.volume != (hidden ? api::VolumeClass::kHidden
+                                 : api::VolumeClass::kPublic)) {
+    throw util::PolicyError("bench: unlock failed for " + scheme_name);
+  }
+  s.fs = &s.scheme->data_fs();
+  return s;
+}
+
+BenchStack make_stack(StackKind kind, const StackOptions& o) {
   switch (kind) {
     case StackKind::kRawExt: {
+      BenchStack s;
+      s.clock = std::make_shared<util::SimClock>();
+      s.raw = std::make_shared<blockdev::MemBlockDevice>(o.device_blocks);
+      s.timed = std::make_shared<blockdev::TimedDevice>(s.raw, o.device_model,
+                                                        s.clock);
       s.owned_fs = fs::ExtFs::format(s.timed, 1024);
       s.fs = s.owned_fs.get();
-      break;
+      return s;
     }
-    case StackKind::kAndroidFde: {
-      baselines::AndroidFdeDevice::Config cfg;
-      cfg.rng_seed = o.seed;
-      s.fde = baselines::AndroidFdeDevice::initialize(s.timed, cfg, kPub,
-                                                      s.clock);
-      if (!s.fde->boot(kPub)) throw util::PolicyError("bench: fde boot");
-      s.fs = &s.fde->data_fs();
-      break;
-    }
+    case StackKind::kAndroidFde:
+      return make_scheme_stack("android_fde", /*hidden=*/false, o);
     case StackKind::kThinPublic:
     case StackKind::kThinHidden: {
       // "Android-Thin": thin provisioning + FDE with the stock kernel —
       // i.e. MobiPluto's stack minus the (irrelevant to throughput)
       // initial random fill.
-      baselines::MobiPlutoDevice::Config cfg;
-      cfg.rng_seed = o.seed;
-      cfg.skip_random_fill = true;
-      s.thin = baselines::MobiPlutoDevice::initialize(s.timed, cfg, kPub,
-                                                      kHid, s.clock);
-      const auto mode = s.thin->boot(
-          kind == StackKind::kThinPublic ? kPub : kHid);
-      if (mode == baselines::MobiPlutoDevice::Mode::kLocked) {
-        throw util::PolicyError("bench: thin boot failed");
-      }
-      s.fs = &s.thin->data_fs();
-      break;
+      StackOptions thin = o;
+      thin.skip_random_fill = true;
+      return make_scheme_stack("mobipluto", kind == StackKind::kThinHidden,
+                               thin);
     }
     case StackKind::kMobiCealPublic:
-    case StackKind::kMobiCealHidden: {
-      auto cfg = mobiceal_config(o);
-      cfg.random_allocation = o.mobiceal_random_alloc;
-      s.mobiceal = core::MobiCealDevice::initialize(s.timed, cfg, kPub,
-                                                    {kHid}, s.clock);
-      const auto result = s.mobiceal->boot(
-          kind == StackKind::kMobiCealPublic ? kPub : kHid);
-      if (result == core::AuthResult::kWrongPassword) {
-        throw util::PolicyError("bench: mobiceal boot failed");
-      }
-      s.fs = &s.mobiceal->data_fs();
-      break;
-    }
-    case StackKind::kHive: {
-      const util::Bytes key(32, 0x42);
-      baselines::HiveWoOram::Config cfg;
-      cfg.rng_seed = o.seed;
-      s.translator = std::make_shared<baselines::HiveWoOram>(
-          s.timed, key, cfg, s.clock);
-      s.owned_fs = fs::ExtFs::format(s.translator, 1024);
-      s.fs = s.owned_fs.get();
-      break;
-    }
-    case StackKind::kDefy: {
-      const util::Bytes key(32, 0x43);
-      baselines::DefyDevice::Config cfg;
-      cfg.rng_seed = o.seed;
-      s.translator = std::make_shared<baselines::DefyDevice>(
-          s.timed, key, cfg, s.clock);
-      s.owned_fs = fs::ExtFs::format(s.translator, 1024);
-      s.fs = s.owned_fs.get();
-      break;
-    }
+    case StackKind::kMobiCealHidden:
+      return make_scheme_stack("mobiceal",
+                               kind == StackKind::kMobiCealHidden, o);
+    case StackKind::kHive:
+      return make_scheme_stack("hive", /*hidden=*/false, o);
+    case StackKind::kDefy:
+      return make_scheme_stack("defy", /*hidden=*/false, o);
   }
-  return s;
+  throw util::PolicyError("bench: unknown stack kind");
 }
 
 namespace {

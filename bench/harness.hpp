@@ -1,6 +1,11 @@
-// Shared benchmark harness: builds the five Fig. 4 storage stacks (and the
-// Table I comparison stacks) over a virtual-clock device, and provides the
-// dd / Bonnie++-style workloads the paper measures with.
+// Shared benchmark harness: builds the Fig. 4 / Table I storage stacks over
+// a virtual-clock device and provides the dd / Bonnie++-style workloads the
+// paper measures with.
+//
+// Scheme-backed stacks are constructed through api::SchemeRegistry — the
+// harness names backends ("mobiceal", "mobipluto", ...), never concrete
+// types. StackKind survives as a convenience enum for the ablation benches;
+// each kind maps onto a (scheme, volume, options) triple.
 //
 // Every number reported by the bench binaries is *virtual* time from the
 // calibrated device/CPU service models — deterministic across machines.
@@ -10,12 +15,8 @@
 #include <memory>
 #include <string>
 
-#include "baselines/android_fde.hpp"
-#include "baselines/defy.hpp"
-#include "baselines/hive_woram.hpp"
-#include "baselines/mobipluto.hpp"
+#include "api/scheme_registry.hpp"
 #include "blockdev/timed_device.hpp"
-#include "core/mobiceal.hpp"
 #include "fs/ext_fs.hpp"
 #include "util/stats.hpp"
 
@@ -41,14 +42,11 @@ struct BenchStack {
   std::shared_ptr<util::SimClock> clock;
   fs::FileSystem* fs = nullptr;
 
-  // Keepalive owners (which are set depends on the stack kind).
+  // Keepalive owners.
   std::shared_ptr<blockdev::BlockDevice> raw;
   std::shared_ptr<blockdev::BlockDevice> timed;
-  std::unique_ptr<core::MobiCealDevice> mobiceal;
-  std::unique_ptr<baselines::AndroidFdeDevice> fde;
-  std::unique_ptr<baselines::MobiPlutoDevice> thin;
-  std::shared_ptr<blockdev::BlockDevice> translator;  // HIVE/DEFY device
-  std::unique_ptr<fs::FileSystem> owned_fs;
+  std::unique_ptr<api::PdeScheme> scheme;  // scheme-backed stacks
+  std::unique_ptr<fs::FileSystem> owned_fs;  // kRawExt only
 };
 
 struct StackOptions {
@@ -60,9 +58,18 @@ struct StackOptions {
   std::uint32_t x = 50;
   /// Allocation policy override for the MobiCeal stacks (ablations).
   bool mobiceal_random_alloc = true;
+  /// Skip the one-time full random fill (the thin stacks always skip it —
+  /// it is irrelevant to steady-state throughput).
+  bool skip_random_fill = false;
 };
 
-/// Builds a freshly initialised stack of the given kind.
+/// Builds a freshly initialised, unlocked stack for a registered scheme.
+/// `hidden` unlocks the hidden volume (requires kHiddenVolume).
+BenchStack make_scheme_stack(const std::string& scheme_name, bool hidden,
+                             const StackOptions& options);
+
+/// Builds a freshly initialised stack of the given kind (registry-backed
+/// for every scheme stack; bespoke only for kRawExt).
 BenchStack make_stack(StackKind kind, const StackOptions& options);
 
 // ---- workloads ------------------------------------------------------------------

@@ -1,19 +1,10 @@
-// mobiceal_cli — operate MobiCeal device images from the command line.
+// mobiceal_cli — operate PDE device images from the command line.
 //
 // The closest equivalent of the paper's `vdc cryptfs pde ...` interface,
-// working on ordinary files so you can poke at real on-disk state:
-//
-//   mobiceal_cli init <image> <size_mb> <pub_pwd> [hidden_pwd...]
-//   mobiceal_cli ls <image> <pwd> [dir]
-//   mobiceal_cli put <image> <pwd> <path> <text>
-//   mobiceal_cli get <image> <pwd> <path>
-//   mobiceal_cli rm <image> <pwd> <path>
-//   mobiceal_cli gc <image> <hidden_pwd> [protected_pwd...]
-//   mobiceal_cli info <image>                  (adversary's metadata view)
-//   mobiceal_cli snapshot <image> <out_file>
-//   mobiceal_cli analyze <image> <old_snapshot>  (multi-snapshot attacks)
-//
-// `pwd` may be the decoy password (public volume) or any hidden password.
+// working on ordinary files so you can poke at real on-disk state. Every
+// registered api::PdeScheme backend can be driven via --scheme; the
+// adversary commands (info/snapshot/analyze) work on raw images and need
+// no scheme or password at all.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -25,21 +16,23 @@
 #include "adversary/attacks.hpp"
 #include "adversary/metadata_reader.hpp"
 #include "adversary/snapshot.hpp"
+#include "api/scheme_registry.hpp"
 #include "blockdev/block_device.hpp"
-#include "core/mobiceal.hpp"
 #include "util/error.hpp"
 
 using namespace mobiceal;
 
 namespace {
 
-core::MobiCealDevice::Config cli_config() {
-  core::MobiCealDevice::Config cfg;
-  cfg.num_volumes = 8;
-  cfg.chunk_blocks = 4;  // 16 KiB chunks keep small images usable
-  cfg.kdf_iterations = 2000;
-  cfg.fs_inode_count = 512;
-  return cfg;
+std::string g_scheme = "mobiceal";
+
+api::SchemeOptions cli_options() {
+  api::SchemeOptions opts;
+  opts.num_volumes = 8;
+  opts.chunk_blocks = 4;  // 16 KiB chunks keep small images usable
+  opts.kdf_iterations = 2000;
+  opts.fs_inode_count = 512;
+  return opts;
 }
 
 std::uint64_t image_blocks(const std::string& path) {
@@ -48,109 +41,153 @@ std::uint64_t image_blocks(const std::string& path) {
   return static_cast<std::uint64_t>(in.tellg()) / 4096;
 }
 
-std::unique_ptr<core::MobiCealDevice> attach(const std::string& image) {
-  auto dev = std::make_shared<blockdev::FileBlockDevice>(
+std::unique_ptr<api::PdeScheme> attach(const std::string& image) {
+  auto opts = cli_options();
+  opts.format = false;
+  opts.device = std::make_shared<blockdev::FileBlockDevice>(
       image, image_blocks(image));
-  return core::MobiCealDevice::attach(dev, cli_config());
+  return api::SchemeRegistry::create(g_scheme, opts);
 }
 
-std::unique_ptr<core::MobiCealDevice> attach_and_boot(
-    const std::string& image, const std::string& pwd) {
+std::unique_ptr<api::PdeScheme> attach_and_unlock(const std::string& image,
+                                                  const std::string& pwd) {
   auto dev = attach(image);
-  const auto result = dev->boot(pwd);
-  if (result == core::AuthResult::kWrongPassword) {
+  const auto result = dev->unlock(pwd);
+  if (!result.ok) {
     throw util::PolicyError("password does not unlock any volume");
   }
-  std::fprintf(stderr, "[booted: %s mode]\n",
-               result == core::AuthResult::kPublic ? "public" : "hidden");
+  std::fprintf(stderr, "[unlocked: %s volume, scheme %s]\n",
+               result.volume == api::VolumeClass::kPublic ? "public"
+                                                          : "hidden",
+               g_scheme.c_str());
   return dev;
 }
 
 int usage() {
-  std::fprintf(stderr,
-               "usage: mobiceal_cli "
-               "init|ls|put|get|rm|gc|info|snapshot|analyze ...\n"
-               "see the header of examples/mobiceal_cli.cpp\n");
+  std::fprintf(
+      stderr,
+      "usage: mobiceal_cli [--scheme <name>] <command> [args...]\n"
+      "\n"
+      "commands:\n"
+      "  init <image> <size_mb> <pub_pwd> [hidden_pwd...]\n"
+      "          create and format an image file (>= 8 MB). Schemes with\n"
+      "          one hidden volume take exactly one hidden_pwd; MobiCeal\n"
+      "          takes any number; Android FDE ignores them.\n"
+      "  ls <image> <pwd> [dir]        list a directory (default /)\n"
+      "  put <image> <pwd> <path> <text>   write <text> to a file\n"
+      "  get <image> <pwd> <path>      print a file's contents\n"
+      "  rm <image> <pwd> <path>       remove a file\n"
+      "  gc <image> <hidden_pwd> [protected_pwd...]\n"
+      "          reclaim dummy chunks (schemes with garbage collection,\n"
+      "          hidden mode only — Sec. IV-D)\n"
+      "  info <image>                  adversary's dm-thin metadata view\n"
+      "  snapshot <image> <out_file>   raw image snapshot (border agent)\n"
+      "  analyze <image> <old_snapshot>    run multi-snapshot attacks\n"
+      "  --list-schemes                print registered schemes and exit\n"
+      "\n"
+      "<pwd> may be the decoy password (public volume) or any hidden\n"
+      "password. --scheme selects the backend (default: mobiceal); note\n"
+      "that the DEFY/HIVE reproductions keep their translation maps in\n"
+      "RAM and therefore only support `init` followed by in-process use,\n"
+      "not re-attachment.\n");
   return 2;
+}
+
+int cmd_list_schemes() {
+  for (const auto& name : api::SchemeRegistry::names()) {
+    const auto& entry = api::SchemeRegistry::entry(name);
+    std::printf("%-12s %-52s [%s]%s\n", name.c_str(),
+                entry.description.c_str(),
+                entry.capabilities.to_string().c_str(),
+                entry.supports_attach ? "" : "  (no re-attach)");
+  }
+  return 0;
 }
 
 int cmd_init(int argc, char** argv) {
   if (argc < 5) return usage();
   const std::string image = argv[2];
   const std::uint64_t mb = std::strtoull(argv[3], nullptr, 10);
-  const std::string pub = argv[4];
-  std::vector<std::string> hidden;
-  for (int i = 5; i < argc; ++i) hidden.emplace_back(argv[i]);
+  auto opts = cli_options();
+  opts.public_password = argv[4];
+  for (int i = 5; i < argc; ++i) opts.hidden_passwords.emplace_back(argv[i]);
   if (mb < 8) {
     std::fprintf(stderr, "image must be at least 8 MB\n");
     return 1;
   }
-  auto dev = std::make_shared<blockdev::FileBlockDevice>(image, mb << 8);
-  auto mc = core::MobiCealDevice::initialize(dev, cli_config(), pub, hidden);
-  std::printf("initialised %s: %llu MB, %u volumes (%zu hidden)\n",
+  opts.device = std::make_shared<blockdev::FileBlockDevice>(image, mb << 8);
+  auto dev = api::SchemeRegistry::create(g_scheme, opts);
+  std::printf("initialised %s: %llu MB, scheme %s (%zu hidden password(s))\n",
               image.c_str(), static_cast<unsigned long long>(mb),
-              mc->num_volumes(), hidden.size());
+              g_scheme.c_str(), opts.hidden_passwords.size());
   return 0;
 }
 
 int cmd_ls(int argc, char** argv) {
   if (argc < 4) return usage();
-  auto mc = attach_and_boot(argv[2], argv[3]);
+  auto dev = attach_and_unlock(argv[2], argv[3]);
   const std::string dir = argc > 4 ? argv[4] : "/";
-  for (const auto& name : mc->data_fs().list(dir)) {
+  for (const auto& name : dev->data_fs().list(dir)) {
     const std::string full = dir == "/" ? "/" + name : dir + "/" + name;
-    const auto info = mc->data_fs().stat(full);
+    const auto info = dev->data_fs().stat(full);
     std::printf("%10llu  %s%s\n",
                 static_cast<unsigned long long>(info.size), full.c_str(),
                 info.is_dir ? "/" : "");
   }
-  mc->reboot();
+  dev->reboot();
   return 0;
 }
 
 int cmd_put(int argc, char** argv) {
   if (argc < 6) return usage();
-  auto mc = attach_and_boot(argv[2], argv[3]);
-  mc->data_fs().write_file(argv[4], util::bytes_of(argv[5]));
-  mc->data_fs().sync();
-  mc->reboot();
+  auto dev = attach_and_unlock(argv[2], argv[3]);
+  dev->data_fs().write_file(argv[4], util::bytes_of(argv[5]));
+  dev->data_fs().sync();
+  dev->reboot();
   std::printf("wrote %zu bytes to %s\n", std::strlen(argv[5]), argv[4]);
   return 0;
 }
 
 int cmd_get(int argc, char** argv) {
   if (argc < 5) return usage();
-  auto mc = attach_and_boot(argv[2], argv[3]);
-  const auto data = mc->data_fs().read_file(argv[4]);
+  auto dev = attach_and_unlock(argv[2], argv[3]);
+  const auto data = dev->data_fs().read_file(argv[4]);
   std::fwrite(data.data(), 1, data.size(), stdout);
   std::printf("\n");
-  mc->reboot();
+  dev->reboot();
   return 0;
 }
 
 int cmd_rm(int argc, char** argv) {
   if (argc < 5) return usage();
-  auto mc = attach_and_boot(argv[2], argv[3]);
-  mc->data_fs().unlink(argv[4]);
-  mc->data_fs().sync();
-  mc->reboot();
+  auto dev = attach_and_unlock(argv[2], argv[3]);
+  dev->data_fs().unlink(argv[4]);
+  dev->data_fs().sync();
+  dev->reboot();
   std::printf("removed %s\n", argv[4]);
   return 0;
 }
 
 int cmd_gc(int argc, char** argv) {
   if (argc < 4) return usage();
-  auto mc = attach(argv[2]);
-  if (mc->boot(argv[3]) != core::AuthResult::kHidden) {
+  if (!api::SchemeRegistry::entry(g_scheme)
+           .capabilities.has(api::Capability::kGarbageCollection)) {
+    std::fprintf(stderr, "scheme %s has no garbage collection\n",
+                 g_scheme.c_str());
+    return 1;
+  }
+  auto dev = attach(argv[2]);
+  const auto result = dev->unlock(argv[3]);
+  if (!result.ok || result.volume != api::VolumeClass::kHidden) {
     std::fprintf(stderr, "gc requires a hidden password (Sec. IV-D)\n");
     return 1;
   }
   std::vector<std::string> prot;
   for (int i = 4; i < argc; ++i) prot.emplace_back(argv[i]);
-  const auto reclaimed = mc->collect_garbage(0.5, prot);
+  const auto reclaimed = dev->collect_garbage(0.5, prot);
   std::printf("reclaimed %llu dummy chunk(s)\n",
               static_cast<unsigned long long>(reclaimed));
-  mc->reboot();
+  dev->reboot();
   return 0;
 }
 
@@ -221,18 +258,47 @@ int cmd_analyze(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) return usage();
-  const std::string cmd = argv[1];
+  // Consume global flags before the command word.
+  std::vector<char*> args(argv, argv + argc);
+  for (std::size_t i = 1; i < args.size();) {
+    if (std::strcmp(args[i], "--list-schemes") == 0) return cmd_list_schemes();
+    if (std::strcmp(args[i], "--scheme") == 0) {
+      if (i + 1 >= args.size()) return usage();
+      g_scheme = args[i + 1];
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+                 args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+      continue;
+    }
+    break;
+  }
+  if (args.size() < 2) return usage();
+  // Global flags are only valid before the command word — a stray
+  // "--scheme" later would otherwise be swallowed as a password/path.
+  for (std::size_t i = 2; i < args.size(); ++i) {
+    if (std::strcmp(args[i], "--scheme") == 0 ||
+        std::strcmp(args[i], "--list-schemes") == 0) {
+      std::fprintf(stderr, "%s must come before the command\n", args[i]);
+      return 2;
+    }
+  }
+  if (!api::SchemeRegistry::contains(g_scheme)) {
+    std::fprintf(stderr, "unknown scheme: %s (try --list-schemes)\n",
+                 g_scheme.c_str());
+    return 2;
+  }
+  const std::string cmd = args[1];
+  const int ac = static_cast<int>(args.size());
+  char** av = args.data();
   try {
-    if (cmd == "init") return cmd_init(argc, argv);
-    if (cmd == "ls") return cmd_ls(argc, argv);
-    if (cmd == "put") return cmd_put(argc, argv);
-    if (cmd == "get") return cmd_get(argc, argv);
-    if (cmd == "rm") return cmd_rm(argc, argv);
-    if (cmd == "gc") return cmd_gc(argc, argv);
-    if (cmd == "info") return cmd_info(argc, argv);
-    if (cmd == "snapshot") return cmd_snapshot(argc, argv);
-    if (cmd == "analyze") return cmd_analyze(argc, argv);
+    if (cmd == "init") return cmd_init(ac, av);
+    if (cmd == "ls") return cmd_ls(ac, av);
+    if (cmd == "put") return cmd_put(ac, av);
+    if (cmd == "get") return cmd_get(ac, av);
+    if (cmd == "rm") return cmd_rm(ac, av);
+    if (cmd == "gc") return cmd_gc(ac, av);
+    if (cmd == "info") return cmd_info(ac, av);
+    if (cmd == "snapshot") return cmd_snapshot(ac, av);
+    if (cmd == "analyze") return cmd_analyze(ac, av);
   } catch (const util::Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

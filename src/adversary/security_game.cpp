@@ -1,8 +1,8 @@
 #include "adversary/security_game.hpp"
 
-#include "baselines/mobipluto.hpp"
+#include "api/scheme_registry.hpp"
 #include "blockdev/block_device.hpp"
-#include "core/mobiceal.hpp"
+#include "util/error.hpp"
 #include "util/rng.hpp"
 
 namespace mobiceal::adversary {
@@ -24,20 +24,75 @@ struct TrialTrace {
   std::vector<ThinMetadataReader> readers;
 };
 
-template <typename BootPublic, typename WriteFile, typename StoreHidden,
-          typename Reboot>
-TrialTrace run_rounds(const GameConfig& cfg, bool hidden_world,
-                      util::Rng& rng,
-                      blockdev::BlockDevice& disk, BootPublic boot_public,
-                      WriteFile write_file, StoreHidden store_hidden,
-                      Reboot reboot) {
+TrialTrace run_trial(const GameConfig& cfg, bool hidden_world,
+                     std::uint64_t trial_seed, util::Rng& rng) {
+  auto disk = std::make_shared<blockdev::MemBlockDevice>(cfg.disk_blocks);
+
+  api::SchemeOptions opts;
+  opts.device = disk;
+  opts.public_password = kPub;
+  opts.hidden_passwords = {kHid};
+  opts.num_volumes = cfg.num_volumes;
+  opts.chunk_blocks = cfg.chunk_blocks;
+  opts.kdf_iterations = 16;
+  opts.fs_inode_count = 256;
+  opts.zero_cpu_models = true;
+  opts.rng_seed = trial_seed;
+  opts.lambda = cfg.lambda;
+  opts.x = cfg.x;
+  auto dev = api::SchemeRegistry::create(cfg.scheme, opts);
+  if (!dev->capabilities().has(api::Capability::kHiddenVolume)) {
+    throw util::PolicyError("security game: scheme '" + cfg.scheme +
+                            "' has no hidden volume to hide data in");
+  }
+  const bool fast_switch =
+      dev->capabilities().has(api::Capability::kFastSwitch);
+
+  // Every mode change must succeed: a silent fall-through would write the
+  // "hidden" payload into the public volume and corrupt the measured
+  // advantage — the repo's headline number.
+  auto must_unlock = [&](const char* pwd, api::VolumeClass want) {
+    const auto r = dev->unlock(pwd);
+    if (!r.ok || r.volume != want) {
+      throw util::PolicyError("security game: unlock did not reach the " +
+                              std::string(want == api::VolumeClass::kHidden
+                                              ? "hidden"
+                                              : "public") +
+                              " volume on '" + cfg.scheme + "'");
+    }
+  };
+  auto boot_public = [&] { must_unlock(kPub, api::VolumeClass::kPublic); };
+  auto write_file = [&](const std::string& path, std::size_t n) {
+    dev->data_fs().write_file(path, random_payload(rng, n));
+    dev->data_fs().sync();
+  };
+  auto store_hidden = [&](const std::string& path, std::size_t n) {
+    if (fast_switch) {
+      // The MobiCeal workflow: fast switch at the lock screen, store,
+      // reboot back to public mode (Sec. IV-B "User Steps").
+      if (!dev->switch_volume(kHid)) {
+        throw util::PolicyError("security game: fast switch failed on '" +
+                                cfg.scheme + "'");
+      }
+    } else {
+      // No fast switch: full reboot into hidden mode.
+      dev->reboot();
+      must_unlock(kHid, api::VolumeClass::kHidden);
+    }
+    dev->data_fs().write_file(path, random_payload(rng, n));
+    dev->data_fs().sync();
+    dev->reboot();
+    boot_public();
+  };
+  auto reboot = [&] { dev->reboot(); };
+
   TrialTrace trace;
   // Baseline usage, then snapshot D0.
   boot_public();
   write_file("/base0", cfg.public_file_bytes);
   write_file("/base1", cfg.public_file_bytes / 2);
   reboot();
-  trace.readers.emplace_back(Snapshot::take(disk));
+  trace.readers.emplace_back(Snapshot::take(*disk));
 
   int file_id = 0;
   for (std::uint32_t round = 0; round < cfg.rounds; ++round) {
@@ -62,74 +117,9 @@ TrialTrace run_rounds(const GameConfig& cfg, bool hidden_world,
       }
     }
     reboot();
-    trace.readers.emplace_back(Snapshot::take(disk));
+    trace.readers.emplace_back(Snapshot::take(*disk));
   }
   return trace;
-}
-
-TrialTrace run_mobiceal_trial(const GameConfig& cfg, bool hidden_world,
-                              std::uint64_t trial_seed, util::Rng& rng) {
-  auto disk = std::make_shared<blockdev::MemBlockDevice>(cfg.disk_blocks);
-  core::MobiCealDevice::Config mc;
-  mc.num_volumes = cfg.num_volumes;
-  mc.chunk_blocks = cfg.chunk_blocks;
-  mc.kdf_iterations = 16;
-  mc.fs_inode_count = 256;
-  mc.thin_cpu = thin::ThinCpuModel::zero();
-  mc.crypt_cpu = dm::CryptCpuModel::zero();
-  mc.rng_seed = trial_seed;
-  mc.dummy.x = cfg.x;
-  mc.dummy.lambda = cfg.lambda;
-  auto dev = core::MobiCealDevice::initialize(disk, mc, kPub, {kHid});
-
-  auto boot_public = [&] { dev->boot(kPub); };
-  auto write_file = [&](const std::string& path, std::size_t n) {
-    dev->data_fs().write_file(path, random_payload(rng, n));
-    dev->data_fs().sync();
-  };
-  auto store_hidden = [&](const std::string& path, std::size_t n) {
-    // The MobiCeal workflow: fast switch at the lock screen, store, reboot
-    // back to public mode (Sec. IV-B "User Steps").
-    dev->switch_to_hidden(kHid);
-    dev->data_fs().write_file(path, random_payload(rng, n));
-    dev->data_fs().sync();
-    dev->reboot();
-    dev->boot(kPub);
-  };
-  auto reboot = [&] { dev->reboot(); };
-  return run_rounds(cfg, hidden_world, rng, *disk, boot_public, write_file,
-                    store_hidden, reboot);
-}
-
-TrialTrace run_mobipluto_trial(const GameConfig& cfg, bool hidden_world,
-                               std::uint64_t trial_seed, util::Rng& rng) {
-  auto disk = std::make_shared<blockdev::MemBlockDevice>(cfg.disk_blocks);
-  baselines::MobiPlutoDevice::Config mp;
-  mp.chunk_blocks = cfg.chunk_blocks;
-  mp.kdf_iterations = 16;
-  mp.fs_inode_count = 256;
-  mp.thin_cpu = thin::ThinCpuModel::zero();
-  mp.crypt_cpu = dm::CryptCpuModel::zero();
-  mp.rng_seed = trial_seed;
-  auto dev = baselines::MobiPlutoDevice::initialize(disk, mp, kPub, kHid);
-
-  auto boot_public = [&] { dev->boot(kPub); };
-  auto write_file = [&](const std::string& path, std::size_t n) {
-    dev->data_fs().write_file(path, random_payload(rng, n));
-    dev->data_fs().sync();
-  };
-  auto store_hidden = [&](const std::string& path, std::size_t n) {
-    // MobiPluto has no fast switch: reboot into hidden mode and back.
-    dev->reboot();
-    dev->boot(kHid);
-    dev->data_fs().write_file(path, random_payload(rng, n));
-    dev->data_fs().sync();
-    dev->reboot();
-    dev->boot(kPub);
-  };
-  auto reboot = [&] { dev->reboot(); };
-  return run_rounds(cfg, hidden_world, rng, *disk, boot_public, write_file,
-                    store_hidden, reboot);
 }
 
 }  // namespace
@@ -146,10 +136,7 @@ GameResult run_security_game(const GameConfig& cfg) {
     const std::uint64_t trial_seed = master.next_u64();
     util::Xoshiro256 rng(master.next_u64());
 
-    const TrialTrace trace =
-        cfg.system == SystemKind::kMobiCeal
-            ? run_mobiceal_trial(cfg, hidden_world, trial_seed, rng)
-            : run_mobipluto_trial(cfg, hidden_world, trial_seed, rng);
+    const TrialTrace trace = run_trial(cfg, hidden_world, trial_seed, rng);
 
     // Aggregate growth over the whole observation window.
     const auto& first = trace.readers.front();

@@ -13,6 +13,13 @@
 // Theorem VI.2 predicts advantage ≈ 0 for MobiCeal; the same game against
 // MobiPluto (no dummy writes) yields advantage ≈ 1/2 (the distinguisher is
 // always right) — that contrast is the headline security result.
+//
+// The game is scheme-agnostic: `scheme` names any registered api::PdeScheme
+// with a hidden volume. Fast-switch schemes store hidden data through the
+// lock-screen switch (Sec. IV-B "User Steps"); the rest reboot into hidden
+// mode and back. The distinguishers read dm-thin on-disk metadata, so
+// schemes without a thin pool (e.g. "mobiflage") make run_security_game
+// throw util::MetadataError at the first snapshot.
 #pragma once
 
 #include <cstdint>
@@ -25,10 +32,9 @@
 
 namespace mobiceal::adversary {
 
-enum class SystemKind { kMobiCeal, kMobiPluto };
-
 struct GameConfig {
-  SystemKind system = SystemKind::kMobiCeal;
+  /// SchemeRegistry key of the system under attack.
+  std::string scheme = "mobiceal";
   std::uint64_t trials = 24;
   std::uint32_t rounds = 3;  // snapshot events per trial (border crossings)
   std::uint32_t public_files_per_round = 10;

@@ -1,0 +1,62 @@
+// PdeScheme adapter over baselines::AndroidFdeDevice — stock Android full
+// disk encryption (Sec. II-A). Encryption only: no hidden volume, so its
+// capability set is empty and any non-public password simply fails to
+// unlock. Hidden passwords passed at initialisation are ignored.
+#include "api/scheme_registry.hpp"
+#include "baselines/android_fde.hpp"
+#include "util/error.hpp"
+
+namespace mobiceal::api {
+
+namespace {
+
+class AndroidFdeScheme final : public PdeScheme {
+ public:
+  explicit AndroidFdeScheme(const SchemeOptions& opts) {
+    baselines::AndroidFdeDevice::Config cfg;
+    cfg.kdf_iterations = opts.kdf_iterations;
+    cfg.fs_inode_count = opts.fs_inode_count;
+    cfg.rng_seed = opts.rng_seed;
+    if (opts.zero_cpu_models) cfg.crypt_cpu = dm::CryptCpuModel::zero();
+    device_ = opts.format
+                  ? baselines::AndroidFdeDevice::initialize(
+                        opts.device, cfg, opts.public_password, opts.clock)
+                  : baselines::AndroidFdeDevice::attach(opts.device, cfg,
+                                                        opts.clock);
+  }
+
+  const std::string& name() const noexcept override {
+    static const std::string kName = "android_fde";
+    return kName;
+  }
+
+  Capabilities capabilities() const noexcept override { return {}; }
+
+  bool locked() const noexcept override { return !device_->mounted(); }
+
+  UnlockResult unlock(const std::string& password) override {
+    return device_->boot(password)
+               ? UnlockResult::mounted(VolumeClass::kPublic)
+               : UnlockResult::failure();
+  }
+
+  void reboot() override { device_->reboot(); }
+
+  fs::FileSystem& data_fs() override { return device_->data_fs(); }
+
+ private:
+  std::unique_ptr<baselines::AndroidFdeDevice> device_;
+};
+
+const SchemeRegistrar kRegistrar{
+    "android_fde",
+    {Capabilities{},
+     "stock Android FDE: dm-crypt over userdata, no deniability",
+     /*supports_attach=*/true,
+     [](const SchemeOptions& opts) -> std::unique_ptr<PdeScheme> {
+       return std::make_unique<AndroidFdeScheme>(opts);
+     }}};
+
+}  // namespace
+
+}  // namespace mobiceal::api

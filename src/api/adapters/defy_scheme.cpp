@@ -1,0 +1,50 @@
+// PdeScheme adapter over baselines::DefyDevice — the DEFY-style
+// log-structured deniable device (Table I). Every write appends freshly
+// re-encrypted pages, so the physical log reveals nothing across snapshots;
+// the single deniability level of this reproduction mounts as the public
+// volume. GC is internal (threshold-triggered page relocation), hence not
+// kGarbageCollection.
+#include "api/adapters/footer_translator_scheme.hpp"
+#include "api/scheme_registry.hpp"
+#include "baselines/defy.hpp"
+
+namespace mobiceal::api {
+
+namespace {
+
+class DefyScheme final : public FooterTranslatorScheme {
+ public:
+  explicit DefyScheme(const SchemeOptions& opts) { setup(opts); }
+
+  const std::string& name() const noexcept override {
+    static const std::string kName = "defy";
+    return kName;
+  }
+
+  Capabilities capabilities() const noexcept override {
+    return {Capability::kMultiSnapshotSecure};
+  }
+
+ protected:
+  std::shared_ptr<blockdev::BlockDevice> make_translator(
+      std::shared_ptr<blockdev::BlockDevice> data_region, util::ByteSpan key,
+      const SchemeOptions& opts) override {
+    baselines::DefyDevice::Config cfg;
+    cfg.rng_seed = opts.rng_seed;
+    return std::make_shared<baselines::DefyDevice>(std::move(data_region),
+                                                   key, cfg, opts.clock);
+  }
+};
+
+const SchemeRegistrar kRegistrar{
+    "defy",
+    {Capabilities{Capability::kMultiSnapshotSecure},
+     "DEFY-style log-structured deniable device (multi-snapshot secure)",
+     /*supports_attach=*/false,
+     [](const SchemeOptions& opts) -> std::unique_ptr<PdeScheme> {
+       return std::make_unique<DefyScheme>(opts);
+     }}};
+
+}  // namespace
+
+}  // namespace mobiceal::api

@@ -1,0 +1,62 @@
+#include "api/adapters/footer_translator_scheme.hpp"
+
+#include <algorithm>
+
+#include "crypto/random.hpp"
+#include "dm/device_mapper.hpp"
+#include "fs/ext_fs.hpp"
+#include "util/error.hpp"
+
+namespace mobiceal::api {
+
+void FooterTranslatorScheme::setup(const SchemeOptions& opts) {
+  if (!opts.format) {
+    throw util::PolicyError(
+        name() + ": cannot attach to an existing image (the translator's "
+                 "logical map lives in RAM in this reproduction)");
+  }
+  crypto::SecureRandom rng(opts.rng_seed);
+  // 32-byte master key: the translators' XTS sector cipher needs it (the
+  // dm-crypt stacks use 16-byte CBC-ESSIV keys instead).
+  footer_ = fde::create_footer(rng, util::bytes_of(opts.public_password),
+                               "aes-xts-plain64", 32, opts.kdf_iterations);
+  fde::write_footer(*opts.device, footer_);
+  master_key_ =
+      fde::decrypt_master_key(footer_, util::bytes_of(opts.public_password));
+
+  const std::uint64_t fb = fde::footer_blocks(opts.device->block_size());
+  auto data_region = std::make_shared<dm::LinearTarget>(
+      opts.device, 0, opts.device->num_blocks() - fb);
+  translator_ = make_translator(std::move(data_region), master_key_.span(),
+                                opts);
+  fs::ExtFs::format(translator_, opts.fs_inode_count)->sync();
+}
+
+UnlockResult FooterTranslatorScheme::unlock(const std::string& password) {
+  if (fs_) throw util::PolicyError(name() + ": already unlocked");
+  const util::SecureBytes key =
+      fde::decrypt_master_key(footer_, util::bytes_of(password));
+  // Deterministic KDF: only the initialisation password reproduces the
+  // master key. A mismatch reveals nothing about why it failed.
+  const auto a = key.span();
+  const auto b = master_key_.span();
+  if (a.size() != b.size() || !std::equal(a.begin(), a.end(), b.begin())) {
+    return UnlockResult::failure();
+  }
+  fs_ = fs::ExtFs::mount(translator_);
+  return UnlockResult::mounted(VolumeClass::kPublic);
+}
+
+void FooterTranslatorScheme::reboot() {
+  if (fs_) {
+    fs_->sync();
+    fs_.reset();
+  }
+}
+
+fs::FileSystem& FooterTranslatorScheme::data_fs() {
+  if (!fs_) throw util::PolicyError(name() + ": not unlocked");
+  return *fs_;
+}
+
+}  // namespace mobiceal::api

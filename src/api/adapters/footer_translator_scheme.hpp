@@ -1,0 +1,54 @@
+// Shared adapter machinery for the block-translator baselines (DEFY, HIVE).
+//
+// Both reproductions are keyed BlockDevice translators, not full systems
+// with their own key management, so the adapter supplies the missing
+// lifecycle: an Android-style crypto footer in the last 16 KiB holds the
+// salt + encrypted master key, the translator runs over the remaining
+// blocks under the master key, and ext4 is formatted on top.
+//
+// Two deliberate simplifications, both documented per backend:
+//   * Password verification compares the footer-decrypted key against the
+//     initialisation-time master key (PBKDF2 is deterministic), standing in
+//     for DEFY's KDF-chain walk / HIVE's map authentication.
+//   * The translators keep their logical->physical maps in RAM (the real
+//     systems persist them to flash), so these schemes cannot re-attach to
+//     a cold image — the registry entry says supports_attach = false, and
+//     reboot() drops only the mount, as the physical device would keep its
+//     FTL state across a power cycle.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "api/pde_scheme.hpp"
+#include "fde/crypto_footer.hpp"
+
+namespace mobiceal::api {
+
+class FooterTranslatorScheme : public PdeScheme {
+ public:
+  bool locked() const noexcept override { return fs_ == nullptr; }
+  UnlockResult unlock(const std::string& password) override;
+  void reboot() override;
+  fs::FileSystem& data_fs() override;
+
+ protected:
+  /// Formats the footer + translator + ext4; leaves the scheme locked.
+  /// Must be called from the subclass constructor (it needs the
+  /// make_translator override). Throws util::PolicyError when
+  /// opts.format == false — see the header comment.
+  void setup(const SchemeOptions& opts);
+
+  /// Builds the keyed translator over the usable (footer-less) region.
+  virtual std::shared_ptr<blockdev::BlockDevice> make_translator(
+      std::shared_ptr<blockdev::BlockDevice> data_region, util::ByteSpan key,
+      const SchemeOptions& opts) = 0;
+
+ private:
+  fde::CryptoFooter footer_;
+  util::SecureBytes master_key_;
+  std::shared_ptr<blockdev::BlockDevice> translator_;
+  std::unique_ptr<fs::FileSystem> fs_;
+};
+
+}  // namespace mobiceal::api

@@ -1,0 +1,48 @@
+// PdeScheme adapter over baselines::HiveWoOram — the HIVE write-only ORAM
+// (Table I). Every logical write touches k uniformly random physical slots,
+// making the physical write pattern independent of the logical one; the
+// cost is the ~99% throughput overhead the Table I bench reproduces.
+#include "api/adapters/footer_translator_scheme.hpp"
+#include "api/scheme_registry.hpp"
+#include "baselines/hive_woram.hpp"
+
+namespace mobiceal::api {
+
+namespace {
+
+class HiveScheme final : public FooterTranslatorScheme {
+ public:
+  explicit HiveScheme(const SchemeOptions& opts) { setup(opts); }
+
+  const std::string& name() const noexcept override {
+    static const std::string kName = "hive";
+    return kName;
+  }
+
+  Capabilities capabilities() const noexcept override {
+    return {Capability::kMultiSnapshotSecure};
+  }
+
+ protected:
+  std::shared_ptr<blockdev::BlockDevice> make_translator(
+      std::shared_ptr<blockdev::BlockDevice> data_region, util::ByteSpan key,
+      const SchemeOptions& opts) override {
+    baselines::HiveWoOram::Config cfg;
+    cfg.rng_seed = opts.rng_seed;
+    return std::make_shared<baselines::HiveWoOram>(std::move(data_region),
+                                                   key, cfg, opts.clock);
+  }
+};
+
+const SchemeRegistrar kRegistrar{
+    "hive",
+    {Capabilities{Capability::kMultiSnapshotSecure},
+     "HIVE write-only ORAM device (multi-snapshot secure)",
+     /*supports_attach=*/false,
+     [](const SchemeOptions& opts) -> std::unique_ptr<PdeScheme> {
+       return std::make_unique<HiveScheme>(opts);
+     }}};
+
+}  // namespace
+
+}  // namespace mobiceal::api

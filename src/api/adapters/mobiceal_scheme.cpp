@@ -1,0 +1,100 @@
+// PdeScheme adapter over core::MobiCealDevice — the only backend with the
+// full capability set (Sec. IV): hidden volumes behind per-password indices,
+// dummy writes + random allocation for multi-snapshot security, lock-screen
+// fast switching and hidden-mode garbage collection.
+#include "api/scheme_registry.hpp"
+#include "core/mobiceal.hpp"
+#include "util/error.hpp"
+
+namespace mobiceal::api {
+
+namespace {
+
+core::MobiCealDevice::Config device_config(const SchemeOptions& opts) {
+  core::MobiCealDevice::Config cfg;
+  cfg.num_volumes = opts.num_volumes;
+  cfg.chunk_blocks = opts.chunk_blocks;
+  cfg.kdf_iterations = opts.kdf_iterations;
+  cfg.fs_inode_count = opts.fs_inode_count;
+  cfg.rng_seed = opts.rng_seed;
+  cfg.random_allocation = opts.random_allocation;
+  cfg.dummy.lambda = opts.lambda;
+  cfg.dummy.x = opts.x;
+  if (opts.zero_cpu_models) {
+    cfg.thin_cpu = thin::ThinCpuModel::zero();
+    cfg.crypt_cpu = dm::CryptCpuModel::zero();
+  }
+  return cfg;
+}
+
+class MobiCealScheme final : public PdeScheme {
+ public:
+  explicit MobiCealScheme(const SchemeOptions& opts) {
+    const auto cfg = device_config(opts);
+    device_ = opts.format
+                  ? core::MobiCealDevice::initialize(opts.device, cfg,
+                                                     opts.public_password,
+                                                     opts.hidden_passwords,
+                                                     opts.clock)
+                  : core::MobiCealDevice::attach(opts.device, cfg, opts.clock);
+  }
+
+  const std::string& name() const noexcept override {
+    static const std::string kName = "mobiceal";
+    return kName;
+  }
+
+  Capabilities capabilities() const noexcept override {
+    return {Capability::kHiddenVolume, Capability::kMultiSnapshotSecure,
+            Capability::kFastSwitch, Capability::kGarbageCollection,
+            Capability::kDummyWrites};
+  }
+
+  bool locked() const noexcept override {
+    return device_->mode() == core::Mode::kLocked;
+  }
+
+  UnlockResult unlock(const std::string& password) override {
+    switch (device_->boot(password)) {
+      case core::AuthResult::kPublic:
+        return UnlockResult::mounted(VolumeClass::kPublic);
+      case core::AuthResult::kHidden:
+        return UnlockResult::mounted(VolumeClass::kHidden);
+      case core::AuthResult::kWrongPassword:
+        return UnlockResult::failure();
+    }
+    return UnlockResult::failure();
+  }
+
+  bool switch_volume(const std::string& password) override {
+    return device_->switch_to_hidden(password);
+  }
+
+  void reboot() override { device_->reboot(); }
+
+  fs::FileSystem& data_fs() override { return device_->data_fs(); }
+
+  std::uint64_t collect_garbage(
+      double min_fraction,
+      const std::vector<std::string>& protected_passwords) override {
+    return device_->collect_garbage(min_fraction, protected_passwords);
+  }
+
+ private:
+  std::unique_ptr<core::MobiCealDevice> device_;
+};
+
+const SchemeRegistrar kRegistrar{
+    "mobiceal",
+    {Capabilities{Capability::kHiddenVolume, Capability::kMultiSnapshotSecure,
+                  Capability::kFastSwitch, Capability::kGarbageCollection,
+                  Capability::kDummyWrites},
+     "MobiCeal (DSN'18): thin provisioning + dummy writes + fast switch",
+     /*supports_attach=*/true,
+     [](const SchemeOptions& opts) -> std::unique_ptr<PdeScheme> {
+       return std::make_unique<MobiCealScheme>(opts);
+     }}};
+
+}  // namespace
+
+}  // namespace mobiceal::api

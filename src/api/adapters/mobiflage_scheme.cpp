@@ -1,0 +1,80 @@
+// PdeScheme adapter over baselines::MobiflageDevice — the original
+// offset-based mobile PDE. A FAT32 public volume spans the disk and the
+// hidden ext volume sits at a password-derived secret offset; deniability
+// holds for a single snapshot only, and the sequential public allocator can
+// grow into (and destroy) the hidden region.
+#include "api/scheme_registry.hpp"
+#include "baselines/mobiflage.hpp"
+#include "util/error.hpp"
+
+namespace mobiceal::api {
+
+namespace {
+
+class MobiflageScheme final : public PdeScheme {
+ public:
+  explicit MobiflageScheme(const SchemeOptions& opts) {
+    baselines::MobiflageDevice::Config cfg;
+    cfg.kdf_iterations = opts.kdf_iterations;
+    cfg.rng_seed = opts.rng_seed;
+    cfg.skip_random_fill = opts.skip_random_fill;
+    if (opts.zero_cpu_models) cfg.crypt_cpu = dm::CryptCpuModel::zero();
+    if (opts.format) {
+      if (opts.hidden_passwords.size() != 1) {
+        throw util::PolicyError(
+            "mobiflage: initialisation needs exactly one hidden password");
+      }
+      device_ = baselines::MobiflageDevice::initialize(
+          opts.device, cfg, opts.public_password, opts.hidden_passwords[0],
+          opts.clock);
+    } else {
+      device_ = baselines::MobiflageDevice::attach(opts.device, cfg,
+                                                   opts.clock);
+    }
+  }
+
+  const std::string& name() const noexcept override {
+    static const std::string kName = "mobiflage";
+    return kName;
+  }
+
+  Capabilities capabilities() const noexcept override {
+    return {Capability::kHiddenVolume};
+  }
+
+  bool locked() const noexcept override {
+    return device_->mode() == baselines::MobiflageDevice::Mode::kLocked;
+  }
+
+  UnlockResult unlock(const std::string& password) override {
+    switch (device_->boot(password)) {
+      case baselines::MobiflageDevice::Mode::kPublic:
+        return UnlockResult::mounted(VolumeClass::kPublic);
+      case baselines::MobiflageDevice::Mode::kHidden:
+        return UnlockResult::mounted(VolumeClass::kHidden);
+      case baselines::MobiflageDevice::Mode::kLocked:
+        return UnlockResult::failure();
+    }
+    return UnlockResult::failure();
+  }
+
+  void reboot() override { device_->reboot(); }
+
+  fs::FileSystem& data_fs() override { return device_->data_fs(); }
+
+ private:
+  std::unique_ptr<baselines::MobiflageDevice> device_;
+};
+
+const SchemeRegistrar kRegistrar{
+    "mobiflage",
+    {Capabilities{Capability::kHiddenVolume},
+     "Mobiflage: hidden ext volume at a secret offset inside a FAT disk",
+     /*supports_attach=*/true,
+     [](const SchemeOptions& opts) -> std::unique_ptr<PdeScheme> {
+       return std::make_unique<MobiflageScheme>(opts);
+     }}};
+
+}  // namespace
+
+}  // namespace mobiceal::api

@@ -1,0 +1,84 @@
+// PdeScheme adapter over baselines::MobiPlutoDevice (Sec. II / Table II).
+// One hidden volume behind a second password, but single-snapshot security
+// only (static random fill, sequential allocation, no dummy writes) and no
+// fast switch — both mode changes require a reboot.
+#include "api/scheme_registry.hpp"
+#include "baselines/mobipluto.hpp"
+#include "util/error.hpp"
+
+namespace mobiceal::api {
+
+namespace {
+
+class MobiPlutoScheme final : public PdeScheme {
+ public:
+  explicit MobiPlutoScheme(const SchemeOptions& opts) {
+    baselines::MobiPlutoDevice::Config cfg;
+    cfg.chunk_blocks = opts.chunk_blocks;
+    cfg.kdf_iterations = opts.kdf_iterations;
+    cfg.fs_inode_count = opts.fs_inode_count;
+    cfg.rng_seed = opts.rng_seed;
+    cfg.skip_random_fill = opts.skip_random_fill;
+    if (opts.zero_cpu_models) {
+      cfg.thin_cpu = thin::ThinCpuModel::zero();
+      cfg.crypt_cpu = dm::CryptCpuModel::zero();
+    }
+    if (opts.format) {
+      if (opts.hidden_passwords.size() != 1) {
+        throw util::PolicyError(
+            "mobipluto: initialisation needs exactly one hidden password");
+      }
+      device_ = baselines::MobiPlutoDevice::initialize(
+          opts.device, cfg, opts.public_password, opts.hidden_passwords[0],
+          opts.clock);
+    } else {
+      device_ = baselines::MobiPlutoDevice::attach(opts.device, cfg,
+                                                   opts.clock);
+    }
+  }
+
+  const std::string& name() const noexcept override {
+    static const std::string kName = "mobipluto";
+    return kName;
+  }
+
+  Capabilities capabilities() const noexcept override {
+    return {Capability::kHiddenVolume};
+  }
+
+  bool locked() const noexcept override {
+    return device_->mode() == baselines::MobiPlutoDevice::Mode::kLocked;
+  }
+
+  UnlockResult unlock(const std::string& password) override {
+    switch (device_->boot(password)) {
+      case baselines::MobiPlutoDevice::Mode::kPublic:
+        return UnlockResult::mounted(VolumeClass::kPublic);
+      case baselines::MobiPlutoDevice::Mode::kHidden:
+        return UnlockResult::mounted(VolumeClass::kHidden);
+      case baselines::MobiPlutoDevice::Mode::kLocked:
+        return UnlockResult::failure();
+    }
+    return UnlockResult::failure();
+  }
+
+  void reboot() override { device_->reboot(); }
+
+  fs::FileSystem& data_fs() override { return device_->data_fs(); }
+
+ private:
+  std::unique_ptr<baselines::MobiPlutoDevice> device_;
+};
+
+const SchemeRegistrar kRegistrar{
+    "mobipluto",
+    {Capabilities{Capability::kHiddenVolume},
+     "MobiPluto: thin provisioning + hidden volume, single-snapshot PDE",
+     /*supports_attach=*/true,
+     [](const SchemeOptions& opts) -> std::unique_ptr<PdeScheme> {
+       return std::make_unique<MobiPlutoScheme>(opts);
+     }}};
+
+}  // namespace
+
+}  // namespace mobiceal::api

@@ -1,0 +1,37 @@
+#include "api/pde_scheme.hpp"
+
+#include "util/error.hpp"
+
+namespace mobiceal::api {
+
+std::string Capabilities::to_string() const {
+  static constexpr struct {
+    Capability cap;
+    const char* label;
+  } kNames[] = {
+      {Capability::kHiddenVolume, "hidden-volume"},
+      {Capability::kMultiSnapshotSecure, "multi-snapshot-secure"},
+      {Capability::kFastSwitch, "fast-switch"},
+      {Capability::kGarbageCollection, "garbage-collection"},
+      {Capability::kDummyWrites, "dummy-writes"},
+  };
+  std::string out;
+  for (const auto& [cap, label] : kNames) {
+    if (!has(cap)) continue;
+    if (!out.empty()) out += '|';
+    out += label;
+  }
+  return out.empty() ? "none" : out;
+}
+
+bool PdeScheme::switch_volume(const std::string& /*password*/) {
+  return false;  // no fast switch: callers must reboot into the other mode
+}
+
+std::uint64_t PdeScheme::collect_garbage(
+    double /*min_fraction*/,
+    const std::vector<std::string>& /*protected_passwords*/) {
+  throw util::PolicyError(name() + ": scheme has no garbage collection");
+}
+
+}  // namespace mobiceal::api

@@ -1,0 +1,162 @@
+// PdeScheme — the uniform scheme boundary of the storage stack.
+//
+// The repo reproduces MobiCeal alongside five baseline PDE systems, and the
+// multi-snapshot literature (Chen et al. 2022, MobiGyges 2020) evaluates
+// *families* of schemes under one harness. Every backend therefore plugs in
+// behind this interface: a common lifecycle (initialise/attach via
+// SchemeRegistry::create, then unlock/switch_volume/reboot/data_fs/
+// collect_garbage) plus a Capabilities bitset that tells harnesses what a
+// scheme can do instead of hardcoding per-system enums.
+//
+//   MobiCeal      hidden volumes, multi-snapshot secure, fast switch,
+//                 GC, dummy writes
+//   Android FDE   none (encryption only, no deniability)
+//   MobiPluto     hidden volume, single-snapshot only, reboot switching
+//   Mobiflage     hidden volume at a secret offset, single-snapshot only
+//   DEFY          multi-snapshot secure log device (single level here)
+//   HIVE          multi-snapshot secure write-only ORAM
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "blockdev/block_device.hpp"
+#include "fs/filesystem.hpp"
+#include "util/sim_clock.hpp"
+
+namespace mobiceal::api {
+
+/// What a scheme implementation is able to do. Harnesses branch on these
+/// instead of on concrete types (e.g. the security game only runs against
+/// kHiddenVolume schemes, and uses fast switch when kFastSwitch is set).
+enum class Capability : std::uint32_t {
+  /// A deniable (hidden) volume exists behind a second password.
+  kHiddenVolume = 1u << 0,
+  /// Designed to resist the multi-snapshot adversary of Sec. III-C.
+  kMultiSnapshotSecure = 1u << 1,
+  /// Public -> hidden switch without a reboot (Sec. IV-D).
+  kFastSwitch = 1u << 2,
+  /// User-invocable reclamation of dummy-occupied space (Sec. IV-D).
+  kGarbageCollection = 1u << 3,
+  /// Background dummy writes masking hidden activity (Sec. IV-B).
+  kDummyWrites = 1u << 4,
+};
+
+/// A small value-type bitset over Capability.
+class Capabilities {
+ public:
+  constexpr Capabilities() = default;
+  constexpr Capabilities(std::initializer_list<Capability> caps) {
+    for (const Capability c : caps) bits_ |= static_cast<std::uint32_t>(c);
+  }
+
+  constexpr bool has(Capability c) const noexcept {
+    return (bits_ & static_cast<std::uint32_t>(c)) != 0;
+  }
+  constexpr std::uint32_t bits() const noexcept { return bits_; }
+  constexpr bool operator==(const Capabilities& o) const noexcept {
+    return bits_ == o.bits_;
+  }
+
+  /// "hidden-volume|fast-switch|..." (or "none") for tables and --list.
+  std::string to_string() const;
+
+ private:
+  std::uint32_t bits_ = 0;
+};
+
+/// Which volume a successful unlock mounted at /data.
+enum class VolumeClass { kPublic, kHidden };
+
+/// Outcome of PdeScheme::unlock. A failed unlock is indistinguishable from
+/// a wrong password by design — schemes never reveal *why* it failed.
+struct UnlockResult {
+  bool ok = false;
+  VolumeClass volume = VolumeClass::kPublic;
+
+  static UnlockResult failure() { return {}; }
+  static UnlockResult mounted(VolumeClass v) { return {true, v}; }
+};
+
+/// Uniform construction options consumed by SchemeRegistry factories.
+/// Knobs a scheme does not have (e.g. num_volumes for Android FDE) are
+/// ignored by its adapter.
+struct SchemeOptions {
+  /// The userdata partition the scheme formats or re-attaches to.
+  std::shared_ptr<blockdev::BlockDevice> device;
+
+  /// true: format the device from scratch (the paper's
+  /// "vdc cryptfs pde wipe"); false: re-attach to an existing image.
+  bool format = true;
+
+  std::string public_password;
+  /// Hidden-volume passwords. Schemes with exactly one hidden volume
+  /// require exactly one entry; Android FDE ignores them.
+  std::vector<std::string> hidden_passwords;
+
+  /// Virtual clock for the calibrated service-time models (may be null).
+  std::shared_ptr<util::SimClock> clock;
+
+  std::uint64_t rng_seed = 1;
+  std::uint32_t kdf_iterations = 2000;
+  std::uint32_t fs_inode_count = 1024;
+  /// Total virtual volumes (public + hidden + dummy) — MobiCeal only.
+  std::uint32_t num_volumes = 8;
+  /// Thin-pool chunk size in blocks — MobiCeal and MobiPluto.
+  std::uint32_t chunk_blocks = 16;
+  /// Dummy-write parameters (Sec. IV-B) — MobiCeal only.
+  double lambda = 1.0;
+  std::uint32_t x = 50;
+  /// Ablation knob: false falls back to stock sequential allocation.
+  bool random_allocation = true;
+  /// Skip the one-time full-device random fill (MobiPluto/Mobiflage) —
+  /// only for tests/benches where the static defence is irrelevant.
+  bool skip_random_fill = false;
+  /// Zero out the thin/crypt CPU service-time models (adversary runs and
+  /// unit tests that only care about on-disk behaviour).
+  bool zero_cpu_models = false;
+};
+
+/// Abstract PDE scheme: one initialised (or attached) device image plus its
+/// mount state. Instances come from SchemeRegistry::create and start locked.
+class PdeScheme {
+ public:
+  virtual ~PdeScheme() = default;
+
+  /// Registry key ("mobiceal", "mobipluto", ...).
+  virtual const std::string& name() const noexcept = 0;
+
+  virtual Capabilities capabilities() const noexcept = 0;
+
+  /// True when no volume is mounted (pre-boot, or after reboot()).
+  virtual bool locked() const noexcept = 0;
+
+  /// Offers a password at the pre-boot prompt. Returns which volume it
+  /// mounted, or failure() — leaving the device locked — for anything
+  /// else. Throws util::PolicyError if already unlocked.
+  virtual UnlockResult unlock(const std::string& password) = 0;
+
+  /// Lock-screen fast switch into the hidden volume named by `password`
+  /// (Sec. IV-D). Only meaningful in public mode on kFastSwitch schemes;
+  /// the default returns false (no fast switch — reboot instead).
+  virtual bool switch_volume(const std::string& password);
+
+  /// Power cycle: unmounts, clears key material from the mount state, and
+  /// returns to locked.
+  virtual void reboot() = 0;
+
+  /// Filesystem mounted at /data. Throws util::PolicyError when locked.
+  virtual fs::FileSystem& data_fs() = 0;
+
+  /// Reclaims dummy-occupied space (Sec. IV-D). The default throws
+  /// util::PolicyError — only kGarbageCollection schemes override it.
+  /// Returns the number of chunks reclaimed.
+  virtual std::uint64_t collect_garbage(
+      double min_fraction = 0.5,
+      const std::vector<std::string>& protected_passwords = {});
+};
+
+}  // namespace mobiceal::api

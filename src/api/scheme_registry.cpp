@@ -1,0 +1,64 @@
+#include "api/scheme_registry.hpp"
+
+#include "util/error.hpp"
+
+namespace mobiceal::api {
+
+SchemeRegistry& SchemeRegistry::instance() {
+  static SchemeRegistry registry;
+  return registry;
+}
+
+void SchemeRegistry::add(const std::string& name, Entry entry) {
+  if (!entry.factory) {
+    throw util::PolicyError("registry: null factory for " + name);
+  }
+  const auto [it, inserted] = entries_.emplace(name, std::move(entry));
+  (void)it;
+  if (!inserted) {
+    throw util::PolicyError("registry: scheme already registered: " + name);
+  }
+}
+
+std::unique_ptr<PdeScheme> SchemeRegistry::create(const std::string& name,
+                                                  const SchemeOptions& opts) {
+  if (!opts.device) {
+    throw util::PolicyError("registry: SchemeOptions.device is null");
+  }
+  return entry(name).factory(opts);
+}
+
+std::vector<std::string> SchemeRegistry::names() {
+  std::vector<std::string> out;
+  for (const auto& [name, entry] : instance().entries_) {
+    (void)entry;
+    out.push_back(name);
+  }
+  return out;  // std::map iteration is already sorted
+}
+
+bool SchemeRegistry::contains(const std::string& name) {
+  return instance().entries_.count(name) != 0;
+}
+
+const SchemeRegistry::Entry& SchemeRegistry::entry(const std::string& name) {
+  const auto& entries = instance().entries_;
+  const auto it = entries.find(name);
+  if (it == entries.end()) {
+    std::string known;
+    for (const auto& n : names()) {
+      if (!known.empty()) known += ", ";
+      known += n;
+    }
+    throw util::PolicyError("registry: unknown scheme '" + name +
+                            "' (registered: " + known + ")");
+  }
+  return it->second;
+}
+
+SchemeRegistrar::SchemeRegistrar(const std::string& name,
+                                 SchemeRegistry::Entry entry) {
+  SchemeRegistry::instance().add(name, std::move(entry));
+}
+
+}  // namespace mobiceal::api

@@ -1,0 +1,69 @@
+// SchemeRegistry — string-keyed factory over every PdeScheme backend.
+//
+// Each adapter translation unit self-registers at static-initialisation
+// time (SchemeRegistrar below), so harnesses discover backends by name:
+//
+//   auto scheme = api::SchemeRegistry::create("mobiceal", opts);
+//
+// and enumerate them (benches, the conformance suite, `mobiceal_cli
+// --list-schemes`) without naming a single concrete type. The core sources
+// build as a CMake OBJECT library so adapter TUs are never dead-stripped
+// out of a consumer binary.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/pde_scheme.hpp"
+
+namespace mobiceal::api {
+
+class SchemeRegistry {
+ public:
+  using Factory =
+      std::function<std::unique_ptr<PdeScheme>(const SchemeOptions&)>;
+
+  /// Static metadata a harness can read without building a device.
+  struct Entry {
+    Capabilities capabilities;
+    /// One-line description for --list-schemes and bench headers.
+    std::string description;
+    /// False for backends whose translation state lives in RAM only (the
+    /// DEFY/HIVE reproductions), which cannot re-attach to a cold image.
+    bool supports_attach = true;
+    Factory factory;
+  };
+
+  /// The process-wide registry (Meyers singleton — safe to use from the
+  /// adapters' static registrars).
+  static SchemeRegistry& instance();
+
+  /// Registers a backend. Throws util::PolicyError on duplicate names.
+  void add(const std::string& name, Entry entry);
+
+  /// Builds a scheme. Throws util::PolicyError for unknown names or a
+  /// missing opts.device, and propagates backend construction errors.
+  static std::unique_ptr<PdeScheme> create(const std::string& name,
+                                           const SchemeOptions& opts);
+
+  /// Registered names, sorted.
+  static std::vector<std::string> names();
+
+  static bool contains(const std::string& name);
+
+  /// Metadata lookup. Throws util::PolicyError for unknown names.
+  static const Entry& entry(const std::string& name);
+
+ private:
+  std::map<std::string, Entry> entries_;
+};
+
+/// One static instance per adapter TU performs the self-registration.
+struct SchemeRegistrar {
+  SchemeRegistrar(const std::string& name, SchemeRegistry::Entry entry);
+};
+
+}  // namespace mobiceal::api

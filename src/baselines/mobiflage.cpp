@@ -30,11 +30,8 @@ std::unique_ptr<MobiflageDevice> MobiflageDevice::initialize(
   // One-time random fill (the static defence, again).
   if (!config.skip_random_fill) {
     const std::uint64_t fb = fde::footer_blocks(dev->storage_->block_size());
-    util::Bytes noise(dev->storage_->block_size());
-    for (std::uint64_t b = 0; b < dev->storage_->num_blocks() - fb; ++b) {
-      rng.fill_bytes(noise);
-      dev->storage_->write_block(b, noise);
-    }
+    blockdev::fill_random(*dev->storage_, 0,
+                          dev->storage_->num_blocks() - fb, rng);
   }
 
   // Public FAT volume over the whole usable area.

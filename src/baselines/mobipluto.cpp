@@ -58,12 +58,8 @@ std::unique_ptr<MobiPlutoDevice> MobiPlutoDevice::initialize(
 
   // One-time random fill of the entire data area — the static defence.
   if (!config.skip_random_fill) {
-    auto data = dev->data_region_;
-    util::Bytes noise(data->block_size());
-    for (std::uint64_t b = 0; b < data->num_blocks(); ++b) {
-      rng.fill_bytes(noise);
-      data->write_block(b, noise);
-    }
+    blockdev::fill_random(*dev->data_region_, 0,
+                          dev->data_region_->num_blocks(), rng);
   }
 
   const std::uint64_t vsize = dev->pool_->nr_chunks();

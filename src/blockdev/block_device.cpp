@@ -3,6 +3,8 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <cerrno>
 #include <cstring>
 
 #include "util/error.hpp"
@@ -21,28 +23,71 @@ void BlockDevice::check_io(std::uint64_t index, std::size_t len) const {
   }
 }
 
-util::Bytes BlockDevice::read_blocks(std::uint64_t first,
-                                     std::uint64_t count) {
-  util::Bytes out(count * block_size());
-  for (std::uint64_t i = 0; i < count; ++i) {
-    read_block(first + i,
-               {out.data() + i * block_size(), block_size()});
+void BlockDevice::check_range(std::uint64_t first, std::uint64_t count,
+                              std::size_t len) const {
+  if (first > num_blocks() || count > num_blocks() - first) {
+    throw util::IoError("blocks [" + std::to_string(first) + ", " +
+                        std::to_string(first) + "+" + std::to_string(count) +
+                        ") out of range (device has " +
+                        std::to_string(num_blocks()) + ")");
   }
-  return out;
+  if (len != count * block_size()) {
+    throw util::IoError("vectored I/O size " + std::to_string(len) +
+                        " != " + std::to_string(count) + " x block size " +
+                        std::to_string(block_size()));
+  }
+}
+
+void BlockDevice::read_blocks(std::uint64_t first, std::uint64_t count,
+                              util::MutByteSpan out) {
+  check_range(first, count, out.size());
+  do_read_blocks(first, count, out);
 }
 
 void BlockDevice::write_blocks(std::uint64_t first, util::ByteSpan data) {
   if (data.size() % block_size() != 0) {
     throw util::IoError("write_blocks: unaligned buffer");
   }
+  check_range(first, data.size() / block_size(), data.size());
+  do_write_blocks(first, data);
+}
+
+void BlockDevice::do_read_blocks(std::uint64_t first, std::uint64_t count,
+                                 util::MutByteSpan out) {
+  for (std::uint64_t i = 0; i < count; ++i) {
+    read_block(first + i,
+               {out.data() + i * block_size(), block_size()});
+  }
+}
+
+void BlockDevice::do_write_blocks(std::uint64_t first, util::ByteSpan data) {
   const std::uint64_t count = data.size() / block_size();
   for (std::uint64_t i = 0; i < count; ++i) {
     write_block(first + i, {data.data() + i * block_size(), block_size()});
   }
 }
 
+util::Bytes BlockDevice::read_blocks(std::uint64_t first,
+                                     std::uint64_t count) {
+  util::Bytes out(count * block_size());
+  read_blocks(first, count, out);
+  return out;
+}
+
 util::Bytes BlockDevice::snapshot() {
   return read_blocks(0, num_blocks());
+}
+
+void fill_random(BlockDevice& dev, std::uint64_t first, std::uint64_t count,
+                 util::Rng& rng) {
+  constexpr std::uint64_t kBatchBlocks = 256;  // 1 MiB at 4 KiB blocks
+  util::Bytes noise(kBatchBlocks * dev.block_size());
+  for (std::uint64_t b = 0; b < count; b += kBatchBlocks) {
+    const std::uint64_t n = std::min(kBatchBlocks, count - b);
+    const util::MutByteSpan batch{noise.data(), n * dev.block_size()};
+    rng.fill(batch);
+    dev.write_blocks(first + b, batch);
+  }
 }
 
 MemBlockDevice::MemBlockDevice(std::uint64_t num_blocks,
@@ -59,6 +104,17 @@ void MemBlockDevice::read_block(std::uint64_t index, util::MutByteSpan out) {
 void MemBlockDevice::write_block(std::uint64_t index, util::ByteSpan data) {
   check_io(index, data.size());
   std::memcpy(data_.data() + index * block_size_, data.data(), block_size_);
+}
+
+void MemBlockDevice::do_read_blocks(std::uint64_t first, std::uint64_t count,
+                                    util::MutByteSpan out) {
+  std::memcpy(out.data(), data_.data() + first * block_size_,
+              count * block_size_);
+}
+
+void MemBlockDevice::do_write_blocks(std::uint64_t first,
+                                     util::ByteSpan data) {
+  std::memcpy(data_.data() + first * block_size_, data.data(), data.size());
 }
 
 FileBlockDevice::FileBlockDevice(const std::string& path,
@@ -79,20 +135,62 @@ FileBlockDevice::~FileBlockDevice() {
 
 void FileBlockDevice::read_block(std::uint64_t index, util::MutByteSpan out) {
   check_io(index, out.size());
-  const off_t off = static_cast<off_t>(index * block_size_);
-  if (::pread(fd_, out.data(), block_size_, off) !=
-      static_cast<ssize_t>(block_size_)) {
-    throw util::IoError("pread failed at block " + std::to_string(index));
-  }
+  do_read_blocks(index, 1, out);
 }
 
 void FileBlockDevice::write_block(std::uint64_t index, util::ByteSpan data) {
   check_io(index, data.size());
-  const off_t off = static_cast<off_t>(index * block_size_);
-  if (::pwrite(fd_, data.data(), block_size_, off) !=
-      static_cast<ssize_t>(block_size_)) {
-    throw util::IoError("pwrite failed at block " + std::to_string(index));
+  do_write_blocks(index, data);
+}
+
+namespace {
+
+// pread/pwrite transfer at most MAX_RW_COUNT (~2 GiB) per call and may
+// return short on EINTR: loop until the whole span moves or a hard error.
+void full_pread(int fd, util::MutByteSpan out, off_t off,
+                std::uint64_t first_block) {
+  std::size_t done = 0;
+  while (done < out.size()) {
+    const ssize_t n =
+        ::pread(fd, out.data() + done, out.size() - done,
+                off + static_cast<off_t>(done));
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      throw util::IoError("pread failed at block " +
+                          std::to_string(first_block));
+    }
+    done += static_cast<std::size_t>(n);
   }
+}
+
+void full_pwrite(int fd, util::ByteSpan data, off_t off,
+                 std::uint64_t first_block) {
+  std::size_t done = 0;
+  while (done < data.size()) {
+    const ssize_t n =
+        ::pwrite(fd, data.data() + done, data.size() - done,
+                 off + static_cast<off_t>(done));
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      throw util::IoError("pwrite failed at block " +
+                          std::to_string(first_block));
+    }
+    done += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+void FileBlockDevice::do_read_blocks(std::uint64_t first,
+                                     std::uint64_t count,
+                                     util::MutByteSpan out) {
+  (void)count;
+  full_pread(fd_, out, static_cast<off_t>(first * block_size_), first);
+}
+
+void FileBlockDevice::do_write_blocks(std::uint64_t first,
+                                      util::ByteSpan data) {
+  full_pwrite(fd_, data, static_cast<off_t>(first * block_size_), first);
 }
 
 void FileBlockDevice::flush() {

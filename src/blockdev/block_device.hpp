@@ -12,6 +12,7 @@
 #include <string>
 
 #include "util/bytes.hpp"
+#include "util/rng.hpp"
 
 namespace mobiceal::blockdev {
 
@@ -47,11 +48,28 @@ class BlockDevice {
     return num_blocks() * block_size();
   }
 
-  /// Convenience: read `count` consecutive blocks starting at `first`.
-  util::Bytes read_blocks(std::uint64_t first, std::uint64_t count);
+  // -- vectored I/O -----------------------------------------------------------
+  //
+  // Batched transfers are the bulk path of the stack (snapshots, random
+  // fills, large sequential workloads). The public entry points validate
+  // the whole range up front — a range or alignment error throws
+  // util::IoError before any block is touched — then dispatch to the
+  // do_*_blocks hooks (non-virtual interface: implementations can never
+  // lose the validation). A lower-device fault mid-range may still leave
+  // a prefix written, exactly as the kernel block layer may complete part
+  // of a vectored request.
 
-  /// Convenience: write a buffer spanning consecutive blocks.
+  /// Read `count` consecutive blocks starting at `first` into `out`
+  /// (`out.size()` must equal `count * block_size()`).
+  void read_blocks(std::uint64_t first, std::uint64_t count,
+                   util::MutByteSpan out);
+
+  /// Write a buffer spanning `data.size() / block_size()` consecutive
+  /// blocks starting at `first`.
   void write_blocks(std::uint64_t first, util::ByteSpan data);
+
+  /// Convenience: read `count` consecutive blocks into a fresh buffer.
+  util::Bytes read_blocks(std::uint64_t first, std::uint64_t count);
 
   /// Full raw image of the device — the adversary's snapshot primitive.
   util::Bytes snapshot();
@@ -59,6 +77,20 @@ class BlockDevice {
  protected:
   /// Bounds/size validation shared by implementations.
   void check_io(std::uint64_t index, std::size_t len) const;
+
+  /// Range validation for vectored I/O: [first, first+count) in range and
+  /// `len == count * block_size()`. Throws util::IoError.
+  void check_range(std::uint64_t first, std::uint64_t count,
+                   std::size_t len) const;
+
+  /// Vectored-read hook, called with a validated range. The default loops
+  /// over read_block(); contiguous backends override with one copy.
+  virtual void do_read_blocks(std::uint64_t first, std::uint64_t count,
+                              util::MutByteSpan out);
+
+  /// Vectored-write hook, called with a validated range. Default loops
+  /// over write_block().
+  virtual void do_write_blocks(std::uint64_t first, util::ByteSpan data);
 };
 
 /// RAM-backed block device.
@@ -76,11 +108,23 @@ class MemBlockDevice final : public BlockDevice {
   /// Direct access for test assertions (not part of the device contract).
   const util::Bytes& raw() const noexcept { return data_; }
 
+ protected:
+  /// Vectored I/O collapses to a single memcpy over the backing buffer.
+  void do_read_blocks(std::uint64_t first, std::uint64_t count,
+                      util::MutByteSpan out) override;
+  void do_write_blocks(std::uint64_t first, util::ByteSpan data) override;
+
  private:
   std::uint64_t num_blocks_;
   std::size_t block_size_;
   util::Bytes data_;
 };
+
+/// Fills blocks [first, first+count) with random noise, streamed through
+/// the vectored write path in multi-block batches — the "fill the disk
+/// with randomness" static defence shared by MobiPluto and Mobiflage.
+void fill_random(BlockDevice& dev, std::uint64_t first, std::uint64_t count,
+                 util::Rng& rng);
 
 /// File-backed block device (POSIX pread/pwrite), for large images that
 /// should not live in RAM and for inspecting artifacts with external tools.
@@ -98,7 +142,14 @@ class FileBlockDevice final : public BlockDevice {
   std::uint64_t num_blocks() const noexcept override { return num_blocks_; }
   void read_block(std::uint64_t index, util::MutByteSpan out) override;
   void write_block(std::uint64_t index, util::ByteSpan data) override;
+
   void flush() override;
+
+ protected:
+  /// Vectored I/O becomes a single pread/pwrite.
+  void do_read_blocks(std::uint64_t first, std::uint64_t count,
+                      util::MutByteSpan out) override;
+  void do_write_blocks(std::uint64_t first, util::ByteSpan data) override;
 
  private:
   std::uint64_t num_blocks_;

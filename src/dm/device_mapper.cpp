@@ -49,4 +49,13 @@ void LinearTarget::write_block(std::uint64_t index, util::ByteSpan data) {
   lower_->write_block(start_ + index, data);
 }
 
+void LinearTarget::do_read_blocks(std::uint64_t first, std::uint64_t count,
+                                  util::MutByteSpan out) {
+  lower_->read_blocks(start_ + first, count, out);
+}
+
+void LinearTarget::do_write_blocks(std::uint64_t first, util::ByteSpan data) {
+  lower_->write_blocks(start_ + first, data);
+}
+
 }  // namespace mobiceal::dm

@@ -48,7 +48,14 @@ class LinearTarget final : public blockdev::BlockDevice {
   std::uint64_t num_blocks() const noexcept override { return num_blocks_; }
   void read_block(std::uint64_t index, util::MutByteSpan out) override;
   void write_block(std::uint64_t index, util::ByteSpan data) override;
+
   void flush() override { lower_->flush(); }
+
+ protected:
+  /// Vectored I/O stays vectored: one shifted request to the lower device.
+  void do_read_blocks(std::uint64_t first, std::uint64_t count,
+                      util::MutByteSpan out) override;
+  void do_write_blocks(std::uint64_t first, util::ByteSpan data) override;
 
  private:
   std::shared_ptr<blockdev::BlockDevice> lower_;

@@ -230,12 +230,12 @@ TEST(SecurityGame, SmallGameShowsTheContrast) {
   cfg.public_files_per_round = 6;
   cfg.seed = 7;
 
-  cfg.system = adversary::SystemKind::kMobiPluto;
+  cfg.scheme = "mobipluto";
   const auto pluto = adversary::run_security_game(cfg);
   // "any growth" wins every trial against MobiPluto.
   EXPECT_NEAR(pluto.distinguishers[0].advantage(), 0.5, 1e-9);
 
-  cfg.system = adversary::SystemKind::kMobiCeal;
+  cfg.scheme = "mobiceal";
   const auto mc = adversary::run_security_game(cfg);
   // The budget adversary gains (almost) nothing on MobiCeal.
   EXPECT_LE(mc.distinguishers[1].advantage(), 0.25);

@@ -1,0 +1,197 @@
+// PdeScheme conformance suite — one parameterized test battery run against
+// EVERY scheme in the registry. This is the contract each backend adapter
+// signs: wrong passwords keep the device locked, unlocks round-trip data,
+// reboot() relocks, and the Capabilities bitset matches what the scheme
+// actually does (fast switch, hidden volumes, garbage collection).
+#include <gtest/gtest.h>
+
+#include "api/scheme_registry.hpp"
+#include "blockdev/block_device.hpp"
+#include "util/error.hpp"
+
+using namespace mobiceal;
+using api::Capability;
+using api::SchemeOptions;
+using api::SchemeRegistry;
+using api::VolumeClass;
+
+namespace {
+
+constexpr char kPub[] = "conf-public-pw";
+constexpr char kHid[] = "conf-hidden-pw";
+constexpr char kWrong[] = "not-a-password";
+
+util::Bytes payload(std::size_t n, std::uint8_t seed) {
+  util::Bytes out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<std::uint8_t>(seed * 31 + i * 11);
+  }
+  return out;
+}
+
+/// Small, fast device/scheme options shared by every conformance case.
+SchemeOptions small_options(std::shared_ptr<blockdev::BlockDevice> dev) {
+  SchemeOptions opts;
+  opts.device = std::move(dev);
+  opts.public_password = kPub;
+  opts.hidden_passwords = {kHid};
+  opts.kdf_iterations = 16;
+  opts.fs_inode_count = 128;
+  opts.num_volumes = 4;
+  opts.chunk_blocks = 4;
+  opts.zero_cpu_models = true;
+  opts.skip_random_fill = true;
+  return opts;
+}
+
+class PdeSchemeConformance : public ::testing::TestWithParam<std::string> {
+ protected:
+  void SetUp() override {
+    disk_ = std::make_shared<blockdev::MemBlockDevice>(16384);
+    scheme_ = SchemeRegistry::create(GetParam(), small_options(disk_));
+    caps_ = scheme_->capabilities();
+  }
+
+  std::shared_ptr<blockdev::MemBlockDevice> disk_;
+  std::unique_ptr<api::PdeScheme> scheme_;
+  api::Capabilities caps_;
+};
+
+TEST_P(PdeSchemeConformance, StartsLockedAndWrongPasswordStaysLocked) {
+  EXPECT_TRUE(scheme_->locked());
+  EXPECT_THROW(scheme_->data_fs(), util::PolicyError);
+
+  const auto result = scheme_->unlock(kWrong);
+  EXPECT_FALSE(result.ok);
+  EXPECT_TRUE(scheme_->locked());
+  EXPECT_THROW(scheme_->data_fs(), util::PolicyError);
+}
+
+TEST_P(PdeSchemeConformance, PublicUnlockRoundTripsAFile) {
+  const auto result = scheme_->unlock(kPub);
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.volume, VolumeClass::kPublic);
+  EXPECT_FALSE(scheme_->locked());
+
+  scheme_->data_fs().write_file("/public.bin", payload(20000, 1));
+  scheme_->data_fs().sync();
+  scheme_->reboot();
+
+  ASSERT_TRUE(scheme_->unlock(kPub).ok);
+  EXPECT_EQ(scheme_->data_fs().read_file("/public.bin"), payload(20000, 1));
+}
+
+TEST_P(PdeSchemeConformance, RebootReturnsToLocked) {
+  ASSERT_TRUE(scheme_->unlock(kPub).ok);
+  scheme_->reboot();
+  EXPECT_TRUE(scheme_->locked());
+  EXPECT_THROW(scheme_->data_fs(), util::PolicyError);
+  // And a second unlock works after the relock.
+  EXPECT_TRUE(scheme_->unlock(kPub).ok);
+}
+
+TEST_P(PdeSchemeConformance, DoubleUnlockIsAPolicyError) {
+  ASSERT_TRUE(scheme_->unlock(kPub).ok);
+  EXPECT_THROW(scheme_->unlock(kPub), util::PolicyError);
+}
+
+TEST_P(PdeSchemeConformance, HiddenVolumeMatchesCapability) {
+  const auto result = scheme_->unlock(kHid);
+  if (!caps_.has(Capability::kHiddenVolume)) {
+    // No hidden volume: the hidden password is just a wrong password.
+    EXPECT_FALSE(result.ok);
+    EXPECT_TRUE(scheme_->locked());
+    return;
+  }
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.volume, VolumeClass::kHidden);
+
+  scheme_->data_fs().write_file("/secret.bin", payload(12000, 2));
+  scheme_->data_fs().sync();
+  scheme_->reboot();
+
+  // The public view must not show the hidden file.
+  ASSERT_TRUE(scheme_->unlock(kPub).ok);
+  EXPECT_FALSE(scheme_->data_fs().exists("/secret.bin"));
+  scheme_->reboot();
+
+  // And the hidden volume round-trips it.
+  const auto again = scheme_->unlock(kHid);
+  ASSERT_TRUE(again.ok);
+  EXPECT_EQ(again.volume, VolumeClass::kHidden);
+  EXPECT_EQ(scheme_->data_fs().read_file("/secret.bin"), payload(12000, 2));
+}
+
+TEST_P(PdeSchemeConformance, FastSwitchMatchesCapability) {
+  ASSERT_TRUE(scheme_->unlock(kPub).ok);
+  const bool switched = scheme_->switch_volume(kHid);
+  EXPECT_EQ(switched, caps_.has(Capability::kFastSwitch));
+  if (switched) {
+    // The mount is now the hidden volume.
+    scheme_->data_fs().write_file("/switched.bin", payload(4000, 3));
+    scheme_->data_fs().sync();
+    scheme_->reboot();
+    ASSERT_TRUE(scheme_->unlock(kHid).ok);
+    EXPECT_EQ(scheme_->data_fs().read_file("/switched.bin"),
+              payload(4000, 3));
+  }
+}
+
+TEST_P(PdeSchemeConformance, FastSwitchRejectsWrongPassword) {
+  if (!caps_.has(Capability::kFastSwitch)) return;
+  ASSERT_TRUE(scheme_->unlock(kPub).ok);
+  EXPECT_FALSE(scheme_->switch_volume(kWrong));
+  // Still mounted on the public volume.
+  EXPECT_FALSE(scheme_->locked());
+  scheme_->data_fs().write_file("/still-public.bin", payload(1000, 4));
+}
+
+TEST_P(PdeSchemeConformance, GarbageCollectionMatchesCapability) {
+  if (!caps_.has(Capability::kGarbageCollection)) {
+    ASSERT_TRUE(scheme_->unlock(kPub).ok);
+    EXPECT_THROW(scheme_->collect_garbage(), util::PolicyError);
+    return;
+  }
+  // GC is only legal from hidden mode (Sec. IV-D) — the only mode that can
+  // tell dummy chunks from hidden chunks.
+  ASSERT_TRUE(scheme_->unlock(kPub).ok);
+  scheme_->data_fs().write_file("/traffic.bin", payload(60000, 5));
+  scheme_->data_fs().sync();
+  EXPECT_THROW(scheme_->collect_garbage(), util::PolicyError);
+  scheme_->reboot();
+
+  ASSERT_TRUE(scheme_->unlock(kHid).ok);
+  EXPECT_NO_THROW(scheme_->collect_garbage(0.5));
+}
+
+TEST_P(PdeSchemeConformance, AttachReopensAnExistingImage) {
+  const auto& entry = SchemeRegistry::entry(GetParam());
+  if (!entry.supports_attach) {
+    // RAM-mapped translators (DEFY/HIVE reproductions) refuse to attach.
+    auto opts = small_options(disk_);
+    opts.format = false;
+    EXPECT_THROW(SchemeRegistry::create(GetParam(), opts),
+                 util::PolicyError);
+    return;
+  }
+  ASSERT_TRUE(scheme_->unlock(kPub).ok);
+  scheme_->data_fs().write_file("/persist.bin", payload(9000, 6));
+  scheme_->data_fs().sync();
+  scheme_->reboot();
+  scheme_.reset();  // power off, drop all in-RAM state
+
+  auto opts = small_options(disk_);
+  opts.format = false;
+  auto reopened = SchemeRegistry::create(GetParam(), opts);
+  ASSERT_TRUE(reopened->unlock(kPub).ok);
+  EXPECT_EQ(reopened->data_fs().read_file("/persist.bin"), payload(9000, 6));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRegisteredSchemes, PdeSchemeConformance,
+    ::testing::ValuesIn(SchemeRegistry::names()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      return info.param;  // names are already identifier-safe
+    });
+
+}  // namespace

@@ -1,0 +1,105 @@
+// SchemeRegistry behaviour: lookup, metadata, error paths, and the
+// registered-capability table the harnesses rely on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "api/scheme_registry.hpp"
+#include "blockdev/block_device.hpp"
+#include "util/error.hpp"
+
+using namespace mobiceal;
+using api::Capability;
+using api::SchemeRegistry;
+
+TEST(SchemeRegistry, AllSixBackendsAreRegistered) {
+  const auto names = SchemeRegistry::names();
+  EXPECT_EQ(names.size(), 6u);
+  for (const char* expected : {"android_fde", "defy", "hive", "mobiceal",
+                               "mobiflage", "mobipluto"}) {
+    EXPECT_TRUE(SchemeRegistry::contains(expected)) << expected;
+  }
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+TEST(SchemeRegistry, CapabilityTableMatchesTheSystems) {
+  using C = Capability;
+  // MobiCeal is the only backend with the full set (Table II).
+  const auto& mc = SchemeRegistry::entry("mobiceal").capabilities;
+  for (C c : {C::kHiddenVolume, C::kMultiSnapshotSecure, C::kFastSwitch,
+              C::kGarbageCollection, C::kDummyWrites}) {
+    EXPECT_TRUE(mc.has(c));
+  }
+  // Android FDE: encryption only.
+  EXPECT_EQ(SchemeRegistry::entry("android_fde").capabilities.bits(), 0u);
+  // Single-snapshot PDE systems: hidden volume, nothing else.
+  for (const char* s : {"mobipluto", "mobiflage"}) {
+    const auto caps = SchemeRegistry::entry(s).capabilities;
+    EXPECT_TRUE(caps.has(C::kHiddenVolume)) << s;
+    EXPECT_FALSE(caps.has(C::kMultiSnapshotSecure)) << s;
+    EXPECT_FALSE(caps.has(C::kFastSwitch)) << s;
+  }
+  // The Table I comparison systems resist multi-snapshot adversaries but
+  // expose no hidden volume in these reproductions.
+  for (const char* s : {"defy", "hive"}) {
+    const auto& entry = SchemeRegistry::entry(s);
+    EXPECT_TRUE(entry.capabilities.has(C::kMultiSnapshotSecure)) << s;
+    EXPECT_FALSE(entry.capabilities.has(C::kHiddenVolume)) << s;
+    EXPECT_FALSE(entry.supports_attach) << s;
+  }
+}
+
+TEST(SchemeRegistry, CapabilitiesToStringIsReadable) {
+  EXPECT_EQ(SchemeRegistry::entry("android_fde").capabilities.to_string(),
+            "none");
+  EXPECT_EQ(SchemeRegistry::entry("mobipluto").capabilities.to_string(),
+            "hidden-volume");
+  const auto mc = SchemeRegistry::entry("mobiceal").capabilities.to_string();
+  EXPECT_NE(mc.find("fast-switch"), std::string::npos);
+  EXPECT_NE(mc.find("dummy-writes"), std::string::npos);
+}
+
+TEST(SchemeRegistry, UnknownNameThrowsWithTheKnownList) {
+  api::SchemeOptions opts;
+  opts.device = std::make_shared<blockdev::MemBlockDevice>(4096);
+  try {
+    SchemeRegistry::create("steganofs", opts);
+    FAIL() << "expected PolicyError";
+  } catch (const util::PolicyError& e) {
+    // The error message names the registered schemes.
+    EXPECT_NE(std::string(e.what()).find("mobiceal"), std::string::npos);
+  }
+}
+
+TEST(SchemeRegistry, NullDeviceIsRejectedBeforeTheFactoryRuns) {
+  EXPECT_THROW(SchemeRegistry::create("mobiceal", api::SchemeOptions{}),
+               util::PolicyError);
+}
+
+TEST(SchemeRegistry, DuplicateRegistrationThrows) {
+  SchemeRegistry::Entry dup;
+  dup.factory = [](const api::SchemeOptions&) {
+    return std::unique_ptr<api::PdeScheme>();
+  };
+  EXPECT_THROW(SchemeRegistry::instance().add("mobiceal", std::move(dup)),
+               util::PolicyError);
+}
+
+TEST(SchemeRegistry, CreatedSchemeReportsItsRegistryName) {
+  for (const auto& name : SchemeRegistry::names()) {
+    api::SchemeOptions opts;
+    opts.device = std::make_shared<blockdev::MemBlockDevice>(16384);
+    opts.public_password = "p";
+    opts.hidden_passwords = {"h"};
+    opts.kdf_iterations = 16;
+    opts.fs_inode_count = 64;
+    opts.num_volumes = 4;
+    opts.chunk_blocks = 4;
+    opts.zero_cpu_models = true;
+    opts.skip_random_fill = true;
+    auto scheme = SchemeRegistry::create(name, opts);
+    EXPECT_EQ(scheme->name(), name);
+    EXPECT_EQ(scheme->capabilities(),
+              SchemeRegistry::entry(name).capabilities);
+  }
+}
