@@ -76,8 +76,10 @@ Outcome run(bool random_alloc, std::uint64_t bytes, std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  JsonReport json("ablation_alloc", argc, argv);
   const std::uint64_t bytes = env_bench_bytes(24);
+  json.add("workload_mb", static_cast<double>(bytes >> 20));
   const int reps = env_bench_reps(2);
   constexpr std::uint64_t kBurstCap = 64;  // DummyWriteEngine's burst bound
 
@@ -103,6 +105,13 @@ int main() {
               rr.mean(), rrun.mean());
   std::printf("%-12s %12.0f %12.0f %20.0f chunks\n", "sequential", sw.mean(),
               sr.mean(), srun.mean());
+
+  json.add("random.write_kbps", rw.mean());
+  json.add("random.read_kbps", rr.mean());
+  json.add("random.longest_run_chunks", rrun.mean());
+  json.add("sequential.write_kbps", sw.mean());
+  json.add("sequential.read_kbps", sr.mean());
+  json.add("sequential.longest_run_chunks", srun.mean());
 
   std::printf("\n-- shape checks --\n");
   std::printf("sequential betrays the hidden file (run > %llu-burst cap): "

@@ -51,8 +51,10 @@ MobiCealStack make_mobiceal_stack(const StackOptions& o) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  JsonReport json("ablation_dummy", argc, argv);
   const std::uint64_t bytes = env_bench_bytes(24);
+  json.add("workload_mb", static_cast<double>(bytes >> 20));
   const int reps = env_bench_reps(2);
 
   // Baseline: thin + FDE without dummy writes (A-T-P).
@@ -100,6 +102,10 @@ int main() {
       const double headroom = budget - rate.mean();
       std::printf("%6.1f %6u %12.0f %9.1f%% %18.3f %18.3f\n", lambda, x,
                   tput.mean(), overhead, rate.mean(), headroom);
+      char key[64];
+      std::snprintf(key, sizeof key, "lambda%.1f_x%u", lambda, x);
+      json.add(std::string(key) + ".write_kbps", tput.mean());
+      json.add(std::string(key) + ".overhead_pct", overhead);
     }
   }
 

@@ -28,7 +28,8 @@ util::Bytes payload(std::size_t n, std::uint8_t seed) {
 }
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  JsonReport json("ablation_gc", argc, argv);
   const int reps = env_bench_reps(3);
   std::printf("== Ablation: dummy-space GC (64 MiB device, aggressive "
               "dummy traffic, %d reps) ==\n\n", reps);
@@ -99,6 +100,11 @@ int main() {
     std::printf("%11.0f%% %15.1f%% %15.1f%% %15.1f%% %12s\n",
                 min_fraction * 100.0, used_before.mean(), used_after.mean(),
                 survive.mean(), hidden_ok ? "yes" : "NO");
+    char key[32];
+    std::snprintf(key, sizeof key, "min%.0f", min_fraction * 100.0);
+    json.add(std::string(key) + ".used_before_pct", used_before.mean());
+    json.add(std::string(key) + ".used_after_pct", used_after.mean());
+    json.add(std::string(key) + ".dummy_survives_pct", survive.mean());
   }
 
   std::printf("\nReading: GC reclaims a random share of dummy space (never "

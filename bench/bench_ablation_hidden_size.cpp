@@ -14,7 +14,8 @@
 using namespace mobiceal;
 using adversary::GameConfig;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport json("ablation_hidden_size", argc, argv);
   const int trials = bench::env_bench_reps(16);
   std::printf("== Ablation: hidden-data size vs adversary advantage "
               "(MobiCeal, %d trials per point) ==\n\n", trials);
@@ -40,6 +41,11 @@ int main() {
                 r.distinguishers[2].advantage(),
                 r.nonpublic_delta_hidden_world.mean(),
                 r.nonpublic_delta_cover_world.mean());
+    char key[32];
+    std::snprintf(key, sizeof key, "ratio%.2f", ratio);
+    json.add(std::string(key) + ".budget_adv", r.distinguishers[1].advantage());
+    json.add(std::string(key) + ".meanrate_adv",
+             r.distinguishers[2].advantage());
   }
 
   std::printf("\nReading: small hidden payloads (the paper's expectation — "

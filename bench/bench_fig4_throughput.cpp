@@ -65,9 +65,11 @@ void print_cell(const util::RunningStats& s) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  JsonReport json("fig4_throughput", argc, argv);
   const std::uint64_t bytes = env_bench_bytes(48);
   const int reps = env_bench_reps(5);
+  json.add("workload_mb", static_cast<double>(bytes >> 20));
 
   std::printf("== Figure 4: sequential throughput in KB/s (mean ± stddev, "
               "%d reps, %llu MB files) ==\n\n",
@@ -107,6 +109,10 @@ int main() {
     print_cell(row.b_write);
     print_cell(row.b_read);
     std::printf("\n");
+    json.add(spec.label + ".dd_write_kbps", row.dd_write.mean());
+    json.add(spec.label + ".dd_read_kbps", row.dd_read.mean());
+    json.add(spec.label + ".b_write_kbps", row.b_write.mean());
+    json.add(spec.label + ".b_read_kbps", row.b_read.mean());
     if (spec.label == "Android") {
       android_write = row.dd_write.mean();
       android_read = row.dd_read.mean();
@@ -126,5 +132,13 @@ int main() {
               100.0 * (mcp_write - atp_write) / atp_write);
   std::printf("MobiCeal-vs-thin read change : %+5.1f%%  (paper: ~0%%)\n",
               100.0 * (mch_read - ath_read) / ath_read);
+  json.add("shape.thin_write_change_pct",
+           100.0 * (atp_write - android_write) / android_write);
+  json.add("shape.thin_read_change_pct",
+           100.0 * (ath_read - android_read) / android_read);
+  json.add("shape.mobiceal_write_change_pct",
+           100.0 * (mcp_write - atp_write) / atp_write);
+  json.add("shape.mobiceal_read_change_pct",
+           100.0 * (mch_read - ath_read) / ath_read);
   return 0;
 }

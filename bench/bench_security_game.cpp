@@ -40,7 +40,8 @@ void print_result(const std::string& label, const adversary::GameResult& r) {
 }
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport json("security_game", argc, argv);
   const int reps = bench::env_bench_reps(24);
 
   GameConfig cfg;
@@ -76,6 +77,12 @@ int main() {
 
   // The headline contrast (Theorem VI.2): both systems looked up through
   // the registry, nothing instantiated concretely.
+  for (const auto& [name, r] : results) {
+    for (const auto& d : r.distinguishers) {
+      json.add(name + "." + d.name + "_adv", d.advantage());
+    }
+  }
+
   const auto& pluto = results.at("mobipluto");
   const auto& mc = results.at("mobiceal");
   std::printf("-- shape checks --\n");

@@ -55,7 +55,8 @@ std::size_t run_session(bool isolate, std::uint64_t seed,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport json("side_channel", argc, argv);
   const int reps = bench::env_bench_reps(5);
   std::printf("== Side-channel audit: hidden-session traces found in "
               "persistent /devlog + /cache (%d sessions, 4 hidden files "
@@ -70,6 +71,9 @@ int main() {
               mobiceal_leaks);
   std::printf("%-42s %zu leaks\n", "Shared-OS design (HIVE/DEFY-style):",
               shared_os_leaks);
+
+  json.add("mobiceal.leaks_count", static_cast<double>(mobiceal_leaks));
+  json.add("shared_os.leaks_count", static_cast<double>(shared_os_leaks));
 
   std::printf("\n-- shape checks --\n");
   std::printf("MobiCeal leak-free:           %s\n",

@@ -71,9 +71,11 @@ double seq_write_mbs(const std::string& scheme, const StackOptions& o,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  JsonReport json("table1_overhead", argc, argv);
   const std::uint64_t bytes = env_bench_bytes(24);
   const int reps = env_bench_reps(3);
+  json.add("workload_mb", static_cast<double>(bytes >> 20));
 
   std::printf("== Table I: overhead comparison (sequential write; %d reps, "
               "%llu MB) ==\n\n",
@@ -96,6 +98,9 @@ int main() {
     const double overhead = 100.0 * (1.0 - enc_mbs / raw_mbs);
     std::printf("%-10s %14.2f %18.2f %9.2f%% %18s\n", te.label, raw_mbs,
                 enc_mbs, overhead, te.paper_overhead);
+    json.add(scheme + ".raw_write_kbps", raw_mbs * 1024.0);
+    json.add(scheme + ".encrypted_write_kbps", enc_mbs * 1024.0);
+    json.add(scheme + ".overhead_pct", overhead);
     if (scheme == "defy") defy_overhead = overhead;
     if (scheme == "hive") hive_overhead = overhead;
     if (scheme == "mobiceal") mc_overhead = overhead;

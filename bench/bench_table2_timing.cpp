@@ -112,7 +112,8 @@ std::string fmt_min(double s) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport json("table2_timing", argc, argv);
   const int reps = bench::env_bench_reps(3);
   const auto dev_model = blockdev::TimingModel::nexus4_emmc();
   const auto android = core::AndroidTimingModel::nexus4();
@@ -142,6 +143,17 @@ int main() {
               fmt_min(mc.switch_out_s.mean()).c_str());
   std::printf("\npaper:      Android FDE 18m23s / 0.29s;  MobiPluto 37m2s / "
               "1.36s / 68s / 64s;  MobiCeal 2m16s / 1.68s / 9.27s / 63s\n");
+
+  json.add("android_fde.init_s", fde.initialization_s);
+  json.add("android_fde.boot_s", fde.boot_s);
+  json.add("mobipluto.init_s", pluto.initialization_s);
+  json.add("mobipluto.boot_s", pluto.boot_s);
+  json.add("mobipluto.switch_in_s", pluto.switch_in_s);
+  json.add("mobipluto.switch_out_s", pluto.switch_out_s);
+  json.add("mobiceal.init_s", mc.init_s.mean());
+  json.add("mobiceal.boot_s", mc.boot_s.mean());
+  json.add("mobiceal.switch_in_s", mc.switch_in_s.mean());
+  json.add("mobiceal.switch_out_s", mc.switch_out_s.mean());
 
   std::printf("\n-- shape checks --\n");
   std::printf("MobiCeal init >6x faster than Android FDE: %s (%.1fx)\n",

@@ -1,5 +1,7 @@
 #include "harness.hpp"
 
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
 
 #include "util/error.hpp"
@@ -165,6 +167,51 @@ double bonnie_rewrite(BenchStack& stack, const std::string& path,
   }
   stack.fs->sync();
   return stack.clock->now_seconds() - t0;
+}
+
+JsonReport::JsonReport(std::string bench_name, int argc, char** argv)
+    : bench_(std::move(bench_name)) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      path_ = argv[i + 1];
+      return;
+    }
+    if (arg.rfind("--json=", 0) == 0) {
+      path_ = arg.substr(7);
+      return;
+    }
+  }
+  if (const char* dir = std::getenv("MOBICEAL_BENCH_JSON")) {
+    path_ = std::string(dir);
+    if (!path_.empty() && path_.back() != '/') path_ += '/';
+    path_ += "BENCH_" + bench_ + ".json";
+  }
+}
+
+void JsonReport::add(const std::string& metric, double value) {
+  metrics_.emplace_back(metric, value);
+}
+
+JsonReport::~JsonReport() {
+  if (path_.empty()) return;
+  std::FILE* f = std::fopen(path_.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "bench: cannot write %s\n", path_.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"metrics\": {\n",
+               bench_.c_str());
+  for (std::size_t i = 0; i < metrics_.size(); ++i) {
+    // %.17g round-trips doubles exactly; NaN/Inf never appear (virtual
+    // clocks are finite), but guard with 0 to keep the JSON parseable.
+    const double v = std::isfinite(metrics_[i].second) ? metrics_[i].second
+                                                       : 0.0;
+    std::fprintf(f, "    \"%s\": %.17g%s\n", metrics_[i].first.c_str(), v,
+                 i + 1 < metrics_.size() ? "," : "");
+  }
+  std::fprintf(f, "  }\n}\n");
+  std::fclose(f);
 }
 
 std::uint64_t env_bench_bytes(std::uint64_t def_mb) {

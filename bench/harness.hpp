@@ -14,6 +14,8 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "api/scheme_registry.hpp"
 #include "blockdev/timed_device.hpp"
@@ -104,5 +106,38 @@ inline double kbps(std::uint64_t bytes, double seconds) {
 /// `def_reps`). Lets CI run quick passes and full runs match the paper.
 std::uint64_t env_bench_bytes(std::uint64_t def_mb);
 int env_bench_reps(int def_reps);
+
+// ---- machine-readable output ------------------------------------------------
+//
+// Every bench binary emits BENCH_<name>.json alongside its human-readable
+// table when asked to: `--json <path>` (or `--json=<path>`) writes to the
+// given file; otherwise MOBICEAL_BENCH_JSON=<dir> writes <dir>/BENCH_<name>.
+// json. tools/bench_compare.py diffs two such files and gates CI on >10%
+// virtual-time regressions. Metric-name suffixes carry the direction:
+// `_kbps`/`_mbps` higher-is-better, `_s`/`_ns` lower-is-better; any other
+// suffix (ratios, advantages, counts) is recorded for trajectory but not
+// gated — derived ratios would double-gate their already-gated inputs.
+class JsonReport {
+ public:
+  /// `bench_name` without the BENCH_ prefix ("fig4_throughput"). Parses
+  /// --json from argv (removing nothing; benches have no other flags) and
+  /// falls back to the MOBICEAL_BENCH_JSON directory.
+  JsonReport(std::string bench_name, int argc, char** argv);
+
+  /// Destructor writes the file when a path was configured.
+  ~JsonReport();
+
+  /// Records one metric. Keys repeat per config as "<config>.<metric>",
+  /// e.g. "MC-P.dd_write_kbps".
+  void add(const std::string& metric, double value);
+
+  bool enabled() const noexcept { return !path_.empty(); }
+  const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::string bench_;
+  std::string path_;
+  std::vector<std::pair<std::string, double>> metrics_;
+};
 
 }  // namespace mobiceal::bench

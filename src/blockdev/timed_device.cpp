@@ -46,11 +46,14 @@ TimedDevice::TimedDevice(std::shared_ptr<BlockDevice> inner, TimingModel model,
                          std::shared_ptr<util::SimClock> clock)
     : inner_(std::move(inner)), model_(model), clock_(std::move(clock)) {}
 
-void TimedDevice::charge(std::uint64_t index, bool is_write) {
+void TimedDevice::charge(std::uint64_t first, std::uint64_t count,
+                         bool is_write) {
+  // One command setup per request; blocks within the request stream at the
+  // sequential transfer rate (the controller sees one scatter-gather list).
   std::uint64_t ns = model_.per_io_ns +
-                     (is_write ? model_.write_per_block_ns
-                               : model_.read_per_block_ns);
-  const bool sequential = has_last_ && index == next_expected_;
+                     count * (is_write ? model_.write_per_block_ns
+                                       : model_.read_per_block_ns);
+  const bool sequential = has_last_ && first == next_expected_;
   if (sequential) {
     ++sequential_;
   } else {
@@ -59,20 +62,38 @@ void TimedDevice::charge(std::uint64_t index, bool is_write) {
                    : model_.random_read_penalty_ns;
   }
   has_last_ = true;
-  next_expected_ = index + 1;
+  next_expected_ = first + count;
   clock_->advance(ns);
 }
 
 void TimedDevice::read_block(std::uint64_t index, util::MutByteSpan out) {
-  charge(index, /*is_write=*/false);
+  charge(index, 1, /*is_write=*/false);
   ++reads_;
   inner_->read_block(index, out);
 }
 
 void TimedDevice::write_block(std::uint64_t index, util::ByteSpan data) {
-  charge(index, /*is_write=*/true);
+  charge(index, 1, /*is_write=*/true);
   ++writes_;
   inner_->write_block(index, data);
+}
+
+void TimedDevice::do_read_blocks(std::uint64_t first, std::uint64_t count,
+                                 util::MutByteSpan out) {
+  if (count == 0) return;  // empty requests are free, like everywhere else
+  charge(first, count, /*is_write=*/false);
+  reads_ += count;
+  ++vectored_;
+  inner_->read_blocks(first, count, out);
+}
+
+void TimedDevice::do_write_blocks(std::uint64_t first, util::ByteSpan data) {
+  const std::uint64_t count = data.size() / block_size();
+  if (count == 0) return;
+  charge(first, count, /*is_write=*/true);
+  writes_ += count;
+  ++vectored_;
+  inner_->write_blocks(first, data);
 }
 
 void TimedDevice::flush() {
@@ -82,7 +103,7 @@ void TimedDevice::flush() {
 }
 
 void TimedDevice::reset_counters() noexcept {
-  reads_ = writes_ = flushes_ = sequential_ = random_ = 0;
+  reads_ = writes_ = flushes_ = sequential_ = random_ = vectored_ = 0;
 }
 
 }  // namespace mobiceal::blockdev

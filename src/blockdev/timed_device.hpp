@@ -66,17 +66,30 @@ class TimedDevice final : public BlockDevice {
   util::SimClock& clock() noexcept { return *clock_; }
   const TimingModel& model() const noexcept { return model_; }
 
-  /// Operation counters (reset with reset_counters()).
+  /// Operation counters (reset with reset_counters()). reads()/writes()
+  /// count *blocks* moved; sequential_ios()/random_ios() count I/O
+  /// *requests* (a vectored call is one request).
   std::uint64_t reads() const noexcept { return reads_; }
   std::uint64_t writes() const noexcept { return writes_; }
   std::uint64_t flushes() const noexcept { return flushes_; }
   std::uint64_t sequential_ios() const noexcept { return sequential_; }
   std::uint64_t random_ios() const noexcept { return random_; }
+  /// Vectored requests serviced (subset of the request counters above).
+  std::uint64_t vectored_ios() const noexcept { return vectored_; }
   void reset_counters() noexcept;
 
+ protected:
+  /// Vectored I/O is costed as ONE command (per-IO overhead + at most one
+  /// locality penalty) plus `count` sequential block transfers — the reason
+  /// batched paths win virtual time over per-block loops.
+  void do_read_blocks(std::uint64_t first, std::uint64_t count,
+                      util::MutByteSpan out) override;
+  void do_write_blocks(std::uint64_t first, util::ByteSpan data) override;
+
  private:
-  /// Charges service time for an access to `index`; updates locality state.
-  void charge(std::uint64_t index, bool is_write);
+  /// Charges service time for a request of `count` blocks at `first`;
+  /// updates locality state.
+  void charge(std::uint64_t first, std::uint64_t count, bool is_write);
 
   std::shared_ptr<BlockDevice> inner_;
   TimingModel model_;
@@ -84,7 +97,7 @@ class TimedDevice final : public BlockDevice {
   std::uint64_t next_expected_ = 0;  // block after the last access
   bool has_last_ = false;
   std::uint64_t reads_ = 0, writes_ = 0, flushes_ = 0;
-  std::uint64_t sequential_ = 0, random_ = 0;
+  std::uint64_t sequential_ = 0, random_ = 0, vectored_ = 0;
 };
 
 /// Pure counting wrapper (no timing) for unit tests and I/O-amplification

@@ -78,6 +78,9 @@ void DummyWriteEngine::on_public_allocation(thin::ThinPool& pool) {
   const std::uint32_t thin_id = paper_j - 1;  // thin ids are 0-based
   for (std::uint32_t i = 0; i < m; ++i) {
     const std::uint32_t prefix = pick_prefix_blocks(pool.chunk_blocks());
+    // Each chunk of the burst goes out as ONE vectored device write (the
+    // chunks themselves land at random, non-contiguous physical positions,
+    // so the chunk is the largest batchable unit).
     const auto phys = pool.write_noise_chunk(thin_id, prefix, rng_, rng_);
     if (!phys) {
       ++stats_.skipped_no_space;

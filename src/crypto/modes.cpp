@@ -154,6 +154,43 @@ void NullCipher::decrypt_sector(std::uint64_t, util::ByteSpan in,
   if (in.data() != out.data()) std::memcpy(out.data(), in.data(), in.size());
 }
 
+namespace {
+void check_range_args(std::size_t sector_size, util::ByteSpan in,
+                      util::MutByteSpan out) {
+  if (sector_size == 0 || sector_size % kAesBlockSize != 0) {
+    throw util::CryptoError("sector range: bad sector size");
+  }
+  if (in.size() != out.size()) {
+    throw util::CryptoError("sector range: in/out size mismatch");
+  }
+  if (in.size() % sector_size != 0) {
+    throw util::CryptoError("sector range: length not multiple of sector");
+  }
+}
+}  // namespace
+
+void SectorCipher::encrypt_range(std::uint64_t first_sector,
+                                 std::size_t sector_size, util::ByteSpan in,
+                                 util::MutByteSpan out) const {
+  check_range_args(sector_size, in, out);
+  for (std::size_t off = 0; off < in.size(); off += sector_size) {
+    encrypt_sector(first_sector + off / sector_size,
+                   {in.data() + off, sector_size},
+                   {out.data() + off, sector_size});
+  }
+}
+
+void SectorCipher::decrypt_range(std::uint64_t first_sector,
+                                 std::size_t sector_size, util::ByteSpan in,
+                                 util::MutByteSpan out) const {
+  check_range_args(sector_size, in, out);
+  for (std::size_t off = 0; off < in.size(); off += sector_size) {
+    decrypt_sector(first_sector + off / sector_size,
+                   {in.data() + off, sector_size},
+                   {out.data() + off, sector_size});
+  }
+}
+
 std::unique_ptr<SectorCipher> make_sector_cipher(const std::string& spec,
                                                  util::ByteSpan key) {
   if (spec == "aes-cbc-essiv:sha256") {

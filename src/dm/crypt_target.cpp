@@ -18,28 +18,36 @@ void CryptTarget::read_block(std::uint64_t index, util::MutByteSpan out) {
   lower_->read_block(index, ct);
   // Decrypt per 512-byte sector, IV keyed on the logical sector number —
   // exactly dm-crypt's granularity.
-  const std::uint64_t first_sector = index * sectors_per_block_;
-  for (std::size_t s = 0; s < sectors_per_block_; ++s) {
-    cipher_->decrypt_sector(
-        first_sector + s,
-        {ct.data() + s * blockdev::kSectorSize, blockdev::kSectorSize},
-        {out.data() + s * blockdev::kSectorSize, blockdev::kSectorSize});
-  }
+  cipher_->decrypt_range(index * sectors_per_block_, blockdev::kSectorSize,
+                         ct, out);
   if (clock_) clock_->advance(cpu_.decrypt_ns_per_block);
 }
 
 void CryptTarget::write_block(std::uint64_t index, util::ByteSpan data) {
   check_io(index, data.size());
   util::Bytes ct(block_size());
-  const std::uint64_t first_sector = index * sectors_per_block_;
-  for (std::size_t s = 0; s < sectors_per_block_; ++s) {
-    cipher_->encrypt_sector(
-        first_sector + s,
-        {data.data() + s * blockdev::kSectorSize, blockdev::kSectorSize},
-        {ct.data() + s * blockdev::kSectorSize, blockdev::kSectorSize});
-  }
+  cipher_->encrypt_range(index * sectors_per_block_, blockdev::kSectorSize,
+                         data, ct);
   if (clock_) clock_->advance(cpu_.encrypt_ns_per_block);
   lower_->write_block(index, ct);
+}
+
+void CryptTarget::do_read_blocks(std::uint64_t first, std::uint64_t count,
+                                 util::MutByteSpan out) {
+  util::Bytes ct(out.size());
+  lower_->read_blocks(first, count, ct);
+  cipher_->decrypt_range(first * sectors_per_block_, blockdev::kSectorSize,
+                         ct, out);
+  if (clock_) clock_->advance(cpu_.decrypt_ns_per_block * count);
+}
+
+void CryptTarget::do_write_blocks(std::uint64_t first, util::ByteSpan data) {
+  util::Bytes ct(data.size());
+  cipher_->encrypt_range(first * sectors_per_block_, blockdev::kSectorSize,
+                         data, ct);
+  if (clock_) clock_->advance(cpu_.encrypt_ns_per_block *
+                              (data.size() / block_size()));
+  lower_->write_blocks(first, ct);
 }
 
 }  // namespace mobiceal::dm

@@ -52,6 +52,14 @@ class CryptTarget final : public blockdev::BlockDevice {
 
   const char* cipher_name() const noexcept { return cipher_->name(); }
 
+ protected:
+  /// Vectored I/O stays vectored: one lower-device range transfer plus one
+  /// batched modes call over the whole run (same per-sector IVs, so the
+  /// ciphertext is bit-identical to the per-block path).
+  void do_read_blocks(std::uint64_t first, std::uint64_t count,
+                      util::MutByteSpan out) override;
+  void do_write_blocks(std::uint64_t first, util::ByteSpan data) override;
+
  private:
   std::shared_ptr<blockdev::BlockDevice> lower_;
   std::unique_ptr<crypto::SectorCipher> cipher_;

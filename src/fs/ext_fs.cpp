@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "fs/run_coalescer.hpp"
 #include "util/error.hpp"
 
 namespace mobiceal::fs {
@@ -512,6 +513,16 @@ void ExtFs::inode_write(std::uint32_t /*ino*/, Inode& inode,
   std::uint64_t pos = offset;
   std::size_t done = 0;
   util::Bytes blockbuf(bs_);
+
+  // Full-block writes to physically contiguous blocks coalesce into one
+  // vectored device call (the locality-aware allocator makes sequential
+  // file writes land contiguously, so streaming writes become long runs).
+  RunCoalescer runs(bs_, [&](std::uint64_t first, std::uint64_t n,
+                        std::size_t src) {
+    dev_->write_blocks(first, {data.data() + src,
+                               static_cast<std::size_t>(n) * bs_});
+  });
+
   while (done < data.size()) {
     const std::uint64_t fb = pos / bs_;
     const std::size_t in_block = pos % bs_;
@@ -525,8 +536,9 @@ void ExtFs::inode_write(std::uint32_t /*ino*/, Inode& inode,
       std::memcpy(blk.data() + in_block, data.data() + done, take);
       dirty_block(phys);
     } else if (take == bs_) {
-      dev_->write_block(phys, {data.data() + done, bs_});
+      runs.push(phys, done);
     } else {
+      runs.flush();
       if (was_mapped) {
         dev_->read_block(phys, blockbuf);
       } else {
@@ -538,6 +550,7 @@ void ExtFs::inode_write(std::uint32_t /*ino*/, Inode& inode,
     pos += take;
     done += take;
   }
+  runs.flush();
   inode.size = std::max(inode.size, offset + data.size());
 }
 
@@ -549,23 +562,37 @@ util::Bytes ExtFs::inode_read(const Inode& inode, std::uint64_t offset,
   util::Bytes blockbuf(bs_);
   std::uint64_t pos = offset;
   std::size_t done = 0;
+
+  // Full-block reads of physically contiguous blocks coalesce into one
+  // vectored device call; holes and partial blocks break the run.
+  RunCoalescer runs(bs_, [&](std::uint64_t first, std::uint64_t n,
+                        std::size_t dst) {
+    dev_->read_blocks(first, n,
+                      {out.data() + dst, static_cast<std::size_t>(n) * bs_});
+  });
+
   while (done < len) {
     const std::uint64_t fb = pos / bs_;
     const std::size_t in_block = pos % bs_;
     const std::size_t take = std::min<std::size_t>(bs_ - in_block, len - done);
     const std::uint64_t phys = bmap(inode, fb);
     if (phys == 0) {
+      runs.flush();
       std::memset(out.data() + done, 0, take);
     } else if (cached) {
       auto& blk = cache_block(phys);
       std::memcpy(out.data() + done, blk.data() + in_block, take);
+    } else if (take == bs_) {
+      runs.push(phys, done);
     } else {
+      runs.flush();
       dev_->read_block(phys, blockbuf);
       std::memcpy(out.data() + done, blockbuf.data() + in_block, take);
     }
     pos += take;
     done += take;
   }
+  runs.flush();
   return out;
 }
 

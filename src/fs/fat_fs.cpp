@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "fs/run_coalescer.hpp"
 #include "util/error.hpp"
 
 namespace mobiceal::fs {
@@ -150,15 +151,29 @@ void FatFs::free_chain(std::uint32_t first) {
 util::Bytes FatFs::read_chain(std::uint32_t first, std::uint64_t size) {
   util::Bytes out(size);
   util::Bytes block(bs_);
+  // Coalesce consecutively numbered clusters (sequential first-fit makes
+  // them the common case) into vectored reads, straight into `out`.
+  RunCoalescer runs(bs_, [&](std::uint64_t first_block, std::uint64_t n,
+                        std::size_t dst) {
+    dev_->read_blocks(first_block, n,
+                      {out.data() + dst, static_cast<std::size_t>(n) * bs_});
+  });
   std::uint32_t c = first;
   std::uint64_t done = 0;
   while (done < size && c != kClusterEof) {
-    dev_->read_block(cluster_block(c), block);
-    const std::size_t take = std::min<std::uint64_t>(bs_, size - done);
-    std::memcpy(out.data() + done, block.data(), take);
-    done += take;
+    if (size - done >= bs_) {
+      runs.push(cluster_block(c), done);
+      done += bs_;
+    } else {
+      runs.flush();
+      dev_->read_block(cluster_block(c), block);
+      const std::size_t take = static_cast<std::size_t>(size - done);
+      std::memcpy(out.data() + done, block.data(), take);
+      done += take;
+    }
     c = fat_[c];
   }
+  runs.flush();
   if (done < size) std::memset(out.data() + done, 0, size - done);
   return out;
 }
@@ -191,13 +206,24 @@ void FatFs::write_chain(std::uint32_t& first, std::uint64_t offset,
 
   std::uint64_t pos = offset;
   std::size_t done = 0;
+
+  // Full-cluster writes to consecutively numbered clusters coalesce into
+  // one vectored device call; partial head/tail clusters read-modify-write
+  // individually as before.
+  RunCoalescer runs(bs_, [&](std::uint64_t first_block, std::uint64_t n,
+                        std::size_t src) {
+    dev_->write_blocks(first_block, {data.data() + src,
+                                     static_cast<std::size_t>(n) * bs_});
+  });
+
   while (true) {
     const std::size_t in_cluster = pos % bs_;
     const std::size_t take =
         std::min<std::size_t>(bs_ - in_cluster, data.size() - done);
     if (take == bs_) {
-      dev_->write_block(cluster_block(c), {data.data() + done, bs_});
+      runs.push(cluster_block(c), done);
     } else {
+      runs.flush();
       if (fresh) {
         std::memset(block.data(), 0, bs_);
       } else {
@@ -220,6 +246,7 @@ void FatFs::write_chain(std::uint32_t& first, std::uint64_t offset,
       fresh = false;
     }
   }
+  runs.flush();
   size = std::max(size, offset + data.size());
 }
 

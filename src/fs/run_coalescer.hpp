@@ -1,0 +1,63 @@
+// Shared state machine behind the batched filesystem I/O paths.
+//
+// ExtFs inode I/O and FatFs cluster chains both turn per-block loops into
+// vectored device calls the same way: accumulate full blocks while the
+// physical addresses stay consecutive, flush the run through one callback
+// when contiguity breaks (hole, fragment, partial block) and at the end.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+namespace mobiceal::fs {
+
+class RunCoalescer {
+ public:
+  /// Called once per run with the physical start block, run length in
+  /// blocks, and the byte offset of the run's data within the caller's
+  /// transfer buffer.
+  using Flush = std::function<void(std::uint64_t first_block,
+                                   std::uint64_t blocks,
+                                   std::size_t buf_offset)>;
+
+  /// `block_bytes` is the device block size: a run only extends when the
+  /// buffer offset advances by exactly one block per push, so a caller
+  /// that skips a buffer position can never get data silently misplaced.
+  RunCoalescer(std::size_t block_bytes, Flush flush)
+      : block_bytes_(block_bytes), flush_cb_(std::move(flush)) {}
+
+  /// Appends one full block at physical `block` whose data lives at
+  /// `buf_offset`; extends the pending run when both the physical address
+  /// and the buffer offset are contiguous, otherwise flushes it and starts
+  /// a new one.
+  void push(std::uint64_t block, std::size_t buf_offset) {
+    if (blocks_ > 0 && block == first_ + blocks_ &&
+        buf_offset == buf_offset_ + blocks_ * block_bytes_) {
+      ++blocks_;
+      return;
+    }
+    flush();
+    first_ = block;
+    blocks_ = 1;
+    buf_offset_ = buf_offset;
+  }
+
+  /// Emits the pending run (no-op when empty). Call before any I/O that
+  /// must not be reordered past the run, and after the loop.
+  void flush() {
+    if (blocks_ == 0) return;
+    flush_cb_(first_, blocks_, buf_offset_);
+    blocks_ = 0;
+  }
+
+ private:
+  std::size_t block_bytes_;
+  Flush flush_cb_;
+  std::uint64_t first_ = 0;
+  std::uint64_t blocks_ = 0;
+  std::size_t buf_offset_ = 0;
+};
+
+}  // namespace mobiceal::fs

@@ -412,12 +412,14 @@ std::optional<std::uint64_t> ThinPool::write_noise_chunk(
   vol.map[vchunk] = phys;
   ++vol.mapped;
 
+  // One noise draw + one vectored write for the whole burst. Rng::fill
+  // consumes the same word sequence over n*bs bytes as n fills of bs, so
+  // the device ends bit-identical to the historical per-block loop for
+  // identical seeds (covered by the batched-equivalence tests).
   const std::size_t bs = data_dev_->block_size();
-  util::Bytes noise(bs);
-  for (std::uint32_t b = 0; b < noise_blocks; ++b) {
-    noise_source.fill(noise);
-    data_dev_->write_block(phys * sb_.chunk_blocks + b, noise);
-  }
+  util::Bytes noise(static_cast<std::size_t>(noise_blocks) * bs);
+  noise_source.fill(noise);
+  data_dev_->write_blocks(phys * sb_.chunk_blocks, noise);
   return phys;
 }
 
@@ -484,51 +486,128 @@ bool ThinPool::check_consistency() const {
   return free_chunks_ == sb_.nr_chunks - allocated;
 }
 
+// ---- extent resolution -------------------------------------------------------
+
+std::vector<ExtentRun> ThinPool::resolve_extents(std::uint32_t id,
+                                                 std::uint64_t lblock,
+                                                 std::uint64_t count) const {
+  check_volume(id);
+  const auto& vol = volumes_[id];
+  const std::uint64_t vol_blocks = vol.virtual_chunks * sb_.chunk_blocks;
+  if (lblock > vol_blocks || count > vol_blocks - lblock) {
+    throw util::IoError("thin resolve_extents: range out of bounds");
+  }
+
+  std::vector<ExtentRun> runs;
+  std::uint64_t pos = lblock;
+  std::uint64_t remaining = count;
+  while (remaining > 0) {
+    const std::uint64_t vchunk = pos / sb_.chunk_blocks;
+    const std::uint64_t off = pos % sb_.chunk_blocks;
+    const std::uint64_t in_chunk =
+        std::min<std::uint64_t>(sb_.chunk_blocks - off, remaining);
+    const std::uint64_t phys = vol.map[vchunk];
+    const bool mapped = phys != kUnmapped;
+    const std::uint64_t phys_block =
+        mapped ? phys * sb_.chunk_blocks + off : 0;
+
+    if (!runs.empty()) {
+      ExtentRun& last = runs.back();
+      const bool merges =
+          mapped ? (last.mapped && last.phys_block + last.blocks == phys_block)
+                 : !last.mapped;
+      if (merges) {
+        last.blocks += in_chunk;
+        pos += in_chunk;
+        remaining -= in_chunk;
+        continue;
+      }
+    }
+    runs.push_back({pos, in_chunk, phys_block, mapped});
+    pos += in_chunk;
+    remaining -= in_chunk;
+  }
+  return runs;
+}
+
 // ---- I/O path ------------------------------------------------------------------------------
 
 void ThinPool::volume_read(std::uint32_t id, std::uint64_t lblock,
                            util::MutByteSpan out) {
-  auto& vol = volumes_[id];
-  const std::uint64_t vchunk = lblock / sb_.chunk_blocks;
-  const std::uint64_t off = lblock % sb_.chunk_blocks;
-  charge(cpu_.lookup_read_ns);
-  const std::uint64_t phys = vol.map[vchunk];
-  if (phys == kUnmapped) {
-    std::memset(out.data(), 0, out.size());
-    return;
-  }
-  data_dev_->read_block(phys * sb_.chunk_blocks + off, out);
+  // The per-block path IS the range path with a one-block range: a single
+  // implementation keeps per-block and batched device state identical by
+  // construction (the batched-equivalence tests pin this down).
+  volume_read_range(id, lblock, out);
 }
 
 void ThinPool::volume_write(std::uint32_t id, std::uint64_t lblock,
                             util::ByteSpan data) {
-  auto& vol = volumes_[id];
-  const std::uint64_t vchunk = lblock / sb_.chunk_blocks;
-  const std::uint64_t off = lblock % sb_.chunk_blocks;
-  charge(cpu_.lookup_write_ns);
+  volume_write_range(id, lblock, data);
+}
 
-  bool fresh = false;
-  std::uint64_t phys = vol.map[vchunk];
-  if (phys == kUnmapped) {
-    phys = allocate_chunk();
-    vol.map[vchunk] = phys;
-    ++vol.mapped;
-    fresh = true;
-  }
-  data_dev_->write_block(phys * sb_.chunk_blocks + off, data);
-
-  // Fire the dummy-write hook after the triggering write completes, exactly
-  // once per fresh provision, and never re-entrantly (a dummy write's own
-  // allocations must not trigger more dummy writes).
-  if (fresh && vol.observed && observer_ && !in_observer_) {
-    in_observer_ = true;
-    try {
-      observer_(id, phys);
-    } catch (...) {
-      in_observer_ = false;
-      throw;
-    }
+void ThinPool::notify_fresh_provision(std::uint32_t id, std::uint64_t phys) {
+  if (!volumes_[id].observed || !observer_ || in_observer_) return;
+  in_observer_ = true;
+  try {
+    observer_(id, phys);
+  } catch (...) {
     in_observer_ = false;
+    throw;
+  }
+  in_observer_ = false;
+}
+
+void ThinPool::volume_read_range(std::uint32_t id, std::uint64_t lblock,
+                                 util::MutByteSpan out) {
+  const auto runs = resolve_extents(id, lblock, out.size() / data_dev_->block_size());
+  const std::size_t bs = data_dev_->block_size();
+  for (const ExtentRun& run : runs) {
+    // One mapping-tree walk resolves the whole run — the metadata cost no
+    // longer scales with run length, unlike the per-block path.
+    charge(cpu_.lookup_read_ns);
+    const std::size_t off = (run.lblock - lblock) * bs;
+    const util::MutByteSpan dst{out.data() + off,
+                                static_cast<std::size_t>(run.blocks) * bs};
+    if (run.mapped) {
+      data_dev_->read_blocks(run.phys_block, run.blocks, dst);
+    } else {
+      std::memset(dst.data(), 0, dst.size());
+    }
+  }
+}
+
+void ThinPool::volume_write_range(std::uint32_t id, std::uint64_t lblock,
+                                  util::ByteSpan data) {
+  auto& vol = volumes_[id];
+  const std::size_t bs = data_dev_->block_size();
+  std::uint64_t pos = lblock;
+  std::size_t done = 0;
+  // Chunk-by-chunk, exactly as dm-thin splits bios at chunk boundaries:
+  // each segment is one mapping lookup (or fresh provision) plus one
+  // vectored write, and the allocation observer fires after each fresh
+  // chunk's data lands — the same order of RNG draws and allocations as
+  // the per-block path, so final device state is bit-identical.
+  while (done < data.size()) {
+    const std::uint64_t vchunk = pos / sb_.chunk_blocks;
+    const std::uint64_t off = pos % sb_.chunk_blocks;
+    const std::uint64_t n = std::min<std::uint64_t>(
+        sb_.chunk_blocks - off, (data.size() - done) / bs);
+    charge(cpu_.lookup_write_ns);
+
+    bool fresh = false;
+    std::uint64_t phys = vol.map[vchunk];
+    if (phys == kUnmapped) {
+      phys = allocate_chunk();
+      vol.map[vchunk] = phys;
+      ++vol.mapped;
+      fresh = true;
+    }
+    data_dev_->write_blocks(phys * sb_.chunk_blocks + off,
+                            {data.data() + done,
+                             static_cast<std::size_t>(n) * bs});
+    if (fresh) notify_fresh_provision(id, phys);
+    pos += n;
+    done += static_cast<std::size_t>(n) * bs;
   }
 }
 
@@ -553,6 +632,16 @@ void ThinVolume::read_block(std::uint64_t index, util::MutByteSpan out) {
 void ThinVolume::write_block(std::uint64_t index, util::ByteSpan data) {
   check_io(index, data.size());
   pool_->volume_write(id_, index, data);
+}
+
+void ThinVolume::do_read_blocks(std::uint64_t first, std::uint64_t count,
+                                util::MutByteSpan out) {
+  (void)count;
+  pool_->volume_read_range(id_, first, out);
+}
+
+void ThinVolume::do_write_blocks(std::uint64_t first, util::ByteSpan data) {
+  pool_->volume_write_range(id_, first, data);
 }
 
 void ThinVolume::flush() {

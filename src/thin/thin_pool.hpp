@@ -40,6 +40,16 @@ struct ThinCpuModel {
 
 class ThinVolume;
 
+/// One physically contiguous piece of a logical block range, produced by
+/// ThinPool::resolve_extents. Mapped runs are serviced with a single
+/// vectored device call; unmapped runs read back as zeros.
+struct ExtentRun {
+  std::uint64_t lblock = 0;      ///< logical start block (volume-relative)
+  std::uint64_t blocks = 0;      ///< run length in blocks
+  std::uint64_t phys_block = 0;  ///< data-device start block (iff mapped)
+  bool mapped = false;
+};
+
 class ThinPool : public std::enable_shared_from_this<ThinPool> {
  public:
   struct Config {
@@ -132,6 +142,15 @@ class ThinPool : public std::enable_shared_from_this<ThinPool> {
   /// Mapping of volume `id`: entries are physical chunks or kUnmapped.
   const std::vector<std::uint64_t>& mapping(std::uint32_t id) const;
 
+  /// Resolves logical blocks [lblock, lblock+count) of volume `id` into
+  /// maximal physically contiguous extent runs in ONE metadata pass:
+  /// adjacent chunks whose physical chunks are consecutive merge into one
+  /// run, as do adjacent unmapped holes. The returned runs tile the range
+  /// exactly, in logical order. Throws util::IoError on out-of-range.
+  std::vector<ExtentRun> resolve_extents(std::uint32_t id,
+                                         std::uint64_t lblock,
+                                         std::uint64_t count) const;
+
   /// True if the physical chunk is allocated (committed or in-txn).
   bool chunk_allocated(std::uint64_t phys_chunk) const;
 
@@ -172,6 +191,13 @@ class ThinPool : public std::enable_shared_from_this<ThinPool> {
   /// Allocates a free physical chunk per policy; records it in the open
   /// transaction. Throws util::NoSpaceError when the pool is exhausted.
   std::uint64_t allocate_chunk();
+
+  /// Fires the allocation observer for a fresh provision on an observed
+  /// volume, with the re-entrancy guard (a dummy write's own allocations
+  /// must not trigger more dummy writes). Both write paths call this after
+  /// the triggering data has landed, keeping their device state identical.
+  void notify_fresh_provision(std::uint32_t id, std::uint64_t phys);
+
   std::uint64_t pick_sequential();
   std::uint64_t pick_random();
   void mark_allocated(std::uint64_t chunk);
@@ -186,6 +212,16 @@ class ThinPool : public std::enable_shared_from_this<ThinPool> {
                    util::MutByteSpan out);
   void volume_write(std::uint32_t id, std::uint64_t lblock,
                     util::ByteSpan data);
+
+  /// Vectored I/O path: reads service each extent run with one lower-device
+  /// call (one metadata charge per run); writes proceed chunk-by-chunk (as
+  /// dm-thin splits bios at chunk boundaries) with one vectored write per
+  /// chunk segment, firing the allocation observer after each fresh
+  /// provision exactly as the per-block path does.
+  void volume_read_range(std::uint32_t id, std::uint64_t lblock,
+                         util::MutByteSpan out);
+  void volume_write_range(std::uint32_t id, std::uint64_t lblock,
+                          util::ByteSpan data);
 
   void charge(std::uint64_t ns) {
     if (clock_) clock_->advance(ns);
@@ -226,6 +262,13 @@ class ThinVolume final : public blockdev::BlockDevice {
   void flush() override;
 
   std::uint32_t id() const noexcept { return id_; }
+
+ protected:
+  /// Vectored I/O resolves extent runs once and issues one lower-device
+  /// call per physically contiguous run.
+  void do_read_blocks(std::uint64_t first, std::uint64_t count,
+                      util::MutByteSpan out) override;
+  void do_write_blocks(std::uint64_t first, util::ByteSpan data) override;
 
  private:
   std::shared_ptr<ThinPool> pool_;

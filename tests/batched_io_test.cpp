@@ -1,0 +1,384 @@
+// End-to-end batched I/O pipeline tests: thin-pool extent-run resolution
+// (contiguous, fragmented, holes), batched-vs-per-block equivalence for
+// CryptTarget / DummyWriteEngine / the full MobiCeal-style stack, vectored
+// TimedDevice costing, and filesystem range I/O over fragmented layouts.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "blockdev/block_device.hpp"
+#include "blockdev/timed_device.hpp"
+#include "core/dummy_write.hpp"
+#include "crypto/random.hpp"
+#include "dm/crypt_target.hpp"
+#include "fs/ext_fs.hpp"
+#include "fs/fat_fs.hpp"
+#include "thin/thin_pool.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+using namespace mobiceal;
+using thin::AllocPolicy;
+using thin::ExtentRun;
+using thin::ThinPool;
+
+namespace {
+
+constexpr std::size_t kBs = blockdev::kDefaultBlockSize;
+
+struct PoolFixture {
+  std::shared_ptr<blockdev::MemBlockDevice> meta;
+  std::shared_ptr<blockdev::MemBlockDevice> data;
+  std::shared_ptr<ThinPool> pool;
+
+  explicit PoolFixture(AllocPolicy policy, std::uint64_t data_blocks = 1024,
+                       std::uint32_t chunk_blocks = 4) {
+    meta = std::make_shared<blockdev::MemBlockDevice>(512);
+    data = std::make_shared<blockdev::MemBlockDevice>(data_blocks);
+    ThinPool::Config cfg;
+    cfg.chunk_blocks = chunk_blocks;
+    cfg.max_volumes = 8;
+    cfg.policy = policy;
+    cfg.cpu = thin::ThinCpuModel::zero();
+    pool = ThinPool::format(meta, data, cfg);
+  }
+};
+
+util::Bytes pattern(std::size_t n, std::uint8_t salt) {
+  util::Bytes out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<std::uint8_t>(salt + i * 131);
+  }
+  return out;
+}
+
+/// Writes one block at vchunk-granularity to force a specific provisioning
+/// order (sequential policy maps provisioning order to physical order).
+void provision(thin::ThinVolume& vol, std::uint64_t vchunk,
+               std::uint32_t chunk_blocks) {
+  vol.write_block(vchunk * chunk_blocks, pattern(kBs, 1));
+}
+
+}  // namespace
+
+// ---- extent-run resolution ---------------------------------------------------
+
+TEST(ExtentResolution, ContiguousMappingYieldsOneRun) {
+  PoolFixture f(AllocPolicy::kSequential);
+  f.pool->create_thin(0, 16);
+  auto vol = f.pool->open_thin(0);
+  // In-order provisioning with sequential allocation: vchunk i -> phys i.
+  for (std::uint64_t v = 0; v < 4; ++v) provision(*vol, v, 4);
+
+  const auto runs = f.pool->resolve_extents(0, 0, 16);
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_EQ(runs[0].lblock, 0u);
+  EXPECT_EQ(runs[0].blocks, 16u);
+  EXPECT_EQ(runs[0].phys_block, 0u);
+  EXPECT_TRUE(runs[0].mapped);
+}
+
+TEST(ExtentResolution, FragmentedMappingSplitsAtDiscontinuities) {
+  PoolFixture f(AllocPolicy::kSequential);
+  f.pool->create_thin(0, 16);
+  auto vol = f.pool->open_thin(0);
+  // Provision out of order: vchunk 0 -> phys 0, vchunk 2 -> phys 1,
+  // vchunk 1 -> phys 2. Logical order is then phys 0, 2, 1: fragmented.
+  provision(*vol, 0, 4);
+  provision(*vol, 2, 4);
+  provision(*vol, 1, 4);
+
+  const auto runs = f.pool->resolve_extents(0, 0, 12);
+  ASSERT_EQ(runs.size(), 3u);
+  EXPECT_EQ(runs[0].phys_block, 0u * 4);
+  EXPECT_EQ(runs[1].phys_block, 2u * 4);
+  EXPECT_EQ(runs[2].phys_block, 1u * 4);
+  for (const ExtentRun& r : runs) {
+    EXPECT_TRUE(r.mapped);
+    EXPECT_EQ(r.blocks, 4u);
+  }
+  // Runs tile the range in logical order.
+  EXPECT_EQ(runs[0].lblock, 0u);
+  EXPECT_EQ(runs[1].lblock, 4u);
+  EXPECT_EQ(runs[2].lblock, 8u);
+}
+
+TEST(ExtentResolution, HolesMergeIntoUnmappedRuns) {
+  PoolFixture f(AllocPolicy::kSequential);
+  f.pool->create_thin(0, 16);
+  auto vol = f.pool->open_thin(0);
+  // Map vchunks 0 and 3; vchunks 1-2 stay holes.
+  provision(*vol, 0, 4);
+  provision(*vol, 3, 4);
+
+  const auto runs = f.pool->resolve_extents(0, 0, 16);
+  ASSERT_EQ(runs.size(), 3u);
+  EXPECT_TRUE(runs[0].mapped);
+  EXPECT_EQ(runs[0].blocks, 4u);
+  EXPECT_FALSE(runs[1].mapped);
+  EXPECT_EQ(runs[1].lblock, 4u);
+  EXPECT_EQ(runs[1].blocks, 8u);  // two adjacent holes merge
+  EXPECT_TRUE(runs[2].mapped);
+  EXPECT_EQ(runs[2].lblock, 12u);
+}
+
+TEST(ExtentResolution, PartialChunkRangesAndBounds) {
+  PoolFixture f(AllocPolicy::kSequential);
+  f.pool->create_thin(0, 4);
+  auto vol = f.pool->open_thin(0);
+  provision(*vol, 0, 4);
+  provision(*vol, 1, 4);
+
+  // Mid-chunk start, mid-chunk end, crossing the chunk boundary.
+  const auto runs = f.pool->resolve_extents(0, 2, 4);
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_EQ(runs[0].lblock, 2u);
+  EXPECT_EQ(runs[0].blocks, 4u);
+  EXPECT_EQ(runs[0].phys_block, 2u);
+
+  EXPECT_THROW(f.pool->resolve_extents(0, 0, 17), util::IoError);
+  EXPECT_THROW(f.pool->resolve_extents(3, 0, 1), util::IoError);
+}
+
+TEST(ExtentResolution, RandomPolicyRunsStayWithinChunks) {
+  PoolFixture f(AllocPolicy::kRandom);
+  f.pool->create_thin(0, 8);
+  auto vol = f.pool->open_thin(0);
+  for (std::uint64_t v = 0; v < 8; ++v) provision(*vol, v, 4);
+
+  const auto runs = f.pool->resolve_extents(0, 0, 32);
+  std::uint64_t covered = 0;
+  for (const ExtentRun& r : runs) {
+    EXPECT_TRUE(r.mapped);
+    EXPECT_EQ(r.lblock, covered);
+    covered += r.blocks;
+    // Random allocation rarely places neighbours contiguously, but each
+    // run must still be chunk-consistent with the mapping table.
+    const std::uint64_t vchunk = r.lblock / 4;
+    EXPECT_EQ(r.phys_block,
+              f.pool->mapping(0)[vchunk] * 4 + r.lblock % 4);
+  }
+  EXPECT_EQ(covered, 32u);
+}
+
+// ---- batched vs per-block equivalence ----------------------------------------
+
+TEST(BatchedEquivalence, CryptTargetProducesIdenticalCiphertext) {
+  for (const char* spec : {"aes-cbc-essiv:sha256", "aes-xts-plain64"}) {
+    crypto::SecureRandom rng(7);
+    const util::Bytes key = rng.bytes(32);
+    auto lower_a = std::make_shared<blockdev::MemBlockDevice>(64);
+    auto lower_b = std::make_shared<blockdev::MemBlockDevice>(64);
+    dm::CryptTarget a(lower_a, spec, key);
+    dm::CryptTarget b(lower_b, spec, key);
+
+    const util::Bytes data = pattern(16 * kBs, 3);
+    for (std::uint64_t i = 0; i < 16; ++i) {
+      a.write_block(5 + i, {data.data() + i * kBs, kBs});
+    }
+    b.write_blocks(5, data);
+    EXPECT_EQ(lower_a->raw(), lower_b->raw()) << spec;
+
+    // Reads agree across paths and decrypt to the plaintext.
+    util::Bytes per_block(16 * kBs), batched(16 * kBs);
+    for (std::uint64_t i = 0; i < 16; ++i) {
+      a.read_block(5 + i, {per_block.data() + i * kBs, kBs});
+    }
+    b.read_blocks(5, 16, batched);
+    EXPECT_EQ(per_block, data) << spec;
+    EXPECT_EQ(batched, data) << spec;
+  }
+}
+
+TEST(BatchedEquivalence, NoiseChunkMatchesPerBlockReference) {
+  // write_noise_chunk now issues one vectored write; the bytes must equal
+  // the historical per-block loop: n sequential Rng::fill draws of one
+  // block each, which is the same byte stream as one fill of n blocks.
+  PoolFixture f(AllocPolicy::kSequential);
+  f.pool->create_thin(0, 8);
+
+  crypto::SecureRandom noise(99), placement(5);
+  const auto phys = f.pool->write_noise_chunk(0, 3, noise, placement);
+  ASSERT_TRUE(phys.has_value());
+
+  crypto::SecureRandom ref_noise(99);
+  util::Bytes expected(3 * kBs);
+  for (std::uint32_t b = 0; b < 3; ++b) {
+    ref_noise.fill({expected.data() + b * kBs, kBs});
+  }
+  EXPECT_EQ(f.data->read_blocks(*phys * 4, 3), expected);
+}
+
+TEST(BatchedEquivalence, DummyWriteStackStateIsBitIdentical) {
+  // Two identical MobiCeal-style stacks (random allocation + observer-driven
+  // dummy writes, same seeds). One takes the per-block write path, the
+  // other the vectored path: every allocation, dummy burst, and noise byte
+  // must land identically, leaving bit-identical data devices.
+  auto build = [](std::unique_ptr<crypto::SecureRandom>& rng,
+                  std::unique_ptr<core::DummyWriteEngine>& engine) {
+    auto f = std::make_shared<PoolFixture>(AllocPolicy::kRandom, 2048, 4);
+    rng = std::make_unique<crypto::SecureRandom>(42);
+    core::DummyWriteConfig dc;
+    dc.num_volumes = 4;
+    dc.x = 10;  // triggers often enough to matter at this size
+    engine = std::make_unique<core::DummyWriteEngine>(dc, *rng, nullptr);
+    for (std::uint32_t id = 0; id < 4; ++id) f->pool->create_thin(id, 32);
+    f->pool->set_alloc_rng(rng.get());
+    f->pool->observe_volume(0, true);
+    ThinPool* pool = f->pool.get();
+    core::DummyWriteEngine* eng = engine.get();
+    f->pool->set_allocation_observer(
+        [pool, eng](std::uint32_t, std::uint64_t) {
+          eng->on_public_allocation(*pool);
+        });
+    return f;
+  };
+
+  std::unique_ptr<crypto::SecureRandom> rng_a, rng_b;
+  std::unique_ptr<core::DummyWriteEngine> eng_a, eng_b;
+  auto fa = build(rng_a, eng_a);
+  auto fb = build(rng_b, eng_b);
+  auto va = fa->pool->open_thin(0);
+  auto vb = fb->pool->open_thin(0);
+
+  const util::Bytes data = pattern(48 * kBs, 9);
+  for (std::uint64_t i = 0; i < 48; ++i) {
+    va->write_block(i, {data.data() + i * kBs, kBs});
+  }
+  vb->write_blocks(0, data);
+
+  EXPECT_GT(eng_a->stats().triggers, 0u);
+  EXPECT_EQ(eng_a->stats().chunks_written, eng_b->stats().chunks_written);
+  EXPECT_EQ(fa->data->raw(), fb->data->raw());
+
+  // Reads agree between paths as well.
+  util::Bytes per_block(48 * kBs), batched(48 * kBs);
+  for (std::uint64_t i = 0; i < 48; ++i) {
+    va->read_block(i, {per_block.data() + i * kBs, kBs});
+  }
+  vb->read_blocks(0, 48, batched);
+  EXPECT_EQ(per_block, data);
+  EXPECT_EQ(batched, data);
+}
+
+TEST(BatchedEquivalence, ThinRangeReadZeroFillsHoles) {
+  PoolFixture f(AllocPolicy::kSequential);
+  f.pool->create_thin(0, 4);
+  auto vol = f.pool->open_thin(0);
+  const util::Bytes w = pattern(4 * kBs, 17);
+  vol->write_blocks(4, w);  // vchunk 1 only; 0, 2, 3 stay holes
+
+  const util::Bytes all = vol->read_blocks(0, 16);
+  EXPECT_EQ(util::Bytes(all.begin(), all.begin() + 4 * kBs),
+            util::Bytes(4 * kBs, 0));
+  EXPECT_EQ(util::Bytes(all.begin() + 4 * kBs, all.begin() + 8 * kBs), w);
+  EXPECT_EQ(util::Bytes(all.begin() + 8 * kBs, all.end()),
+            util::Bytes(8 * kBs, 0));
+}
+
+// ---- vectored service-time model ---------------------------------------------
+
+TEST(TimedDevice, VectoredRequestCostsOneCommandPlusNTransfers) {
+  auto clock = std::make_shared<util::SimClock>();
+  blockdev::TimingModel m;
+  m.per_io_ns = 10;
+  m.read_per_block_ns = 100;
+  m.write_per_block_ns = 200;
+  m.random_read_penalty_ns = 1000;
+  m.random_write_penalty_ns = 2000;
+  m.flush_ns = 5000;
+  auto dev = std::make_shared<blockdev::TimedDevice>(
+      std::make_shared<blockdev::MemBlockDevice>(64), m, clock);
+
+  // First request is random: per_io + 8 transfers + one write penalty.
+  dev->write_blocks(0, pattern(8 * kBs, 1));
+  EXPECT_EQ(clock->now(), 10u + 8 * 200 + 2000);
+  // Sequential follow-up: no penalty, still one per_io.
+  util::Bytes buf(8 * kBs);
+  dev->read_blocks(8, 8, buf);
+  EXPECT_EQ(clock->now(), 3610u + 10 + 8 * 100);
+  EXPECT_EQ(dev->writes(), 8u);
+  EXPECT_EQ(dev->reads(), 8u);
+  EXPECT_EQ(dev->sequential_ios(), 1u);
+  EXPECT_EQ(dev->random_ios(), 1u);
+  EXPECT_EQ(dev->vectored_ios(), 2u);
+
+  // The same 8 blocks per-block: 8 per_io charges -> strictly slower.
+  dev->reset_counters();
+  const std::uint64_t t0 = clock->now();
+  dev->write_blocks(16, pattern(8 * kBs, 2));
+  const std::uint64_t vectored_ns = clock->now() - t0;
+  const std::uint64_t t1 = clock->now();
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    dev->write_block(32 + i, pattern(kBs, 3));
+  }
+  EXPECT_LT(vectored_ns, clock->now() - t1);
+}
+
+// ---- filesystem range I/O ----------------------------------------------------
+
+TEST(FsRangeIo, ExtFsFragmentedFileRoundTrips) {
+  auto dev = std::make_shared<blockdev::MemBlockDevice>(4096);
+  auto fs = fs::ExtFs::format(dev, 256);
+  // Interleave two files so their blocks alternate on disk, defeating run
+  // coalescing; content must still round-trip through the range paths.
+  fs->create("/a");
+  fs->create("/b");
+  const util::Bytes a = pattern(kBs, 1), b = pattern(kBs, 2);
+  for (int i = 0; i < 24; ++i) {
+    fs->write("/a", static_cast<std::uint64_t>(i) * kBs, a);
+    fs->write("/b", static_cast<std::uint64_t>(i) * kBs, b);
+  }
+  for (int i = 0; i < 24; ++i) {
+    EXPECT_EQ(fs->read("/a", static_cast<std::uint64_t>(i) * kBs, kBs), a);
+  }
+  // Whole-file read crosses all fragments in one call.
+  const util::Bytes whole = fs->read("/b", 0, 24 * kBs);
+  for (int i = 0; i < 24; ++i) {
+    EXPECT_EQ(util::Bytes(whole.begin() + i * kBs,
+                          whole.begin() + (i + 1) * kBs),
+              b) << i;
+  }
+  EXPECT_TRUE(fs->fsck());
+}
+
+TEST(FsRangeIo, ExtFsUnalignedWritesAcrossRunBoundaries) {
+  auto dev = std::make_shared<blockdev::MemBlockDevice>(4096);
+  auto fs = fs::ExtFs::format(dev, 256);
+  fs->create("/f");
+  // Unaligned offset + length spanning many blocks: partial head, vectored
+  // middle, partial tail.
+  const util::Bytes data = pattern(10 * kBs + 777, 5);
+  fs->write("/f", 1234, data);
+  EXPECT_EQ(fs->read("/f", 1234, data.size()), data);
+  // Overwrite a sub-range and re-verify both the overlap and the remainder.
+  const util::Bytes patch = pattern(3 * kBs, 6);
+  fs->write("/f", 5000, patch);
+  EXPECT_EQ(fs->read("/f", 5000, patch.size()), patch);
+  EXPECT_EQ(fs->read("/f", 1234, 100),
+            util::Bytes(data.begin(), data.begin() + 100));
+  EXPECT_TRUE(fs->fsck());
+}
+
+TEST(FsRangeIo, FatFsChainCoalescingRoundTrips) {
+  auto dev = std::make_shared<blockdev::MemBlockDevice>(4096);
+  auto fs = fs::FatFs::format(dev);
+  fs->create("/seq");
+  // Sequential allocation: clusters are consecutive -> one long run.
+  const util::Bytes data = pattern(32 * kBs + 123, 7);
+  fs->write("/seq", 0, data);
+  EXPECT_EQ(fs->read("/seq", 0, data.size()), data);
+
+  // Fragment the chain: free a middle file, then extend another through
+  // the freed clusters (FAT first-fit reuses them out of order).
+  fs->create("/x");
+  fs->create("/y");
+  fs->write("/x", 0, pattern(8 * kBs, 8));
+  fs->write("/y", 0, pattern(8 * kBs, 9));
+  fs->unlink("/x");
+  const util::Bytes tail = pattern(16 * kBs, 10);
+  fs->write("/seq", data.size(), tail);
+  EXPECT_EQ(fs->read("/seq", data.size(), tail.size()), tail);
+  EXPECT_EQ(fs->read("/seq", 0, 100),
+            util::Bytes(data.begin(), data.begin() + 100));
+}

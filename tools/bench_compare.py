@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Diff two bench JSON files and gate on virtual-time regressions.
+
+Usage: bench_compare.py BASELINE.json CURRENT.json [--threshold PCT]
+
+Bench binaries emit BENCH_<name>.json via --json / MOBICEAL_BENCH_JSON (see
+bench/harness.hpp). Metric-name suffixes carry the comparison direction:
+
+  higher is better:  _kbps  _mbps
+  lower is better:   _s  _ns
+
+Metrics with any other suffix (advantages, percentages, counts, derived
+ratios like _speedup — whose numerator and denominator are already gated
+individually) are informational: printed, never gated. The exit code is nonzero iff any
+tracked metric regresses by more than the threshold (default 10%), or the
+two files are from different benches, or a tracked baseline metric
+disappeared. Virtual-clock benches are deterministic, so any drift is a
+real code change, not noise.
+"""
+
+import argparse
+import json
+import sys
+
+HIGHER_BETTER = ("_kbps", "_mbps")
+LOWER_BETTER = ("_s", "_ns")
+
+
+def direction(metric: str):
+    """+1 higher-is-better, -1 lower-is-better, 0 untracked."""
+    if metric.endswith(HIGHER_BETTER):
+        return 1
+    if metric.endswith(LOWER_BETTER):
+        return -1
+    return 0
+
+
+def load(path: str) -> dict:
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"bench_compare: cannot read {path}: {e}")
+    if "bench" not in doc or "metrics" not in doc:
+        sys.exit(f"bench_compare: {path} is not a bench JSON file")
+    return doc
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--threshold", type=float, default=10.0,
+                    help="regression threshold in percent (default 10)")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cur = load(args.current)
+    if base["bench"] != cur["bench"]:
+        sys.exit(f"bench_compare: comparing different benches: "
+                 f"{base['bench']} vs {cur['bench']}")
+    # Absolute virtual times scale with the workload; runs are only
+    # comparable at the same MOBICEAL_BENCH_MB (benches record it).
+    bw = base["metrics"].get("workload_mb")
+    cw = cur["metrics"].get("workload_mb")
+    if bw is not None and cw is not None and bw != cw:
+        sys.exit(f"bench_compare: workload mismatch: baseline ran "
+                 f"{bw:g} MB, current ran {cw:g} MB — rerun with matching "
+                 f"MOBICEAL_BENCH_MB")
+
+    regressions = []
+    print(f"== {base['bench']}: {args.baseline} -> {args.current} "
+          f"(threshold {args.threshold:g}%) ==")
+    for name, old in base["metrics"].items():
+        if name not in cur["metrics"]:
+            if direction(name):
+                regressions.append(f"{name}: tracked metric disappeared")
+            continue
+        new = cur["metrics"][name]
+        sign = direction(name)
+        if old == 0:
+            change = 0.0 if new == 0 else float("inf")
+        else:
+            change = 100.0 * (new - old) / abs(old)
+        regressed = sign and sign * change < -args.threshold
+        flag = "REGRESSION" if regressed else (
+            "untracked" if not sign else "ok")
+        print(f"  {name:44s} {old:14.3f} -> {new:14.3f}  "
+              f"{change:+8.2f}%  {flag}")
+        if regressed:
+            regressions.append(f"{name}: {change:+.2f}%")
+
+    for name in cur["metrics"]:
+        if name not in base["metrics"]:
+            print(f"  {name:44s} (new metric, not in baseline)")
+
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) beyond "
+              f"{args.threshold:g}%:")
+        for r in regressions:
+            print(f"  {r}")
+        return 1
+    print("\nno regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
