@@ -34,6 +34,7 @@ BenchStack make_scheme_stack(const std::string& scheme_name, bool hidden,
   s.raw = std::make_shared<blockdev::MemBlockDevice>(o.device_blocks);
   s.timed = std::make_shared<blockdev::TimedDevice>(s.raw, o.device_model,
                                                     s.clock);
+  s.timed->set_queue_depth(o.queue_depth);
 
   api::SchemeOptions opts;
   opts.device = s.timed;
@@ -76,6 +77,7 @@ BenchStack make_stack(StackKind kind, const StackOptions& o) {
       s.raw = std::make_shared<blockdev::MemBlockDevice>(o.device_blocks);
       s.timed = std::make_shared<blockdev::TimedDevice>(s.raw, o.device_model,
                                                         s.clock);
+      s.timed->set_queue_depth(o.queue_depth);
       s.owned_fs = fs::ExtFs::format(s.timed, 1024);
       s.fs = s.owned_fs.get();
       return s;
@@ -228,6 +230,25 @@ int env_bench_reps(int def_reps) {
     if (r > 0) return r;
   }
   return def_reps;
+}
+
+std::uint32_t bench_queue_depth(int argc, char** argv, std::uint32_t def) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--queue-depth" && i + 1 < argc) {
+      const long d = std::atol(argv[i + 1]);
+      if (d > 0) return static_cast<std::uint32_t>(d);
+    }
+    if (arg.rfind("--queue-depth=", 0) == 0) {
+      const long d = std::atol(arg.c_str() + 14);
+      if (d > 0) return static_cast<std::uint32_t>(d);
+    }
+  }
+  if (const char* v = std::getenv("MOBICEAL_QUEUE_DEPTH")) {
+    const long d = std::atol(v);
+    if (d > 0) return static_cast<std::uint32_t>(d);
+  }
+  return def;
 }
 
 }  // namespace mobiceal::bench

@@ -63,6 +63,12 @@ struct StackOptions {
   /// Skip the one-time full random fill (the thin stacks always skip it —
   /// it is irrelevant to steady-state throughput).
   bool skip_random_fill = false;
+  /// Device queue depth for the async submit engine. 1 (the default)
+  /// keeps the historical fully-serial service model — the queue model
+  /// itself is bit-identical at QD1 — so committed baselines stay
+  /// comparable; >1 overlaps transfer phases and lets dm-crypt pipeline
+  /// cipher work against in-flight requests.
+  std::uint32_t queue_depth = 1;
 };
 
 /// Builds a freshly initialised, unlocked stack for a registered scheme.
@@ -106,6 +112,11 @@ inline double kbps(std::uint64_t bytes, double seconds) {
 /// `def_reps`). Lets CI run quick passes and full runs match the paper.
 std::uint64_t env_bench_bytes(std::uint64_t def_mb);
 int env_bench_reps(int def_reps);
+
+/// Queue depth for the bench run: `--queue-depth N` on the command line,
+/// else MOBICEAL_QUEUE_DEPTH, else `def` (1 — baselines stay comparable).
+std::uint32_t bench_queue_depth(int argc, char** argv,
+                                std::uint32_t def = 1);
 
 // ---- machine-readable output ------------------------------------------------
 //

@@ -25,6 +25,7 @@ using namespace mobiceal;
 namespace {
 
 std::string g_scheme = "mobiceal";
+std::uint32_t g_queue_depth = 1;
 
 api::SchemeOptions cli_options() {
   api::SchemeOptions opts;
@@ -46,6 +47,7 @@ std::unique_ptr<api::PdeScheme> attach(const std::string& image) {
   opts.format = false;
   opts.device = std::make_shared<blockdev::FileBlockDevice>(
       image, image_blocks(image));
+  opts.device->set_queue_depth(g_queue_depth);
   return api::SchemeRegistry::create(g_scheme, opts);
 }
 
@@ -66,7 +68,8 @@ std::unique_ptr<api::PdeScheme> attach_and_unlock(const std::string& image,
 int usage() {
   std::fprintf(
       stderr,
-      "usage: mobiceal_cli [--scheme <name>] <command> [args...]\n"
+      "usage: mobiceal_cli [--scheme <name>] [--queue-depth <n>] "
+      "<command> [args...]\n"
       "\n"
       "commands:\n"
       "  init <image> <size_mb> <pub_pwd> [hidden_pwd...]\n"
@@ -86,7 +89,10 @@ int usage() {
       "  --list-schemes                print registered schemes and exit\n"
       "\n"
       "<pwd> may be the decoy password (public volume) or any hidden\n"
-      "password. --scheme selects the backend (default: mobiceal); note\n"
+      "password. --queue-depth advertises how many requests the image's\n"
+      "device keeps in flight (default 1): dm-crypt then pipelines cipher\n"
+      "work against outstanding I/O through the async submit engine.\n"
+      "--scheme selects the backend (default: mobiceal); note\n"
       "that the DEFY/HIVE reproductions keep their translation maps in\n"
       "RAM and therefore only support `init` followed by in-process use,\n"
       "not re-attachment.\n");
@@ -116,6 +122,7 @@ int cmd_init(int argc, char** argv) {
     return 1;
   }
   opts.device = std::make_shared<blockdev::FileBlockDevice>(image, mb << 8);
+  opts.device->set_queue_depth(g_queue_depth);
   auto dev = api::SchemeRegistry::create(g_scheme, opts);
   std::printf("initialised %s: %llu MB, scheme %s (%zu hidden password(s))\n",
               image.c_str(), static_cast<unsigned long long>(mb),
@@ -269,6 +276,18 @@ int main(int argc, char** argv) {
                  args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
       continue;
     }
+    if (std::strcmp(args[i], "--queue-depth") == 0) {
+      if (i + 1 >= args.size()) return usage();
+      const long d = std::strtol(args[i + 1], nullptr, 10);
+      if (d < 1) {
+        std::fprintf(stderr, "--queue-depth must be >= 1\n");
+        return 2;
+      }
+      g_queue_depth = static_cast<std::uint32_t>(d);
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+                 args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+      continue;
+    }
     break;
   }
   if (args.size() < 2) return usage();
@@ -276,6 +295,7 @@ int main(int argc, char** argv) {
   // "--scheme" later would otherwise be swallowed as a password/path.
   for (std::size_t i = 2; i < args.size(); ++i) {
     if (std::strcmp(args[i], "--scheme") == 0 ||
+        std::strcmp(args[i], "--queue-depth") == 0 ||
         std::strcmp(args[i], "--list-schemes") == 0) {
       std::fprintf(stderr, "%s must come before the command\n", args[i]);
       return 2;

@@ -67,6 +67,76 @@ void BlockDevice::do_write_blocks(std::uint64_t first, util::ByteSpan data) {
   }
 }
 
+void BlockDevice::set_queue_depth(std::uint32_t depth) {
+  queue_depth_ = depth == 0 ? 1 : depth;
+}
+
+SubmitResult BlockDevice::submit(const IoRequest& req) {
+  switch (req.op) {
+    case IoOp::kRead:
+      check_range(req.first, req.count, req.read_buf.size());
+      break;
+    case IoOp::kWrite:
+      if (req.write_buf.size() % block_size() != 0) {
+        throw util::IoError("submit: unaligned write buffer");
+      }
+      check_range(req.first, req.count, req.write_buf.size());
+      break;
+    case IoOp::kFlush:
+      break;
+  }
+  const std::uint64_t done = do_submit(req);
+  const std::uint64_t ticket = next_ticket_++;
+  pending_.push_back({ticket, req.user_data, done});
+  return {ticket, done};
+}
+
+std::uint64_t BlockDevice::do_submit(const IoRequest& req) {
+  // Synchronous shim: devices without a service-time model execute the
+  // request inline; it is complete (time 0) by the time submit returns.
+  switch (req.op) {
+    case IoOp::kRead:
+      if (req.count != 0) do_read_blocks(req.first, req.count, req.read_buf);
+      break;
+    case IoOp::kWrite:
+      if (req.count != 0) do_write_blocks(req.first, req.write_buf);
+      break;
+    case IoOp::kFlush:
+      flush();
+      break;
+  }
+  return 0;
+}
+
+std::uint64_t BlockDevice::completion_cutoff() const noexcept {
+  return ~std::uint64_t{0};
+}
+
+std::vector<IoCompletion> BlockDevice::take_ready(std::uint64_t cutoff) {
+  std::vector<IoCompletion> ready;
+  std::vector<IoCompletion> rest;
+  for (const IoCompletion& c : pending_) {
+    (c.complete_ns <= cutoff ? ready : rest).push_back(c);
+  }
+  pending_ = std::move(rest);
+  std::sort(ready.begin(), ready.end(),
+            [](const IoCompletion& a, const IoCompletion& b) {
+              return a.complete_ns != b.complete_ns
+                         ? a.complete_ns < b.complete_ns
+                         : a.ticket < b.ticket;
+            });
+  return ready;
+}
+
+std::vector<IoCompletion> BlockDevice::poll_completions() {
+  return take_ready(completion_cutoff());
+}
+
+std::vector<IoCompletion> BlockDevice::drain() {
+  do_drain();
+  return take_ready(~std::uint64_t{0});
+}
+
 util::Bytes BlockDevice::read_blocks(std::uint64_t first,
                                      std::uint64_t count) {
   util::Bytes out(count * block_size());

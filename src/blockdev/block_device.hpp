@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "util/bytes.hpp"
 #include "util/rng.hpp"
@@ -22,6 +23,49 @@ inline constexpr std::size_t kSectorSize = 512;
 /// Default block (page) size for device I/O; matches the 4 KiB pages the
 /// Android kernel issues to eMMC.
 inline constexpr std::size_t kDefaultBlockSize = 4096;
+
+// -- async submit/complete engine ---------------------------------------------
+//
+// io_uring-shaped: callers queue IoRequests with submit() and reap
+// IoCompletions with poll_completions()/drain(). Data movement is performed
+// at submit time (the simulation has no real DMA), so device *state* is
+// identical to the synchronous paths by construction; what the engine models
+// is *service time*: TimedDevice keeps up to queue_depth() requests in
+// flight on the virtual clock, and wrappers (dm-linear, LVM, thin volumes,
+// dm-crypt) forward submissions downward so the overlap happens where the
+// paper's hardware provides it — at the eMMC controller.
+
+enum class IoOp : std::uint8_t { kRead, kWrite, kFlush };
+
+struct IoRequest {
+  IoOp op = IoOp::kRead;
+  std::uint64_t first = 0;  ///< first block (ignored for kFlush)
+  std::uint64_t count = 0;  ///< blocks (ignored for kFlush)
+  /// kRead destination; must hold count * block_size() bytes.
+  util::MutByteSpan read_buf{};
+  /// kWrite source; must hold count * block_size() bytes.
+  util::ByteSpan write_buf{};
+  /// Caller cookie, returned verbatim in the completion.
+  std::uint64_t user_data = 0;
+  /// Earliest virtual time (ns) the request may start service — the
+  /// pipelining hook: dm-crypt sets it to the ciphertext-ready time so
+  /// encryption of run N+1 overlaps the in-flight write of run N.
+  std::uint64_t available_ns = 0;
+};
+
+struct IoCompletion {
+  std::uint64_t ticket = 0;       ///< submission sequence number
+  std::uint64_t user_data = 0;    ///< cookie from the request
+  std::uint64_t complete_ns = 0;  ///< virtual completion time (0: untimed)
+};
+
+/// Result of BlockDevice::submit. `complete_ns` is the modelled virtual
+/// completion time, available synchronously because service times are
+/// analytic — upper layers use it to chain dependent work without waiting.
+struct SubmitResult {
+  std::uint64_t ticket = 0;
+  std::uint64_t complete_ns = 0;
+};
 
 class BlockDevice {
  public:
@@ -74,7 +118,50 @@ class BlockDevice {
   /// Full raw image of the device — the adversary's snapshot primitive.
   util::Bytes snapshot();
 
+  // -- async submit/complete ---------------------------------------------------
+
+  /// Queues a request. Validation (range/alignment) happens up front and
+  /// throws util::IoError exactly like the synchronous entry points; the
+  /// data movement itself happens before submit returns, so a submitted
+  /// write is immediately visible to reads. The returned complete_ns is
+  /// the modelled virtual completion time (0 on untimed devices).
+  SubmitResult submit(const IoRequest& req);
+
+  /// Reaps completions whose virtual completion time has been reached,
+  /// sorted by (complete_ns, ticket) — deterministic virtual-time order.
+  /// Untimed devices complete everything instantly.
+  std::vector<IoCompletion> poll_completions();
+
+  /// Barrier: advances the virtual clock past every in-flight request and
+  /// reaps all remaining completions. The async analogue of flush-level
+  /// ordering; synchronous I/O issued while requests are in flight drains
+  /// implicitly on timed devices.
+  std::vector<IoCompletion> drain();
+
+  /// Advisory number of requests the device keeps in flight (NCQ-style).
+  /// Wrapper targets forward to their lower device; TimedDevice models it
+  /// on the virtual clock. Depth 1 (the default) preserves the historical
+  /// fully-serial service model bit-for-bit.
+  virtual std::uint32_t queue_depth() const noexcept { return queue_depth_; }
+
+  /// Sets the advertised queue depth (clamped to >= 1).
+  virtual void set_queue_depth(std::uint32_t depth);
+
+  /// Virtual time cutoff for poll_completions: completions at or before
+  /// this instant are ready. Untimed devices report everything complete;
+  /// TimedDevice reports its clock; wrapper targets forward to their
+  /// lower device so polling through any layer honours the timeline.
+  virtual std::uint64_t completion_cutoff() const noexcept;
+
  protected:
+  /// Submission hook: performs the operation and returns its virtual
+  /// completion time. The default shim services the request synchronously
+  /// through the vectored hooks (completion time 0 — "already done").
+  virtual std::uint64_t do_submit(const IoRequest& req);
+
+  /// Drain hook: advance the clock past all in-flight work. Default no-op
+  /// (the sync shim never leaves work in flight).
+  virtual void do_drain() {}
   /// Bounds/size validation shared by implementations.
   void check_io(std::uint64_t index, std::size_t len) const;
 
@@ -91,6 +178,15 @@ class BlockDevice {
   /// Vectored-write hook, called with a validated range. Default loops
   /// over write_block().
   virtual void do_write_blocks(std::uint64_t first, util::ByteSpan data);
+
+ private:
+  /// Removes and returns pending completions with complete_ns <= cutoff,
+  /// sorted by (complete_ns, ticket).
+  std::vector<IoCompletion> take_ready(std::uint64_t cutoff);
+
+  std::uint32_t queue_depth_ = 1;
+  std::uint64_t next_ticket_ = 1;
+  std::vector<IoCompletion> pending_;
 };
 
 /// RAM-backed block device.

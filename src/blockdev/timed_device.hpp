@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "blockdev/block_device.hpp"
 #include "util/sim_clock.hpp"
@@ -48,6 +49,17 @@ struct TimingModel {
 /// Wraps a device; charges virtual time per I/O and counts operations.
 /// The clock is shared across the whole stack so CPU costs (crypto, thin
 /// metadata lookups) can be charged onto the same timeline.
+///
+/// Queue-depth model (the async submit path): per-command overhead —
+/// per_io_ns plus any locality penalty — is serialised on one command
+/// channel (the controller/FTL processes command setup in submission
+/// order), while the data transfers of up to queue_depth() requests
+/// proceed in parallel on independent transfer slots (multi-die / multi-
+/// plane parallelism). Locality is judged in submission order, so the
+/// model is a pure function of the request sequence: repeated runs and
+/// different crypto worker-thread counts produce the identical virtual
+/// timeline. Synchronous I/O issued while async requests are in flight
+/// first drains the queue (a sync op is an implicit barrier).
 class TimedDevice final : public BlockDevice {
  public:
   TimedDevice(std::shared_ptr<BlockDevice> inner, TimingModel model,
@@ -76,9 +88,24 @@ class TimedDevice final : public BlockDevice {
   std::uint64_t random_ios() const noexcept { return random_; }
   /// Vectored requests serviced (subset of the request counters above).
   std::uint64_t vectored_ios() const noexcept { return vectored_; }
+  /// Requests serviced through the async submit path.
+  std::uint64_t async_ios() const noexcept { return async_; }
   void reset_counters() noexcept;
 
+  /// Reconfigures the modelled queue depth. Drains in-flight requests
+  /// first so the change is a clean cut on the virtual timeline.
+  void set_queue_depth(std::uint32_t depth) override;
+
  protected:
+  /// Async submission: serial command phase + overlapped transfer phase
+  /// (see class comment). Data moves to the inner device immediately.
+  std::uint64_t do_submit(const IoRequest& req) override;
+
+  /// Completions become visible once the clock reaches them.
+  std::uint64_t completion_cutoff() const noexcept override;
+
+  /// Advances the clock past every in-flight request.
+  void do_drain() override;
   /// Vectored I/O is costed as ONE command (per-IO overhead + at most one
   /// locality penalty) plus `count` sequential block transfers — the reason
   /// batched paths win virtual time over per-block loops.
@@ -91,13 +118,34 @@ class TimedDevice final : public BlockDevice {
   /// updates locality state.
   void charge(std::uint64_t first, std::uint64_t count, bool is_write);
 
+  /// Command cost for a request at `first` (per-IO overhead + locality
+  /// penalty); updates locality state and the request counters.
+  std::uint64_t command_ns(std::uint64_t first, std::uint64_t count,
+                           bool is_write);
+
+  /// Implicit barrier before synchronous service: advances the clock past
+  /// all in-flight async requests. No-op when nothing is in flight.
+  void advance_to_idle();
+
+  /// Resizes the transfer-slot array to the configured queue depth.
+  void ensure_slots();
+
   std::shared_ptr<BlockDevice> inner_;
   TimingModel model_;
   std::shared_ptr<util::SimClock> clock_;
   std::uint64_t next_expected_ = 0;  // block after the last access
   bool has_last_ = false;
   std::uint64_t reads_ = 0, writes_ = 0, flushes_ = 0;
-  std::uint64_t sequential_ = 0, random_ = 0, vectored_ = 0;
+  std::uint64_t sequential_ = 0, random_ = 0, vectored_ = 0, async_ = 0;
+  /// Async service state: when the serial command channel frees up, and
+  /// when each of the queue_depth() transfer slots frees up.
+  std::uint64_t ctrl_free_ns_ = 0;
+  std::vector<std::uint64_t> slot_free_ns_;
+  /// Completion times of requests still occupying a queue tag — at most
+  /// queue_depth() requests may be outstanding, so a new command waits for
+  /// the earliest completion when the queue is full. Makes depth-1 async
+  /// bit-identical in time to the synchronous path.
+  std::vector<std::uint64_t> outstanding_ns_;
 };
 
 /// Pure counting wrapper (no timing) for unit tests and I/O-amplification
@@ -130,6 +178,27 @@ class StatsDevice final : public BlockDevice {
   std::uint64_t writes() const noexcept { return writes_; }
   std::uint64_t flushes() const noexcept { return flushes_; }
   void reset() noexcept { reads_ = writes_ = flushes_ = 0; }
+
+  std::uint32_t queue_depth() const noexcept override {
+    return inner_->queue_depth();
+  }
+  void set_queue_depth(std::uint32_t depth) override {
+    inner_->set_queue_depth(depth);
+  }
+  std::uint64_t completion_cutoff() const noexcept override {
+    return inner_->completion_cutoff();
+  }
+
+ protected:
+  std::uint64_t do_submit(const IoRequest& req) override {
+    switch (req.op) {  // reads()/writes() count block ops, as the sync path
+      case IoOp::kRead: reads_ += req.count; break;
+      case IoOp::kWrite: writes_ += req.count; break;
+      case IoOp::kFlush: ++flushes_; break;
+    }
+    return inner_->submit(req).complete_ns;
+  }
+  void do_drain() override { inner_->drain(); }
 
  private:
   std::shared_ptr<BlockDevice> inner_;

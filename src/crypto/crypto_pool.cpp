@@ -1,0 +1,115 @@
+#include "crypto/crypto_pool.hpp"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace mobiceal::crypto {
+
+CryptoWorkerPool::CryptoWorkerPool(unsigned threads) {
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+CryptoWorkerPool::~CryptoWorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void CryptoWorkerPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to run
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void CryptoWorkerPool::parallel(std::size_t shards,
+                                const std::function<void(std::size_t)>& fn) {
+  if (workers_.empty() || shards <= 1) {
+    for (std::size_t s = 0; s < shards; ++s) fn(s);
+    return;
+  }
+  // Completion latch shared by all shards; the first failure wins.
+  struct State {
+    std::atomic<std::size_t> remaining;
+    std::mutex m;
+    std::condition_variable done;
+    std::exception_ptr error;
+  };
+  auto state = std::make_shared<State>();
+  state->remaining.store(shards, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t s = 0; s < shards; ++s) {
+      queue_.emplace_back([state, &fn, s] {
+        try {
+          fn(s);
+        } catch (...) {
+          std::lock_guard<std::mutex> el(state->m);
+          if (!state->error) state->error = std::current_exception();
+        }
+        if (state->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          std::lock_guard<std::mutex> el(state->m);
+          state->done.notify_all();
+        }
+      });
+    }
+  }
+  cv_.notify_all();
+  std::unique_lock<std::mutex> lock(state->m);
+  state->done.wait(lock, [&] {
+    return state->remaining.load(std::memory_order_acquire) == 0;
+  });
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+std::future<void> CryptoWorkerPool::async(std::function<void()> fn) {
+  auto task = std::make_shared<std::packaged_task<void()>>(std::move(fn));
+  std::future<void> result = task->get_future();
+  if (workers_.empty()) {
+    (*task)();
+    return result;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.emplace_back([task] { (*task)(); });
+  }
+  cv_.notify_one();
+  return result;
+}
+
+namespace {
+std::shared_ptr<CryptoWorkerPool>& shared_slot() {
+  static std::shared_ptr<CryptoWorkerPool> pool = [] {
+    unsigned threads = 0;
+    if (const char* v = std::getenv("MOBICEAL_CRYPTO_THREADS")) {
+      const long n = std::atol(v);
+      if (n > 0) threads = static_cast<unsigned>(n);
+    }
+    return std::make_shared<CryptoWorkerPool>(threads);
+  }();
+  return pool;
+}
+}  // namespace
+
+const std::shared_ptr<CryptoWorkerPool>& CryptoWorkerPool::shared() {
+  return shared_slot();
+}
+
+void CryptoWorkerPool::set_shared_threads(unsigned threads) {
+  shared_slot() = std::make_shared<CryptoWorkerPool>(threads);
+}
+
+}  // namespace mobiceal::crypto

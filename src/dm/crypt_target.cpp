@@ -1,20 +1,85 @@
 #include "dm/crypt_target.hpp"
 
+#include <algorithm>
+#include <future>
+#include <utility>
+#include <vector>
+
 namespace mobiceal::dm {
+
+namespace {
+/// Below this many sectors a parallel shard isn't worth the handoff.
+constexpr std::size_t kMinParallelSectors = 16;
+}  // namespace
 
 CryptTarget::CryptTarget(std::shared_ptr<blockdev::BlockDevice> lower,
                          const std::string& spec, util::ByteSpan key,
                          std::shared_ptr<util::SimClock> clock,
-                         CryptCpuModel cpu)
+                         CryptCpuModel cpu,
+                         std::shared_ptr<crypto::CryptoWorkerPool> pool)
     : lower_(std::move(lower)),
       cipher_(crypto::make_sector_cipher(spec, key)),
       clock_(std::move(clock)),
       cpu_(cpu),
+      pool_(pool ? std::move(pool) : crypto::CryptoWorkerPool::shared()),
       sectors_per_block_(lower_->block_size() / blockdev::kSectorSize) {}
+
+void CryptTarget::set_crypto_pool(
+    std::shared_ptr<crypto::CryptoWorkerPool> pool) {
+  pool_ = pool ? std::move(pool) : crypto::CryptoWorkerPool::shared();
+}
+
+util::MutByteSpan CryptTarget::scratch(util::Bytes& buf, std::size_t n) {
+  if (buf.size() < n) buf.resize(std::max(n, buf.size() * 2));
+  return {buf.data(), n};
+}
+
+void CryptTarget::xform_range(bool encrypt, std::uint64_t first_sector,
+                              util::ByteSpan in, util::MutByteSpan out) {
+  const std::size_t n_sectors = in.size() / blockdev::kSectorSize;
+  const unsigned workers = pool_->threads();
+  if (workers <= 1 || n_sectors < 2 * kMinParallelSectors) {
+    if (encrypt) {
+      cipher_->encrypt_range(first_sector, blockdev::kSectorSize, in, out);
+    } else {
+      cipher_->decrypt_range(first_sector, blockdev::kSectorSize, in, out);
+    }
+    return;
+  }
+  // Shard by contiguous sector spans: every sector derives its own IV from
+  // its absolute sector number, so the split points cannot change bytes.
+  const std::size_t shards =
+      std::min<std::size_t>(workers, n_sectors / kMinParallelSectors);
+  const std::size_t per = (n_sectors + shards - 1) / shards;
+  pool_->parallel(shards, [&](std::size_t s) {
+    const std::size_t s0 = s * per;
+    const std::size_t s1 = std::min(n_sectors, s0 + per);
+    if (s0 >= s1) return;
+    const util::ByteSpan src{in.data() + s0 * blockdev::kSectorSize,
+                             (s1 - s0) * blockdev::kSectorSize};
+    const util::MutByteSpan dst{out.data() + s0 * blockdev::kSectorSize,
+                                (s1 - s0) * blockdev::kSectorSize};
+    if (encrypt) {
+      cipher_->encrypt_range(first_sector + s0, blockdev::kSectorSize, src,
+                             dst);
+    } else {
+      cipher_->decrypt_range(first_sector + s0, blockdev::kSectorSize, src,
+                             dst);
+    }
+  });
+}
+
+std::uint64_t CryptTarget::lane_charge(std::uint64_t ready_ns,
+                                       std::uint64_t cost_ns) {
+  const std::uint64_t now = clock_ ? clock_->now() : 0;
+  crypto_lane_ns_ =
+      std::max(crypto_lane_ns_, std::max(now, ready_ns)) + cost_ns;
+  return crypto_lane_ns_;
+}
 
 void CryptTarget::read_block(std::uint64_t index, util::MutByteSpan out) {
   check_io(index, out.size());
-  util::Bytes ct(block_size());
+  const util::MutByteSpan ct = scratch(ct_scratch_, block_size());
   lower_->read_block(index, ct);
   // Decrypt per 512-byte sector, IV keyed on the logical sector number —
   // exactly dm-crypt's granularity.
@@ -25,7 +90,7 @@ void CryptTarget::read_block(std::uint64_t index, util::MutByteSpan out) {
 
 void CryptTarget::write_block(std::uint64_t index, util::ByteSpan data) {
   check_io(index, data.size());
-  util::Bytes ct(block_size());
+  const util::MutByteSpan ct = scratch(ct_scratch_, block_size());
   cipher_->encrypt_range(index * sectors_per_block_, blockdev::kSectorSize,
                          data, ct);
   if (clock_) clock_->advance(cpu_.encrypt_ns_per_block);
@@ -34,20 +99,163 @@ void CryptTarget::write_block(std::uint64_t index, util::ByteSpan data) {
 
 void CryptTarget::do_read_blocks(std::uint64_t first, std::uint64_t count,
                                  util::MutByteSpan out) {
-  util::Bytes ct(out.size());
+  if (lower_->queue_depth() > 1 && count > kPipelineBlocks) {
+    read_pipelined(first, count, out);
+    return;
+  }
+  const util::MutByteSpan ct = scratch(ct_scratch_, out.size());
   lower_->read_blocks(first, count, ct);
-  cipher_->decrypt_range(first * sectors_per_block_, blockdev::kSectorSize,
-                         ct, out);
+  xform_range(/*encrypt=*/false, first * sectors_per_block_, ct, out);
   if (clock_) clock_->advance(cpu_.decrypt_ns_per_block * count);
 }
 
 void CryptTarget::do_write_blocks(std::uint64_t first, util::ByteSpan data) {
-  util::Bytes ct(data.size());
-  cipher_->encrypt_range(first * sectors_per_block_, blockdev::kSectorSize,
-                         data, ct);
-  if (clock_) clock_->advance(cpu_.encrypt_ns_per_block *
-                              (data.size() / block_size()));
+  const std::uint64_t count = data.size() / block_size();
+  if (lower_->queue_depth() > 1 && count > kPipelineBlocks) {
+    write_pipelined(first, data);
+    return;
+  }
+  const util::MutByteSpan ct = scratch(ct_scratch_, data.size());
+  xform_range(/*encrypt=*/true, first * sectors_per_block_, data, ct);
+  if (clock_) clock_->advance(cpu_.encrypt_ns_per_block * count);
   lower_->write_blocks(first, ct);
+}
+
+void CryptTarget::read_pipelined(std::uint64_t first, std::uint64_t count,
+                                 util::MutByteSpan out) {
+  // Submit every segment read up front — the lower stack keeps up to its
+  // queue depth in flight — then decrypt in virtual completion order, so
+  // decryption of the first-to-land segment overlaps the still-in-flight
+  // transfers of the rest.
+  struct Seg {
+    std::uint64_t blk, blocks, done_ns;
+    std::size_t off;
+  };
+  const std::size_t bs = block_size();
+  const util::MutByteSpan ct = scratch(ct_scratch_, out.size());
+  std::vector<Seg> segs;
+  segs.reserve((count + kPipelineBlocks - 1) / kPipelineBlocks);
+  for (std::uint64_t b = 0; b < count; b += kPipelineBlocks) {
+    const std::uint64_t n = std::min(kPipelineBlocks, count - b);
+    blockdev::IoRequest req;
+    req.op = blockdev::IoOp::kRead;
+    req.first = first + b;
+    req.count = n;
+    req.read_buf = {ct.data() + b * bs, static_cast<std::size_t>(n) * bs};
+    const auto r = lower_->submit(req);
+    segs.push_back({first + b, n, r.complete_ns,
+                    static_cast<std::size_t>(b) * bs});
+  }
+  std::stable_sort(segs.begin(), segs.end(),
+                   [](const Seg& a, const Seg& b) {
+                     return a.done_ns < b.done_ns;
+                   });
+  std::uint64_t last_done = 0;
+  for (const Seg& s : segs) {
+    xform_range(/*encrypt=*/false, s.blk * sectors_per_block_,
+                {ct.data() + s.off, static_cast<std::size_t>(s.blocks) * bs},
+                {out.data() + s.off, static_cast<std::size_t>(s.blocks) * bs});
+    last_done =
+        lane_charge(s.done_ns, cpu_.decrypt_ns_per_block * s.blocks);
+  }
+  lower_->drain();
+  if (clock_ && last_done > clock_->now()) {
+    clock_->advance(last_done - clock_->now());
+  }
+}
+
+void CryptTarget::write_pipelined(std::uint64_t first, util::ByteSpan data) {
+  // Virtual time: the serial crypto lane encrypts segment after segment
+  // while the device services earlier segments (each submit carries its
+  // ciphertext-ready time). Wall clock: the worker pool encrypts segment
+  // N+1 into the spare buffer while segment N is submitted.
+  const std::size_t bs = block_size();
+  const std::uint64_t count = data.size() / bs;
+  const std::uint64_t n_segs = (count + kPipelineBlocks - 1) / kPipelineBlocks;
+  auto seg_span = [&](std::uint64_t i) {
+    const std::uint64_t b = i * kPipelineBlocks;
+    const std::uint64_t n = std::min(kPipelineBlocks, count - b);
+    return util::ByteSpan{data.data() + b * bs,
+                          static_cast<std::size_t>(n) * bs};
+  };
+  const util::MutByteSpan bufs[2] = {
+      scratch(pipe_scratch_[0], kPipelineBlocks * bs),
+      scratch(pipe_scratch_[1], kPipelineBlocks * bs)};
+
+  auto encrypt_seg = [&](std::uint64_t i, util::MutByteSpan buf) {
+    const util::ByteSpan src = seg_span(i);
+    xform_range(/*encrypt=*/true,
+                (first + i * kPipelineBlocks) * sectors_per_block_, src,
+                {buf.data(), src.size()});
+  };
+
+  encrypt_seg(0, bufs[0]);
+  std::future<void> next_ready;
+  for (std::uint64_t i = 0; i < n_segs; ++i) {
+    const util::ByteSpan src = seg_span(i);
+    const std::uint64_t blocks = src.size() / bs;
+    const std::uint64_t ct_ready =
+        lane_charge(0, cpu_.encrypt_ns_per_block * blocks);
+    if (i + 1 < n_segs) {
+      next_ready = pool_->async(
+          [&encrypt_seg, &bufs, i] { encrypt_seg(i + 1, bufs[(i + 1) % 2]); });
+    }
+    blockdev::IoRequest req;
+    req.op = blockdev::IoOp::kWrite;
+    req.first = first + i * kPipelineBlocks;
+    req.count = blocks;
+    req.write_buf = {bufs[i % 2].data(), src.size()};
+    req.available_ns = ct_ready;
+    try {
+      lower_->submit(req);
+    } catch (...) {
+      // The in-flight encrypt task references this frame: join it before
+      // unwinding.
+      if (next_ready.valid()) next_ready.wait();
+      throw;
+    }
+    if (i + 1 < n_segs) next_ready.get();
+  }
+  lower_->drain();
+}
+
+std::uint64_t CryptTarget::do_submit(const blockdev::IoRequest& req) {
+  switch (req.op) {
+    case blockdev::IoOp::kFlush: {
+      blockdev::IoRequest fwd = req;
+      return lower_->submit(fwd).complete_ns;
+    }
+    case blockdev::IoOp::kWrite: {
+      // Encrypt first; the lower request starts once ciphertext is ready.
+      // The lower submit moves the data before returning, so the shared
+      // scratch is free again by the time this call ends.
+      const util::MutByteSpan ct = scratch(ct_scratch_, req.write_buf.size());
+      xform_range(/*encrypt=*/true, req.first * sectors_per_block_,
+                  req.write_buf, ct);
+      blockdev::IoRequest fwd = req;
+      fwd.write_buf = ct;
+      fwd.available_ns = lane_charge(
+          req.available_ns, cpu_.encrypt_ns_per_block * req.count);
+      return lower_->submit(fwd).complete_ns;
+    }
+    case blockdev::IoOp::kRead: {
+      const auto r = lower_->submit(req);
+      // Ciphertext landed in req.read_buf; decrypt in place (all sector
+      // ciphers support it) once the transfer completes on the lane.
+      xform_range(/*encrypt=*/false, req.first * sectors_per_block_,
+                  req.read_buf, req.read_buf);
+      return lane_charge(r.complete_ns,
+                         cpu_.decrypt_ns_per_block * req.count);
+    }
+  }
+  return 0;
+}
+
+void CryptTarget::do_drain() {
+  lower_->drain();
+  if (clock_ && crypto_lane_ns_ > clock_->now()) {
+    clock_->advance(crypto_lane_ns_ - clock_->now());
+  }
 }
 
 }  // namespace mobiceal::dm

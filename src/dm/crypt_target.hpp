@@ -5,12 +5,22 @@
 // the logical 512-byte sector number. Length-preserving and MAC-free, so the
 // ciphertext of a hidden volume is indistinguishable from dummy-write noise
 // — the property MobiCeal's deniability argument rests on (Lemma VI.1).
+//
+// Performance model: cipher work is charged to a serial *crypto lane* — the
+// analogue of the kcryptd kthread — that is allowed to overlap device
+// service. When the lower device advertises queue_depth() > 1, the vectored
+// paths pipeline: requests are split into segments, segment N+1 is
+// encrypted (on the crypto worker pool, wall-clock) while segment N's write
+// is in flight (virtual clock), and reads decrypt segments in virtual
+// completion order as they land. At queue depth 1 the historical fully
+// serial paths run unchanged.
 #pragma once
 
 #include <memory>
 #include <string>
 
 #include "blockdev/block_device.hpp"
+#include "crypto/crypto_pool.hpp"
 #include "crypto/modes.hpp"
 #include "util/sim_clock.hpp"
 
@@ -35,10 +45,13 @@ class CryptTarget final : public blockdev::BlockDevice {
  public:
   /// `spec` is a dm-crypt cipher spec ("aes-cbc-essiv:sha256",
   /// "aes-xts-plain64"). `clock` may be null (no CPU time charged).
+  /// `pool` is the crypto worker pool; null uses the process-wide
+  /// crypto::CryptoWorkerPool::shared() (inline unless configured).
   CryptTarget(std::shared_ptr<blockdev::BlockDevice> lower,
               const std::string& spec, util::ByteSpan key,
               std::shared_ptr<util::SimClock> clock = nullptr,
-              CryptCpuModel cpu = CryptCpuModel::snapdragon_s4());
+              CryptCpuModel cpu = CryptCpuModel::snapdragon_s4(),
+              std::shared_ptr<crypto::CryptoWorkerPool> pool = nullptr);
 
   std::size_t block_size() const noexcept override {
     return lower_->block_size();
@@ -52,20 +65,66 @@ class CryptTarget final : public blockdev::BlockDevice {
 
   const char* cipher_name() const noexcept { return cipher_->name(); }
 
+  std::uint32_t queue_depth() const noexcept override {
+    return lower_->queue_depth();
+  }
+  void set_queue_depth(std::uint32_t depth) override {
+    lower_->set_queue_depth(depth);
+  }
+  std::uint64_t completion_cutoff() const noexcept override {
+    return lower_->completion_cutoff();
+  }
+
+  /// Replaces the crypto worker pool (tests/benches; null = inline).
+  void set_crypto_pool(std::shared_ptr<crypto::CryptoWorkerPool> pool);
+
+  /// Blocks per pipeline segment on the vectored paths when the lower
+  /// device keeps multiple requests in flight (128 KiB at 4 KiB blocks).
+  static constexpr std::uint64_t kPipelineBlocks = 32;
+
  protected:
-  /// Vectored I/O stays vectored: one lower-device range transfer plus one
-  /// batched modes call over the whole run (same per-sector IVs, so the
-  /// ciphertext is bit-identical to the per-block path).
+  /// Vectored I/O stays vectored: at queue depth 1, one lower-device range
+  /// transfer plus one batched modes call over the whole run; at queue
+  /// depth > 1, the pipelined submit path (same per-sector IVs either way,
+  /// so ciphertext is bit-identical across paths and depths).
   void do_read_blocks(std::uint64_t first, std::uint64_t count,
                       util::MutByteSpan out) override;
   void do_write_blocks(std::uint64_t first, util::ByteSpan data) override;
 
+  /// Async submission: encrypt-then-submit for writes (the lower request
+  /// carries the ciphertext-ready time), submit-then-decrypt for reads.
+  std::uint64_t do_submit(const blockdev::IoRequest& req) override;
+  void do_drain() override;
+
  private:
+  /// Sharded range transform on the worker pool (bytes identical to the
+  /// serial call for any thread count).
+  void xform_range(bool encrypt, std::uint64_t first_sector,
+                   util::ByteSpan in, util::MutByteSpan out);
+
+  /// Serial crypto-lane charge: the lane starts no earlier than now and
+  /// `ready_ns`, runs for `cost_ns`, and returns its finish time.
+  std::uint64_t lane_charge(std::uint64_t ready_ns, std::uint64_t cost_ns);
+
+  void read_pipelined(std::uint64_t first, std::uint64_t count,
+                      util::MutByteSpan out);
+  void write_pipelined(std::uint64_t first, util::ByteSpan data);
+
+  /// Reusable ciphertext scratch, grown geometrically — the vectored and
+  /// per-block paths no longer allocate per call.
+  util::MutByteSpan scratch(util::Bytes& buf, std::size_t n);
+
   std::shared_ptr<blockdev::BlockDevice> lower_;
   std::unique_ptr<crypto::SectorCipher> cipher_;
   std::shared_ptr<util::SimClock> clock_;
   CryptCpuModel cpu_;
+  std::shared_ptr<crypto::CryptoWorkerPool> pool_;
   std::size_t sectors_per_block_;
+  /// When the serial crypto lane frees up (virtual ns).
+  std::uint64_t crypto_lane_ns_ = 0;
+  /// Scratch buffers: `ct_scratch_` for the serial paths, the pipe pair
+  /// for double-buffered pipelined writes.
+  util::Bytes ct_scratch_, pipe_scratch_[2];
 };
 
 }  // namespace mobiceal::dm

@@ -58,4 +58,10 @@ void LinearTarget::do_write_blocks(std::uint64_t first, util::ByteSpan data) {
   lower_->write_blocks(start_ + first, data);
 }
 
+std::uint64_t LinearTarget::do_submit(const blockdev::IoRequest& req) {
+  blockdev::IoRequest fwd = req;
+  if (fwd.op != blockdev::IoOp::kFlush) fwd.first += start_;
+  return lower_->submit(fwd).complete_ns;
+}
+
 }  // namespace mobiceal::dm

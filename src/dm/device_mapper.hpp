@@ -51,11 +51,26 @@ class LinearTarget final : public blockdev::BlockDevice {
 
   void flush() override { lower_->flush(); }
 
+  std::uint32_t queue_depth() const noexcept override {
+    return lower_->queue_depth();
+  }
+  void set_queue_depth(std::uint32_t depth) override {
+    lower_->set_queue_depth(depth);
+  }
+  std::uint64_t completion_cutoff() const noexcept override {
+    return lower_->completion_cutoff();
+  }
+
  protected:
   /// Vectored I/O stays vectored: one shifted request to the lower device.
   void do_read_blocks(std::uint64_t first, std::uint64_t count,
                       util::MutByteSpan out) override;
   void do_write_blocks(std::uint64_t first, util::ByteSpan data) override;
+
+  /// Async submissions forward with the offset applied, preserving the
+  /// modelled completion time.
+  std::uint64_t do_submit(const blockdev::IoRequest& req) override;
+  void do_drain() override { lower_->drain(); }
 
  private:
   std::shared_ptr<blockdev::BlockDevice> lower_;

@@ -85,6 +85,115 @@ void LogicalVolume::write_block(std::uint64_t index, util::ByteSpan data) {
   dev->write_block(phys, data);
 }
 
+void LogicalVolume::for_each_phys_run(
+    std::uint64_t first, std::uint64_t count,
+    const std::function<void(blockdev::BlockDevice&, std::uint64_t,
+                             std::uint64_t, std::size_t)>& fn) const {
+  const std::size_t bs = block_size();
+  std::uint64_t pos = first;
+  std::uint64_t remaining = count;
+  blockdev::BlockDevice* run_dev = nullptr;
+  std::uint64_t run_phys = 0, run_blocks = 0;
+  std::size_t run_off = 0;
+  while (remaining > 0) {
+    const auto [dev, phys] = map(pos);
+    const std::uint64_t in_seg =
+        std::min(extent_blocks_ - pos % extent_blocks_, remaining);
+    if (run_dev == dev && run_phys + run_blocks == phys) {
+      run_blocks += in_seg;  // physically consecutive: extend the run
+    } else {
+      if (run_dev != nullptr) fn(*run_dev, run_phys, run_blocks, run_off);
+      run_dev = dev;
+      run_phys = phys;
+      run_blocks = in_seg;
+      run_off = static_cast<std::size_t>(pos - first) * bs;
+    }
+    pos += in_seg;
+    remaining -= in_seg;
+  }
+  if (run_dev != nullptr) fn(*run_dev, run_phys, run_blocks, run_off);
+}
+
+void LogicalVolume::do_read_blocks(std::uint64_t first, std::uint64_t count,
+                                   util::MutByteSpan out) {
+  const std::size_t bs = block_size();
+  for_each_phys_run(first, count,
+                    [&](blockdev::BlockDevice& dev, std::uint64_t phys,
+                        std::uint64_t blocks, std::size_t off) {
+                      dev.read_blocks(
+                          phys, blocks,
+                          {out.data() + off,
+                           static_cast<std::size_t>(blocks) * bs});
+                    });
+}
+
+void LogicalVolume::do_write_blocks(std::uint64_t first, util::ByteSpan data) {
+  const std::size_t bs = block_size();
+  for_each_phys_run(first, data.size() / bs,
+                    [&](blockdev::BlockDevice& dev, std::uint64_t phys,
+                        std::uint64_t blocks, std::size_t off) {
+                      dev.write_blocks(
+                          phys, {data.data() + off,
+                                 static_cast<std::size_t>(blocks) * bs});
+                    });
+}
+
+std::uint64_t LogicalVolume::do_submit(const blockdev::IoRequest& req) {
+  if (req.op == blockdev::IoOp::kFlush) {
+    flush();
+    return 0;
+  }
+  const std::size_t bs = block_size();
+  std::uint64_t done = 0;
+  for_each_phys_run(
+      req.first, req.count,
+      [&](blockdev::BlockDevice& dev, std::uint64_t phys,
+          std::uint64_t blocks, std::size_t off) {
+        blockdev::IoRequest sub = req;
+        sub.first = phys;
+        sub.count = blocks;
+        if (req.op == blockdev::IoOp::kRead) {
+          sub.read_buf = {req.read_buf.data() + off,
+                          static_cast<std::size_t>(blocks) * bs};
+        } else {
+          sub.write_buf = {req.write_buf.data() + off,
+                           static_cast<std::size_t>(blocks) * bs};
+        }
+        done = std::max(done, dev.submit(sub).complete_ns);
+      });
+  return done;
+}
+
+void LogicalVolume::do_drain() {
+  std::vector<blockdev::BlockDevice*> seen;
+  for (const auto& s : segments_) {
+    blockdev::BlockDevice* dev = s.pv->device().get();
+    if (std::find(seen.begin(), seen.end(), dev) == seen.end()) {
+      seen.push_back(dev);
+      dev->drain();
+    }
+  }
+}
+
+std::uint32_t LogicalVolume::queue_depth() const noexcept {
+  return segments_.front().pv->device()->queue_depth();
+}
+
+std::uint64_t LogicalVolume::completion_cutoff() const noexcept {
+  return segments_.front().pv->device()->completion_cutoff();
+}
+
+void LogicalVolume::set_queue_depth(std::uint32_t depth) {
+  std::vector<blockdev::BlockDevice*> seen;
+  for (const auto& s : segments_) {
+    blockdev::BlockDevice* dev = s.pv->device().get();
+    if (std::find(seen.begin(), seen.end(), dev) == seen.end()) {
+      seen.push_back(dev);
+      dev->set_queue_depth(depth);
+    }
+  }
+}
+
 void LogicalVolume::flush() {
   // One barrier per distinct underlying device, not per extent segment.
   std::vector<blockdev::BlockDevice*> seen;

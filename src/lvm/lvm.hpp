@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -72,10 +73,36 @@ class LogicalVolume final : public blockdev::BlockDevice {
 
   const std::vector<Segment>& segments() const noexcept { return segments_; }
 
+  /// LVs forward the queue-depth hint to the device(s) beneath them.
+  std::uint32_t queue_depth() const noexcept override;
+  void set_queue_depth(std::uint32_t depth) override;
+  std::uint64_t completion_cutoff() const noexcept override;
+
+ protected:
+  /// Vectored I/O splits at extent-segment boundaries only where the
+  /// physical mapping is discontiguous — adjacent extents that happen to
+  /// be physically consecutive (the common first-fit case) stay one
+  /// request to the PV device.
+  void do_read_blocks(std::uint64_t first, std::uint64_t count,
+                      util::MutByteSpan out) override;
+  void do_write_blocks(std::uint64_t first, util::ByteSpan data) override;
+
+  /// Async submissions fan out per physically contiguous run; the LV's
+  /// completion time is the latest sub-request completion.
+  std::uint64_t do_submit(const blockdev::IoRequest& req) override;
+  void do_drain() override;
+
  private:
   /// Maps an LV block to (device, physical block).
   std::pair<blockdev::BlockDevice*, std::uint64_t> map(
       std::uint64_t index) const;
+
+  /// Calls fn(dev, phys_first, run_blocks, byte_offset) for each maximal
+  /// physically contiguous run of [first, first+count).
+  void for_each_phys_run(
+      std::uint64_t first, std::uint64_t count,
+      const std::function<void(blockdev::BlockDevice&, std::uint64_t,
+                               std::uint64_t, std::size_t)>& fn) const;
 
   std::string name_;
   std::vector<Segment> segments_;

@@ -1,0 +1,91 @@
+// Per-volume logical-block range locks for the thin I/O paths.
+//
+// The async engine lets independent extent runs of one request be in
+// flight together, and the crypto worker pool adds real threads above the
+// pool. Observer ordering — a public allocation fires the dummy-write
+// engine *after* the triggering data lands, in allocation order — is what
+// keeps batched and per-block device state bit-identical, so writes to a
+// volume range must be externally serialised. RangeLock provides that:
+// exclusive locks on [first, first+count) block ranges, blocking on
+// overlap. Lock order is acyclic by construction (public-volume writes may
+// take a dummy volume's lock via the observer, never the reverse), so
+// there is no deadlock.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace mobiceal::thin {
+
+class RangeLock {
+ public:
+  /// RAII hold on a range; releases (and wakes waiters) on destruction.
+  class Guard {
+   public:
+    Guard() = default;
+    Guard(RangeLock* lock, std::uint64_t first, std::uint64_t count)
+        : lock_(lock), first_(first), count_(count) {}
+    Guard(Guard&& o) noexcept
+        : lock_(std::exchange(o.lock_, nullptr)),
+          first_(o.first_),
+          count_(o.count_) {}
+    Guard& operator=(Guard&& o) noexcept {
+      release();
+      lock_ = std::exchange(o.lock_, nullptr);
+      first_ = o.first_;
+      count_ = o.count_;
+      return *this;
+    }
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+    ~Guard() { release(); }
+
+   private:
+    void release() {
+      if (lock_ != nullptr) lock_->unlock(first_, count_);
+      lock_ = nullptr;
+    }
+    RangeLock* lock_ = nullptr;
+    std::uint64_t first_ = 0, count_ = 0;
+  };
+
+  /// Blocks until [first, first+count) overlaps no held range, then holds
+  /// it. Zero-length ranges lock nothing.
+  Guard acquire(std::uint64_t first, std::uint64_t count) {
+    if (count == 0) return {};
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return !overlaps(first, count); });
+    held_.emplace_back(first, count);
+    return Guard{this, first, count};
+  }
+
+ private:
+  bool overlaps(std::uint64_t first, std::uint64_t count) const {
+    for (const auto& [f, c] : held_) {
+      if (first < f + c && f < first + count) return true;
+    }
+    return false;
+  }
+
+  void unlock(std::uint64_t first, std::uint64_t count) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      for (auto it = held_.begin(); it != held_.end(); ++it) {
+        if (it->first == first && it->second == count) {
+          held_.erase(it);
+          break;
+        }
+      }
+    }
+    cv_.notify_all();
+  }
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> held_;
+};
+
+}  // namespace mobiceal::thin

@@ -57,7 +57,7 @@ std::shared_ptr<ThinPool> ThinPool::format(
     bit_set(pool->bitmap_, c);
   }
   pool->free_chunks_ = sb.nr_chunks;
-  pool->volumes_.assign(sb.max_volumes, {});
+  pool->volumes_ = std::vector<VolumeState>(sb.max_volumes);
   pool->store_metadata();
   return pool;
 }
@@ -204,7 +204,7 @@ void ThinPool::load_metadata() {
   }
 
   // Volume table.
-  volumes_.assign(sb_.max_volumes, {});
+  volumes_ = std::vector<VolumeState>(sb_.max_volumes);
   const std::uint64_t descs_per_block = bs / kVolumeDescSize;
   for (std::uint64_t b = 0; b < geom_.volume_table_blocks; ++b) {
     metadata_dev_->read_block(base + geom_.volume_table_offset + b, block);
@@ -223,6 +223,7 @@ void ThinPool::load_metadata() {
   for (std::uint32_t vol = 0; vol < volumes_.size(); ++vol) {
     auto& v = volumes_[vol];
     if (!v.active) continue;
+    v.io_lock = std::make_unique<RangeLock>();
     v.map.assign(v.virtual_chunks, kUnmapped);
     const std::uint64_t map_blocks =
         (v.map.size() + entries_per_block - 1) / entries_per_block;
@@ -342,6 +343,7 @@ void ThinPool::create_thin(std::uint32_t id, std::uint64_t virtual_chunks) {
   volumes_[id].virtual_chunks = virtual_chunks;
   volumes_[id].mapped = 0;
   volumes_[id].map.assign(virtual_chunks, kUnmapped);
+  volumes_[id].io_lock = std::make_unique<RangeLock>();
 }
 
 void ThinPool::delete_thin(std::uint32_t id) {
@@ -351,7 +353,13 @@ void ThinPool::delete_thin(std::uint32_t id) {
       mark_free(volumes_[id].map[v]);
     }
   }
-  volumes_[id] = {};
+  volumes_[id] = VolumeState{};
+}
+
+RangeLock& ThinPool::io_lock(std::uint32_t id) {
+  auto& vol = volumes_[id];
+  if (!vol.io_lock) vol.io_lock = std::make_unique<RangeLock>();
+  return *vol.io_lock;
 }
 
 std::shared_ptr<ThinVolume> ThinPool::open_thin(std::uint32_t id) {
@@ -388,29 +396,39 @@ std::optional<std::uint64_t> ThinPool::write_noise_chunk(
     util::Rng& placement) {
   check_volume(id);
   auto& vol = volumes_[id];
-  const std::uint64_t unmapped = vol.virtual_chunks - vol.mapped;
-  if (unmapped == 0 || free_chunks_ == 0) return std::nullopt;
   if (noise_blocks == 0 || noise_blocks > sb_.chunk_blocks) {
     noise_blocks = sb_.chunk_blocks;
   }
 
-  // Pick the target virtual chunk uniformly among unmapped positions so the
-  // volume's own mapping table shows no growth pattern.
-  std::uint64_t target = placement.next_below(unmapped);
   std::uint64_t vchunk = kUnmapped;
-  for (std::uint64_t v = 0; v < vol.map.size(); ++v) {
-    if (vol.map[v] == kUnmapped) {
-      if (target == 0) {
-        vchunk = v;
-        break;
-      }
-      --target;
-    }
-  }
+  std::uint64_t phys = 0;
+  {
+    std::lock_guard<std::mutex> meta(meta_mutex_);
+    const std::uint64_t unmapped = vol.virtual_chunks - vol.mapped;
+    if (unmapped == 0 || free_chunks_ == 0) return std::nullopt;
 
-  const std::uint64_t phys = allocate_chunk();
-  vol.map[vchunk] = phys;
-  ++vol.mapped;
+    // Pick the target virtual chunk uniformly among unmapped positions so
+    // the volume's own mapping table shows no growth pattern.
+    std::uint64_t target = placement.next_below(unmapped);
+    for (std::uint64_t v = 0; v < vol.map.size(); ++v) {
+      if (vol.map[v] == kUnmapped) {
+        if (target == 0) {
+          vchunk = v;
+          break;
+        }
+        --target;
+      }
+    }
+
+    phys = allocate_chunk();
+    vol.map[vchunk] = phys;
+    ++vol.mapped;
+  }
+  // Serialise against client I/O on the same logical range (the observer
+  // only ever reaches here for a *different* volume than the one whose
+  // write triggered it, so lock order is acyclic).
+  const auto guard =
+      io_lock(id).acquire(vchunk * sb_.chunk_blocks, noise_blocks);
 
   // One noise draw + one vectored write for the whole burst. Rng::fill
   // consumes the same word sequence over n*bs bytes as n fills of bs, so
@@ -419,7 +437,19 @@ std::optional<std::uint64_t> ThinPool::write_noise_chunk(
   const std::size_t bs = data_dev_->block_size();
   util::Bytes noise(static_cast<std::size_t>(noise_blocks) * bs);
   noise_source.fill(noise);
-  data_dev_->write_blocks(phys * sb_.chunk_blocks, noise);
+  if (async_io()) {
+    // Dummy traffic rides the same submission queue as client writes; the
+    // enclosing volume I/O (or an explicit drain_data()) closes the
+    // timeline.
+    blockdev::IoRequest req;
+    req.op = blockdev::IoOp::kWrite;
+    req.first = phys * sb_.chunk_blocks;
+    req.count = noise_blocks;
+    req.write_buf = noise;
+    data_dev_->submit(req);
+  } else {
+    data_dev_->write_blocks(phys * sb_.chunk_blocks, noise);
+  }
   return phys;
 }
 
@@ -492,6 +522,7 @@ std::vector<ExtentRun> ThinPool::resolve_extents(std::uint32_t id,
                                                  std::uint64_t lblock,
                                                  std::uint64_t count) const {
   check_volume(id);
+  std::lock_guard<std::mutex> meta(meta_mutex_);
   const auto& vol = volumes_[id];
   const std::uint64_t vol_blocks = vol.virtual_chunks * sb_.chunk_blocks;
   if (lblock > vol_blocks || count > vol_blocks - lblock) {
@@ -559,6 +590,13 @@ void ThinPool::notify_fresh_provision(std::uint32_t id, std::uint64_t phys) {
 
 void ThinPool::volume_read_range(std::uint32_t id, std::uint64_t lblock,
                                  util::MutByteSpan out) {
+  if (async_io()) {
+    submit_read_range(id, lblock, out, /*available_ns=*/0);
+    data_dev_->drain();
+    return;
+  }
+  const auto guard =
+      io_lock(id).acquire(lblock, out.size() / data_dev_->block_size());
   const auto runs = resolve_extents(id, lblock, out.size() / data_dev_->block_size());
   const std::size_t bs = data_dev_->block_size();
   for (const ExtentRun& run : runs) {
@@ -576,8 +614,45 @@ void ThinPool::volume_read_range(std::uint32_t id, std::uint64_t lblock,
   }
 }
 
+std::uint64_t ThinPool::submit_read_range(std::uint32_t id,
+                                          std::uint64_t lblock,
+                                          util::MutByteSpan out,
+                                          std::uint64_t available_ns) {
+  const std::size_t bs = data_dev_->block_size();
+  const auto guard = io_lock(id).acquire(lblock, out.size() / bs);
+  const auto runs = resolve_extents(id, lblock, out.size() / bs);
+  std::uint64_t done = available_ns;
+  for (const ExtentRun& run : runs) {
+    charge(cpu_.lookup_read_ns);
+    const std::size_t off = (run.lblock - lblock) * bs;
+    const util::MutByteSpan dst{out.data() + off,
+                                static_cast<std::size_t>(run.blocks) * bs};
+    if (run.mapped) {
+      // Independent runs go into the device queue together — at queue
+      // depth d, up to d fragmented extents overlap their transfers.
+      blockdev::IoRequest req;
+      req.op = blockdev::IoOp::kRead;
+      req.first = run.phys_block;
+      req.count = run.blocks;
+      req.read_buf = dst;
+      req.available_ns = available_ns;
+      done = std::max(done, data_dev_->submit(req).complete_ns);
+    } else {
+      std::memset(dst.data(), 0, dst.size());
+    }
+  }
+  return done;
+}
+
 void ThinPool::volume_write_range(std::uint32_t id, std::uint64_t lblock,
                                   util::ByteSpan data) {
+  if (async_io()) {
+    submit_write_range(id, lblock, data, /*available_ns=*/0);
+    data_dev_->drain();
+    return;
+  }
+  const auto guard =
+      io_lock(id).acquire(lblock, data.size() / data_dev_->block_size());
   auto& vol = volumes_[id];
   const std::size_t bs = data_dev_->block_size();
   std::uint64_t pos = lblock;
@@ -595,12 +670,16 @@ void ThinPool::volume_write_range(std::uint32_t id, std::uint64_t lblock,
     charge(cpu_.lookup_write_ns);
 
     bool fresh = false;
-    std::uint64_t phys = vol.map[vchunk];
-    if (phys == kUnmapped) {
-      phys = allocate_chunk();
-      vol.map[vchunk] = phys;
-      ++vol.mapped;
-      fresh = true;
+    std::uint64_t phys;
+    {
+      std::lock_guard<std::mutex> meta(meta_mutex_);
+      phys = vol.map[vchunk];
+      if (phys == kUnmapped) {
+        phys = allocate_chunk();
+        vol.map[vchunk] = phys;
+        ++vol.mapped;
+        fresh = true;
+      }
     }
     data_dev_->write_blocks(phys * sb_.chunk_blocks + off,
                             {data.data() + done,
@@ -609,6 +688,53 @@ void ThinPool::volume_write_range(std::uint32_t id, std::uint64_t lblock,
     pos += n;
     done += static_cast<std::size_t>(n) * bs;
   }
+}
+
+std::uint64_t ThinPool::submit_write_range(std::uint32_t id,
+                                           std::uint64_t lblock,
+                                           util::ByteSpan data,
+                                           std::uint64_t available_ns) {
+  const std::size_t bs = data_dev_->block_size();
+  const auto guard = io_lock(id).acquire(lblock, data.size() / bs);
+  auto& vol = volumes_[id];
+  std::uint64_t pos = lblock;
+  std::size_t off_bytes = 0;
+  std::uint64_t done = available_ns;
+  // Same chunk split, same allocation and observer order as the
+  // synchronous path — only the device service overlaps. Each segment is
+  // submitted without awaiting; dummy writes fired by the observer join
+  // the same queue.
+  while (off_bytes < data.size()) {
+    const std::uint64_t vchunk = pos / sb_.chunk_blocks;
+    const std::uint64_t off = pos % sb_.chunk_blocks;
+    const std::uint64_t n = std::min<std::uint64_t>(
+        sb_.chunk_blocks - off, (data.size() - off_bytes) / bs);
+    charge(cpu_.lookup_write_ns);
+
+    bool fresh = false;
+    std::uint64_t phys;
+    {
+      std::lock_guard<std::mutex> meta(meta_mutex_);
+      phys = vol.map[vchunk];
+      if (phys == kUnmapped) {
+        phys = allocate_chunk();
+        vol.map[vchunk] = phys;
+        ++vol.mapped;
+        fresh = true;
+      }
+    }
+    blockdev::IoRequest req;
+    req.op = blockdev::IoOp::kWrite;
+    req.first = phys * sb_.chunk_blocks + off;
+    req.count = n;
+    req.write_buf = {data.data() + off_bytes, static_cast<std::size_t>(n) * bs};
+    req.available_ns = available_ns;
+    done = std::max(done, data_dev_->submit(req).complete_ns);
+    if (fresh) notify_fresh_provision(id, phys);
+    pos += n;
+    off_bytes += static_cast<std::size_t>(n) * bs;
+  }
+  return done;
 }
 
 // ---- ThinVolume ------------------------------------------------------------------------------
@@ -644,7 +770,39 @@ void ThinVolume::do_write_blocks(std::uint64_t first, util::ByteSpan data) {
   pool_->volume_write_range(id_, first, data);
 }
 
+std::uint64_t ThinVolume::do_submit(const blockdev::IoRequest& req) {
+  switch (req.op) {
+    case blockdev::IoOp::kRead:
+      return pool_->submit_read_range(id_, req.first, req.read_buf,
+                                      req.available_ns);
+    case blockdev::IoOp::kWrite:
+      return pool_->submit_write_range(id_, req.first, req.write_buf,
+                                       req.available_ns);
+    case blockdev::IoOp::kFlush:
+      flush();  // metadata commit is inherently a barrier
+      return 0;
+  }
+  return 0;
+}
+
+void ThinVolume::do_drain() { pool_->drain_data(); }
+
+std::uint32_t ThinVolume::queue_depth() const noexcept {
+  return pool_->data_dev_->queue_depth();
+}
+
+void ThinVolume::set_queue_depth(std::uint32_t depth) {
+  pool_->data_dev_->set_queue_depth(depth);
+}
+
+std::uint64_t ThinVolume::completion_cutoff() const noexcept {
+  return pool_->data_dev_->completion_cutoff();
+}
+
 void ThinVolume::flush() {
+  // Close the async timeline before committing — REQ_FLUSH orders after
+  // all in-flight data writes.
+  pool_->drain_data();
   pool_->commit();
   pool_->data_dev_->flush();
 }

@@ -16,11 +16,13 @@
 
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <vector>
 
 #include "blockdev/block_device.hpp"
 #include "thin/metadata_format.hpp"
+#include "thin/range_lock.hpp"
 #include "util/rng.hpp"
 #include "util/sim_clock.hpp"
 
@@ -165,6 +167,16 @@ class ThinPool : public std::enable_shared_from_this<ThinPool> {
     return data_dev_;
   }
 
+  /// True when the data device keeps multiple requests in flight: volume
+  /// range I/O then fans extent runs out through the async submit engine
+  /// (noise chunks ride the same queue) instead of awaiting each one.
+  bool async_io() const noexcept { return data_dev_->queue_depth() > 1; }
+
+  /// Virtual-clock barrier over the data device's in-flight requests.
+  /// Callers that issue noise/GC traffic outside a volume I/O call use it
+  /// to close their timeline.
+  void drain_data() { data_dev_->drain(); }
+
   /// Sets the RNG used for random allocation (defaults to an internal
   /// xoshiro seeded with 0; MobiCeal wires the CSPRNG here).
   void set_alloc_rng(util::Rng* rng) noexcept { alloc_rng_ = rng; }
@@ -182,6 +194,9 @@ class ThinPool : public std::enable_shared_from_this<ThinPool> {
     std::uint64_t virtual_chunks = 0;
     std::uint64_t mapped = 0;
     std::vector<std::uint64_t> map;  // vchunk -> phys chunk / kUnmapped
+    /// Exclusive logical-range lock serialising I/O on this volume — the
+    /// allocation-observer order guarantee under concurrent submitters.
+    std::unique_ptr<RangeLock> io_lock;
   };
 
   void load_metadata();
@@ -217,11 +232,29 @@ class ThinPool : public std::enable_shared_from_this<ThinPool> {
   /// call (one metadata charge per run); writes proceed chunk-by-chunk (as
   /// dm-thin splits bios at chunk boundaries) with one vectored write per
   /// chunk segment, firing the allocation observer after each fresh
-  /// provision exactly as the per-block path does.
+  /// provision exactly as the per-block path does. When async_io() is on,
+  /// both delegate to the submit_* fan-out below and drain.
   void volume_read_range(std::uint32_t id, std::uint64_t lblock,
                          util::MutByteSpan out);
   void volume_write_range(std::uint32_t id, std::uint64_t lblock,
                           util::ByteSpan data);
+
+  /// Async fan-out: submits every independent extent run (reads) / chunk
+  /// segment (writes) to the data device without awaiting, and returns the
+  /// latest modelled completion time. `available_ns` is the upstream
+  /// data-ready constraint (dm-crypt's ciphertext-ready time), forwarded
+  /// to each sub-request. Holds the volume's range lock for the duration;
+  /// data movement (and the allocation observer) happen in submission
+  /// order, so device state is bit-identical to the synchronous path.
+  std::uint64_t submit_read_range(std::uint32_t id, std::uint64_t lblock,
+                                  util::MutByteSpan out,
+                                  std::uint64_t available_ns);
+  std::uint64_t submit_write_range(std::uint32_t id, std::uint64_t lblock,
+                                   util::ByteSpan data,
+                                   std::uint64_t available_ns);
+
+  /// The volume's range lock (created on first use).
+  RangeLock& io_lock(std::uint32_t id);
 
   void charge(std::uint64_t ns) {
     if (clock_) clock_->advance(ns);
@@ -243,6 +276,10 @@ class ThinPool : public std::enable_shared_from_this<ThinPool> {
   std::vector<VolumeState> volumes_;
   AllocationObserver observer_;
   bool in_observer_ = false;
+  /// Guards allocator + mapping metadata (bitmap_, free_chunks_, txn
+  /// records, VolumeState::map) against concurrent submitters. Never held
+  /// across device I/O or the allocation observer.
+  mutable std::mutex meta_mutex_;
 
   util::Xoshiro256 default_rng_{0};
   util::Rng* alloc_rng_ = nullptr;
@@ -263,12 +300,21 @@ class ThinVolume final : public blockdev::BlockDevice {
 
   std::uint32_t id() const noexcept { return id_; }
 
+  std::uint32_t queue_depth() const noexcept override;
+  void set_queue_depth(std::uint32_t depth) override;
+  std::uint64_t completion_cutoff() const noexcept override;
+
  protected:
   /// Vectored I/O resolves extent runs once and issues one lower-device
   /// call per physically contiguous run.
   void do_read_blocks(std::uint64_t first, std::uint64_t count,
                       util::MutByteSpan out) override;
   void do_write_blocks(std::uint64_t first, util::ByteSpan data) override;
+
+  /// Async submissions fan out to the pool's data device (flush falls back
+  /// to the synchronous metadata commit).
+  std::uint64_t do_submit(const blockdev::IoRequest& req) override;
+  void do_drain() override;
 
  private:
   std::shared_ptr<ThinPool> pool_;

@@ -2,20 +2,28 @@
 """Diff two bench JSON files and gate on virtual-time regressions.
 
 Usage: bench_compare.py BASELINE.json CURRENT.json [--threshold PCT]
+                                                   [--adv-tolerance ADV]
 
 Bench binaries emit BENCH_<name>.json via --json / MOBICEAL_BENCH_JSON (see
 bench/harness.hpp). Metric-name suffixes carry the comparison direction:
 
   higher is better:  _kbps  _mbps
   lower is better:   _s  _ns
+  security canary:   _adv   (distinguisher advantage, absolute gate)
 
-Metrics with any other suffix (advantages, percentages, counts, derived
-ratios like _speedup — whose numerator and denominator are already gated
-individually) are informational: printed, never gated. The exit code is nonzero iff any
-tracked metric regresses by more than the threshold (default 10%), or the
-two files are from different benches, or a tracked baseline metric
-disappeared. Virtual-clock benches are deterministic, so any drift is a
-real code change, not noise.
+`_adv` metrics are the security-game canaries: a distinguisher's advantage
+growing by more than --adv-tolerance (absolute, default 0.05) over the
+committed baseline fails the gate — a deniability regression, not a
+performance one. Advantages shrinking is always fine.
+
+Metrics with any other suffix (percentages, counts, derived ratios like
+_speedup — whose numerator and denominator are already gated individually)
+are informational: printed, never gated. The exit code is nonzero iff any
+tracked metric regresses by more than the threshold (default 10%), any
+canary grows beyond tolerance, the two files are from different benches or
+run configurations (workload_mb / queue_depth), or a tracked baseline
+metric disappeared. Virtual-clock benches are deterministic, so any drift
+is a real code change, not noise.
 """
 
 import argparse
@@ -24,14 +32,21 @@ import sys
 
 HIGHER_BETTER = ("_kbps", "_mbps")
 LOWER_BETTER = ("_s", "_ns")
+CANARY = ("_adv",)
+
+# Run-configuration metrics: a mismatch means the two files are not
+# comparable at all (different workload or device queue model).
+CONFIG_KEYS = ("workload_mb", "queue_depth")
 
 
 def direction(metric: str):
-    """+1 higher-is-better, -1 lower-is-better, 0 untracked."""
+    """+1 higher-is-better, -1 lower-is-better, 2 canary, 0 untracked."""
     if metric.endswith(HIGHER_BETTER):
         return 1
     if metric.endswith(LOWER_BETTER):
         return -1
+    if metric.endswith(CANARY):
+        return 2
     return 0
 
 
@@ -52,6 +67,9 @@ def main() -> int:
     ap.add_argument("current")
     ap.add_argument("--threshold", type=float, default=10.0,
                     help="regression threshold in percent (default 10)")
+    ap.add_argument("--adv-tolerance", type=float, default=0.05,
+                    help="max absolute advantage growth for _adv canaries "
+                         "(default 0.05)")
     args = ap.parse_args()
 
     base = load(args.baseline)
@@ -59,14 +77,15 @@ def main() -> int:
     if base["bench"] != cur["bench"]:
         sys.exit(f"bench_compare: comparing different benches: "
                  f"{base['bench']} vs {cur['bench']}")
-    # Absolute virtual times scale with the workload; runs are only
-    # comparable at the same MOBICEAL_BENCH_MB (benches record it).
-    bw = base["metrics"].get("workload_mb")
-    cw = cur["metrics"].get("workload_mb")
-    if bw is not None and cw is not None and bw != cw:
-        sys.exit(f"bench_compare: workload mismatch: baseline ran "
-                 f"{bw:g} MB, current ran {cw:g} MB — rerun with matching "
-                 f"MOBICEAL_BENCH_MB")
+    # Absolute virtual times scale with the workload and queue model; runs
+    # are only comparable at the same configuration (benches record it).
+    for key in CONFIG_KEYS:
+        bw = base["metrics"].get(key)
+        cw = cur["metrics"].get(key)
+        if bw is not None and cw is not None and bw != cw:
+            sys.exit(f"bench_compare: {key} mismatch: baseline ran "
+                     f"{bw:g}, current ran {cw:g} — rerun with a matching "
+                     f"configuration")
 
     regressions = []
     print(f"== {base['bench']}: {args.baseline} -> {args.current} "
@@ -82,13 +101,18 @@ def main() -> int:
             change = 0.0 if new == 0 else float("inf")
         else:
             change = 100.0 * (new - old) / abs(old)
-        regressed = sign and sign * change < -args.threshold
+        if sign == 2:  # security canary: absolute growth gate
+            regressed = (new - old) > args.adv_tolerance
+            detail = f"{new - old:+.3f} abs"
+        else:
+            regressed = bool(sign) and sign * change < -args.threshold
+            detail = f"{change:+.2f}%"
         flag = "REGRESSION" if regressed else (
             "untracked" if not sign else "ok")
         print(f"  {name:44s} {old:14.3f} -> {new:14.3f}  "
               f"{change:+8.2f}%  {flag}")
         if regressed:
-            regressions.append(f"{name}: {change:+.2f}%")
+            regressions.append(f"{name}: {detail}")
 
     for name in cur["metrics"]:
         if name not in base["metrics"]:
