@@ -42,15 +42,14 @@ struct Row {
 };
 
 Row run_config(const RowSpec& spec, std::uint64_t bytes, int reps,
-               std::uint32_t queue_depth) {
+               const StackOptions& knobs) {
   Row row;
   for (int rep = 0; rep < reps; ++rep) {
-    StackOptions o;
+    StackOptions o = knobs;  // queue depth + cache knobs, applied once
     o.seed = 1000 + rep;
     // Size the device to hold both files plus dummy traffic.
     o.device_blocks = (bytes / 4096) * 4 + 32768;
     o.skip_random_fill = spec.skip_random_fill;
-    o.queue_depth = queue_depth;
     BenchStack s = make_scheme_stack(spec.scheme, spec.hidden, o);
 
     row.dd_write.add(kbps(bytes, dd_write(s, "/dd.dbf", bytes)));
@@ -71,9 +70,12 @@ int main(int argc, char** argv) {
   JsonReport json("fig4_throughput", argc, argv);
   const std::uint64_t bytes = env_bench_bytes(48);
   const int reps = env_bench_reps(5);
-  const std::uint32_t qd = bench_queue_depth(argc, argv);
+  StackOptions knobs;
+  apply_stack_knobs(knobs, argc, argv);
+  const std::uint32_t qd = knobs.queue_depth;
   json.add("workload_mb", static_cast<double>(bytes >> 20));
   json.add("queue_depth", static_cast<double>(qd));
+  json.add("cache_blocks", static_cast<double>(knobs.cache_blocks));
 
   std::printf("== Figure 4: sequential throughput in KB/s (mean ± stddev, "
               "%d reps, %llu MB files, QD %u) ==\n\n",
@@ -106,7 +108,7 @@ int main(int argc, char** argv) {
   double atp_write = 0, ath_read = 0;
   double mcp_write = 0, mch_read = 0;
   for (const RowSpec& spec : specs) {
-    const Row row = run_config(spec, bytes, reps, qd);
+    const Row row = run_config(spec, bytes, reps, knobs);
     std::printf("%-8s", spec.label.c_str());
     print_cell(row.dd_write);
     print_cell(row.dd_read);

@@ -49,6 +49,8 @@ BenchStack make_scheme_stack(const std::string& scheme_name, bool hidden,
   opts.x = o.x;
   opts.random_allocation = o.mobiceal_random_alloc;
   opts.skip_random_fill = o.skip_random_fill;
+  opts.cache_blocks = o.cache_blocks;
+  opts.cache_writeback = o.cache_writeback;
 
   const auto& entry = api::SchemeRegistry::entry(scheme_name);
   if (entry.capabilities.has(api::Capability::kHiddenVolume)) {
@@ -232,23 +234,60 @@ int env_bench_reps(int def_reps) {
   return def_reps;
 }
 
-std::uint32_t bench_queue_depth(int argc, char** argv, std::uint32_t def) {
+namespace {
+/// Strict non-negative integer parse: unparseable or negative input (e.g.
+/// MOBICEAL_CACHE_WRITEBACK=true) is rejected rather than read as 0, so a
+/// typo can never silently invert a knob.
+bool parse_knob_value(const char* s, std::uint64_t* out) {
+  char* end = nullptr;
+  const long long v = std::strtoll(s, &end, 10);
+  if (end == s || *end != '\0' || v < 0) return false;
+  *out = static_cast<std::uint64_t>(v);
+  return true;
+}
+}  // namespace
+
+std::uint64_t bench_knob_u64(int argc, char** argv, const char* flag,
+                             const char* env, std::uint64_t def) {
+  const std::string name(flag);
+  const std::string prefixed = name + "=";
+  std::uint64_t v = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--queue-depth" && i + 1 < argc) {
-      const long d = std::atol(argv[i + 1]);
-      if (d > 0) return static_cast<std::uint32_t>(d);
+    if (arg == name && i + 1 < argc && parse_knob_value(argv[i + 1], &v)) {
+      return v;
     }
-    if (arg.rfind("--queue-depth=", 0) == 0) {
-      const long d = std::atol(arg.c_str() + 14);
-      if (d > 0) return static_cast<std::uint32_t>(d);
+    if (arg.rfind(prefixed, 0) == 0 &&
+        parse_knob_value(arg.c_str() + prefixed.size(), &v)) {
+      return v;
     }
   }
-  if (const char* v = std::getenv("MOBICEAL_QUEUE_DEPTH")) {
-    const long d = std::atol(v);
-    if (d > 0) return static_cast<std::uint32_t>(d);
+  if (const char* e = std::getenv(env)) {
+    if (parse_knob_value(e, &v)) return v;
   }
   return def;
+}
+
+std::uint32_t bench_queue_depth(int argc, char** argv, std::uint32_t def) {
+  const std::uint64_t d = bench_knob_u64(argc, argv, "--queue-depth",
+                                         "MOBICEAL_QUEUE_DEPTH", def);
+  return d == 0 ? 1 : static_cast<std::uint32_t>(d);
+}
+
+std::uint64_t bench_cache_blocks(int argc, char** argv, std::uint64_t def) {
+  return bench_knob_u64(argc, argv, "--cache-blocks",
+                        "MOBICEAL_CACHE_BLOCKS", def);
+}
+
+bool bench_cache_writeback(int argc, char** argv, bool def) {
+  return bench_knob_u64(argc, argv, "--cache-writeback",
+                        "MOBICEAL_CACHE_WRITEBACK", def ? 1 : 0) != 0;
+}
+
+void apply_stack_knobs(StackOptions& o, int argc, char** argv) {
+  o.queue_depth = bench_queue_depth(argc, argv, o.queue_depth);
+  o.cache_blocks = bench_cache_blocks(argc, argv, o.cache_blocks);
+  o.cache_writeback = bench_cache_writeback(argc, argv, o.cache_writeback);
 }
 
 }  // namespace mobiceal::bench

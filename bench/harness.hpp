@@ -69,6 +69,12 @@ struct StackOptions {
   /// comparable; >1 overlaps transfer phases and lets dm-crypt pipeline
   /// cipher work against in-flight requests.
   std::uint32_t queue_depth = 1;
+  /// Block cache between fs and crypt (cache::CacheTarget). 0 (default)
+  /// keeps the historical uncached stack, so baselines stay comparable.
+  std::uint64_t cache_blocks = 0;
+  /// Writeback (true) or writethrough policy when the cache is on;
+  /// demoted per scheme capability (see api::cache_config_for).
+  bool cache_writeback = true;
 };
 
 /// Builds a freshly initialised, unlocked stack for a registered scheme.
@@ -113,10 +119,35 @@ inline double kbps(std::uint64_t bytes, double seconds) {
 std::uint64_t env_bench_bytes(std::uint64_t def_mb);
 int env_bench_reps(int def_reps);
 
-/// Queue depth for the bench run: `--queue-depth N` on the command line,
-/// else MOBICEAL_QUEUE_DEPTH, else `def` (1 — baselines stay comparable).
+// ---- bench knobs ------------------------------------------------------------
+//
+// Every tunable a bench exposes registers ONCE as a (flag, env, default)
+// triple parsed by bench_knob_u64 — new knobs are added here, not
+// copy-pasted into each bench main. Resolution order: `--<flag> N` or
+// `--<flag>=N` on the command line, else the environment variable, else
+// the default.
+
+/// Generic numeric knob parser (see above).
+std::uint64_t bench_knob_u64(int argc, char** argv, const char* flag,
+                             const char* env, std::uint64_t def);
+
+/// Queue depth: --queue-depth / MOBICEAL_QUEUE_DEPTH, default `def`
+/// (1 — baselines stay comparable).
 std::uint32_t bench_queue_depth(int argc, char** argv,
                                 std::uint32_t def = 1);
+
+/// Cache capacity in blocks: --cache-blocks / MOBICEAL_CACHE_BLOCKS,
+/// default `def` (0 = off — baselines stay comparable).
+std::uint64_t bench_cache_blocks(int argc, char** argv,
+                                 std::uint64_t def = 0);
+
+/// Cache write policy: --cache-writeback 0|1 / MOBICEAL_CACHE_WRITEBACK,
+/// default writeback (1).
+bool bench_cache_writeback(int argc, char** argv, bool def = true);
+
+/// Applies every registered stack knob (queue depth, cache size, cache
+/// policy) to `o` in one call — the per-bench entry point.
+void apply_stack_knobs(StackOptions& o, int argc, char** argv);
 
 // ---- machine-readable output ------------------------------------------------
 //

@@ -26,6 +26,8 @@ namespace {
 
 std::string g_scheme = "mobiceal";
 std::uint32_t g_queue_depth = 1;
+std::uint64_t g_cache_blocks = 0;
+bool g_cache_writeback = true;
 
 api::SchemeOptions cli_options() {
   api::SchemeOptions opts;
@@ -33,6 +35,8 @@ api::SchemeOptions cli_options() {
   opts.chunk_blocks = 4;  // 16 KiB chunks keep small images usable
   opts.kdf_iterations = 2000;
   opts.fs_inode_count = 512;
+  opts.cache_blocks = g_cache_blocks;
+  opts.cache_writeback = g_cache_writeback;
   return opts;
 }
 
@@ -68,8 +72,9 @@ std::unique_ptr<api::PdeScheme> attach_and_unlock(const std::string& image,
 int usage() {
   std::fprintf(
       stderr,
-      "usage: mobiceal_cli [--scheme <name>] [--queue-depth <n>] "
-      "<command> [args...]\n"
+      "usage: mobiceal_cli [--scheme <name>] [--queue-depth <n>]\n"
+      "                    [--cache-blocks <n>] [--cache-writeback 0|1]\n"
+      "                    <command> [args...]\n"
       "\n"
       "commands:\n"
       "  init <image> <size_mb> <pub_pwd> [hidden_pwd...]\n"
@@ -92,6 +97,10 @@ int usage() {
       "password. --queue-depth advertises how many requests the image's\n"
       "device keeps in flight (default 1): dm-crypt then pipelines cipher\n"
       "work against outstanding I/O through the async submit engine.\n"
+      "--cache-blocks puts a block cache (writeback where the scheme's\n"
+      "capabilities allow, writethrough otherwise) between the mounted\n"
+      "filesystem and the crypt layer (default 0 = off);\n"
+      "--cache-writeback 0 forces writethrough.\n"
       "--scheme selects the backend (default: mobiceal); note\n"
       "that the DEFY/HIVE reproductions keep their translation maps in\n"
       "RAM and therefore only support `init` followed by in-process use,\n"
@@ -288,6 +297,25 @@ int main(int argc, char** argv) {
                  args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
       continue;
     }
+    if (std::strcmp(args[i], "--cache-blocks") == 0) {
+      if (i + 1 >= args.size()) return usage();
+      const long long n = std::strtoll(args[i + 1], nullptr, 10);
+      if (n < 0) {
+        std::fprintf(stderr, "--cache-blocks must be >= 0\n");
+        return 2;
+      }
+      g_cache_blocks = static_cast<std::uint64_t>(n);
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+                 args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+      continue;
+    }
+    if (std::strcmp(args[i], "--cache-writeback") == 0) {
+      if (i + 1 >= args.size()) return usage();
+      g_cache_writeback = std::strtol(args[i + 1], nullptr, 10) != 0;
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+                 args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+      continue;
+    }
     break;
   }
   if (args.size() < 2) return usage();
@@ -296,6 +324,8 @@ int main(int argc, char** argv) {
   for (std::size_t i = 2; i < args.size(); ++i) {
     if (std::strcmp(args[i], "--scheme") == 0 ||
         std::strcmp(args[i], "--queue-depth") == 0 ||
+        std::strcmp(args[i], "--cache-blocks") == 0 ||
+        std::strcmp(args[i], "--cache-writeback") == 0 ||
         std::strcmp(args[i], "--list-schemes") == 0) {
       std::fprintf(stderr, "%s must come before the command\n", args[i]);
       return 2;

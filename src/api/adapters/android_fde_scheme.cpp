@@ -10,6 +10,8 @@ namespace mobiceal::api {
 
 namespace {
 
+const Capabilities kAndroidFdeCaps{Capability::kWritebackCacheSafe};
+
 class AndroidFdeScheme final : public PdeScheme {
  public:
   explicit AndroidFdeScheme(const SchemeOptions& opts) {
@@ -18,6 +20,7 @@ class AndroidFdeScheme final : public PdeScheme {
     cfg.fs_inode_count = opts.fs_inode_count;
     cfg.rng_seed = opts.rng_seed;
     if (opts.zero_cpu_models) cfg.crypt_cpu = dm::CryptCpuModel::zero();
+    cfg.cache = cache_config_for(opts, kAndroidFdeCaps);
     device_ = opts.format
                   ? baselines::AndroidFdeDevice::initialize(
                         opts.device, cfg, opts.public_password, opts.clock)
@@ -30,7 +33,9 @@ class AndroidFdeScheme final : public PdeScheme {
     return kName;
   }
 
-  Capabilities capabilities() const noexcept override { return {}; }
+  Capabilities capabilities() const noexcept override {
+    return kAndroidFdeCaps;
+  }
 
   bool locked() const noexcept override { return !device_->mounted(); }
 
@@ -50,7 +55,7 @@ class AndroidFdeScheme final : public PdeScheme {
 
 const SchemeRegistrar kRegistrar{
     "android_fde",
-    {Capabilities{},
+    {kAndroidFdeCaps,
      "stock Android FDE: dm-crypt over userdata, no deniability",
      /*supports_attach=*/true,
      [](const SchemeOptions& opts) -> std::unique_ptr<PdeScheme> {

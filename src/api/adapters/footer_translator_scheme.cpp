@@ -29,6 +29,8 @@ void FooterTranslatorScheme::setup(const SchemeOptions& opts) {
       opts.device, 0, opts.device->num_blocks() - fb);
   translator_ = make_translator(std::move(data_region), master_key_.span(),
                                 opts);
+  cache_ = cache_config_for(opts, capabilities());
+  clock_ = opts.clock;
   fs::ExtFs::format(translator_, opts.fs_inode_count)->sync();
 }
 
@@ -43,7 +45,7 @@ UnlockResult FooterTranslatorScheme::unlock(const std::string& password) {
   if (a.size() != b.size() || !std::equal(a.begin(), a.end(), b.begin())) {
     return UnlockResult::failure();
   }
-  fs_ = fs::ExtFs::mount(translator_);
+  fs_ = fs::ExtFs::mount(cache::wrap(translator_, cache_, clock_));
   return UnlockResult::mounted(VolumeClass::kPublic);
 }
 

@@ -49,6 +49,11 @@ class FooterTranslatorScheme : public PdeScheme {
   util::SecureBytes master_key_;
   std::shared_ptr<blockdev::BlockDevice> translator_;
   std::unique_ptr<fs::FileSystem> fs_;
+  /// Per-mount block cache over the translator. Always demoted to
+  /// writethrough (neither translator has kWritebackCacheSafe): combining
+  /// two writes into one would change DEFY's log / HIVE's ORAM trace.
+  cache::CacheConfig cache_;
+  std::shared_ptr<util::SimClock> clock_;
 };
 
 }  // namespace mobiceal::api

@@ -10,6 +10,13 @@ namespace mobiceal::api {
 
 namespace {
 
+/// Single source of truth for the adapter: the instance, the registrar,
+/// and the cache-policy demotion all read this set.
+const Capabilities kMobiCealCaps{
+    Capability::kHiddenVolume, Capability::kMultiSnapshotSecure,
+    Capability::kFastSwitch, Capability::kGarbageCollection,
+    Capability::kDummyWrites, Capability::kWritebackCacheSafe};
+
 core::MobiCealDevice::Config device_config(const SchemeOptions& opts) {
   core::MobiCealDevice::Config cfg;
   cfg.num_volumes = opts.num_volumes;
@@ -20,6 +27,7 @@ core::MobiCealDevice::Config device_config(const SchemeOptions& opts) {
   cfg.random_allocation = opts.random_allocation;
   cfg.dummy.lambda = opts.lambda;
   cfg.dummy.x = opts.x;
+  cfg.cache = cache_config_for(opts, kMobiCealCaps);
   if (opts.zero_cpu_models) {
     cfg.thin_cpu = thin::ThinCpuModel::zero();
     cfg.crypt_cpu = dm::CryptCpuModel::zero();
@@ -45,9 +53,7 @@ class MobiCealScheme final : public PdeScheme {
   }
 
   Capabilities capabilities() const noexcept override {
-    return {Capability::kHiddenVolume, Capability::kMultiSnapshotSecure,
-            Capability::kFastSwitch, Capability::kGarbageCollection,
-            Capability::kDummyWrites};
+    return kMobiCealCaps;
   }
 
   bool locked() const noexcept override {
@@ -86,9 +92,7 @@ class MobiCealScheme final : public PdeScheme {
 
 const SchemeRegistrar kRegistrar{
     "mobiceal",
-    {Capabilities{Capability::kHiddenVolume, Capability::kMultiSnapshotSecure,
-                  Capability::kFastSwitch, Capability::kGarbageCollection,
-                  Capability::kDummyWrites},
+    {kMobiCealCaps,
      "MobiCeal (DSN'18): thin provisioning + dummy writes + fast switch",
      /*supports_attach=*/true,
      [](const SchemeOptions& opts) -> std::unique_ptr<PdeScheme> {

@@ -11,6 +11,9 @@ namespace mobiceal::api {
 
 namespace {
 
+const Capabilities kMobiflageCaps{Capability::kHiddenVolume,
+                                  Capability::kWritebackCacheSafe};
+
 class MobiflageScheme final : public PdeScheme {
  public:
   explicit MobiflageScheme(const SchemeOptions& opts) {
@@ -18,6 +21,7 @@ class MobiflageScheme final : public PdeScheme {
     cfg.kdf_iterations = opts.kdf_iterations;
     cfg.rng_seed = opts.rng_seed;
     cfg.skip_random_fill = opts.skip_random_fill;
+    cfg.cache = cache_config_for(opts, kMobiflageCaps);
     if (opts.zero_cpu_models) cfg.crypt_cpu = dm::CryptCpuModel::zero();
     if (opts.format) {
       if (opts.hidden_passwords.size() != 1) {
@@ -39,7 +43,7 @@ class MobiflageScheme final : public PdeScheme {
   }
 
   Capabilities capabilities() const noexcept override {
-    return {Capability::kHiddenVolume};
+    return kMobiflageCaps;
   }
 
   bool locked() const noexcept override {
@@ -68,7 +72,7 @@ class MobiflageScheme final : public PdeScheme {
 
 const SchemeRegistrar kRegistrar{
     "mobiflage",
-    {Capabilities{Capability::kHiddenVolume},
+    {kMobiflageCaps,
      "Mobiflage: hidden ext volume at a secret offset inside a FAT disk",
      /*supports_attach=*/true,
      [](const SchemeOptions& opts) -> std::unique_ptr<PdeScheme> {

@@ -10,6 +10,9 @@ namespace mobiceal::api {
 
 namespace {
 
+const Capabilities kMobiPlutoCaps{Capability::kHiddenVolume,
+                                  Capability::kWritebackCacheSafe};
+
 class MobiPlutoScheme final : public PdeScheme {
  public:
   explicit MobiPlutoScheme(const SchemeOptions& opts) {
@@ -19,6 +22,7 @@ class MobiPlutoScheme final : public PdeScheme {
     cfg.fs_inode_count = opts.fs_inode_count;
     cfg.rng_seed = opts.rng_seed;
     cfg.skip_random_fill = opts.skip_random_fill;
+    cfg.cache = cache_config_for(opts, kMobiPlutoCaps);
     if (opts.zero_cpu_models) {
       cfg.thin_cpu = thin::ThinCpuModel::zero();
       cfg.crypt_cpu = dm::CryptCpuModel::zero();
@@ -43,7 +47,7 @@ class MobiPlutoScheme final : public PdeScheme {
   }
 
   Capabilities capabilities() const noexcept override {
-    return {Capability::kHiddenVolume};
+    return kMobiPlutoCaps;
   }
 
   bool locked() const noexcept override {
@@ -72,7 +76,7 @@ class MobiPlutoScheme final : public PdeScheme {
 
 const SchemeRegistrar kRegistrar{
     "mobipluto",
-    {Capabilities{Capability::kHiddenVolume},
+    {kMobiPlutoCaps,
      "MobiPluto: thin provisioning + hidden volume, single-snapshot PDE",
      /*supports_attach=*/true,
      [](const SchemeOptions& opts) -> std::unique_ptr<PdeScheme> {

@@ -14,6 +14,7 @@ std::string Capabilities::to_string() const {
       {Capability::kFastSwitch, "fast-switch"},
       {Capability::kGarbageCollection, "garbage-collection"},
       {Capability::kDummyWrites, "dummy-writes"},
+      {Capability::kWritebackCacheSafe, "writeback-cache-safe"},
   };
   std::string out;
   for (const auto& [cap, label] : kNames) {
@@ -22,6 +23,17 @@ std::string Capabilities::to_string() const {
     out += label;
   }
   return out.empty() ? "none" : out;
+}
+
+cache::CacheConfig cache_config_for(const SchemeOptions& opts,
+                                    Capabilities caps) {
+  cache::CacheConfig cfg;
+  cfg.capacity_blocks = opts.cache_blocks;
+  cfg.policy = opts.cache_writeback &&
+                       caps.has(Capability::kWritebackCacheSafe)
+                   ? cache::WritePolicy::kWriteback
+                   : cache::WritePolicy::kWritethrough;
+  return cfg;
 }
 
 bool PdeScheme::switch_volume(const std::string& /*password*/) {

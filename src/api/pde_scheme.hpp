@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "blockdev/block_device.hpp"
+#include "cache/cache_target.hpp"
 #include "fs/filesystem.hpp"
 #include "util/sim_clock.hpp"
 
@@ -43,6 +44,14 @@ enum class Capability : std::uint32_t {
   kGarbageCollection = 1u << 3,
   /// Background dummy writes masking hidden activity (Sec. IV-B).
   kDummyWrites = 1u << 4,
+  /// The layers below the mounted filesystem tolerate write combining: a
+  /// deterministic, length-preserving stack (dm-crypt over allocate-on-
+  /// first-touch volumes) reaches the same on-flash bits whether a block is
+  /// written once or many times, so a writeback cache (cache::CacheTarget)
+  /// preserves snapshot-level deniability. Schemes WITHOUT this bit (DEFY's
+  /// log, HIVE's ORAM — every write leaves a distinct physical trace) get
+  /// the cache demoted to writethrough instead.
+  kWritebackCacheSafe = 1u << 5,
 };
 
 /// A small value-type bitset over Capability.
@@ -118,7 +127,22 @@ struct SchemeOptions {
   /// Zero out the thin/crypt CPU service-time models (adversary runs and
   /// unit tests that only care about on-disk behaviour).
   bool zero_cpu_models = false;
+  /// Block cache between the mounted filesystem and the crypt layer
+  /// (cache::CacheTarget), in blocks. 0 (the default) builds the exact
+  /// pre-cache stack so baselines stay comparable.
+  std::uint64_t cache_blocks = 0;
+  /// Writeback (true) or writethrough cache policy. Writeback is demoted
+  /// to writethrough for schemes without kWritebackCacheSafe.
+  bool cache_writeback = true;
 };
+
+/// Effective cache configuration for a scheme: the caller's cache knobs
+/// with the writeback policy demoted to writethrough when the scheme lacks
+/// kWritebackCacheSafe (write combining would change the physical trace of
+/// order-sensitive translators — a deniability hazard, so the API makes the
+/// demotion non-optional).
+cache::CacheConfig cache_config_for(const SchemeOptions& opts,
+                                    Capabilities caps);
 
 /// Abstract PDE scheme: one initialised (or attached) device image plus its
 /// mount state. Instances come from SchemeRegistry::create and start locked.

@@ -44,8 +44,9 @@ std::shared_ptr<blockdev::BlockDevice> AndroidFdeDevice::crypt_device(
   const std::uint64_t fb = fde::footer_blocks(userdata_->block_size());
   auto region = std::make_shared<dm::LinearTarget>(
       userdata_, 0, userdata_->num_blocks() - fb);
-  return std::make_shared<dm::CryptTarget>(region, config_.cipher_spec, key,
-                                           clock_, config_.crypt_cpu);
+  auto crypt = std::make_shared<dm::CryptTarget>(
+      region, config_.cipher_spec, key, clock_, config_.crypt_cpu);
+  return cache::wrap(crypt, config_.cache, clock_);
 }
 
 bool AndroidFdeDevice::boot(const std::string& password) {

@@ -8,6 +8,7 @@
 #include <string>
 
 #include "blockdev/block_device.hpp"
+#include "cache/cache_target.hpp"
 #include "dm/crypt_target.hpp"
 #include "fde/crypto_footer.hpp"
 #include "fs/ext_fs.hpp"
@@ -23,6 +24,8 @@ class AndroidFdeDevice {
     std::uint32_t fs_inode_count = 1024;
     dm::CryptCpuModel crypt_cpu = dm::CryptCpuModel::snapdragon_s4();
     std::uint64_t rng_seed = 1;
+    /// Block cache over the mounted crypt device (0 = off).
+    cache::CacheConfig cache;
   };
 
   /// Enables FDE: writes the footer and formats ext4 over dm-crypt.

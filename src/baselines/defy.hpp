@@ -52,9 +52,28 @@ class DefyDevice final : public blockdev::BlockDevice {
 
   std::uint64_t gc_runs() const noexcept { return gc_runs_; }
 
+ protected:
+  /// Vectored paths, used when the physical device keeps multiple requests
+  /// in flight (queue_depth() > 1): appended pages — data and metadata —
+  /// are encrypted into a staging buffer and issued as coalesced vectored
+  /// submit() runs (the log head makes them mostly contiguous), and reads
+  /// fan mapped-page runs out through submit(). At queue depth 1 the
+  /// historical per-page paths run unchanged, byte- and time-identical.
+  /// Bookkeeping, RNG draws and crypto charges are order-identical on both
+  /// paths, so device state is bit-identical at every depth.
+  void do_read_blocks(std::uint64_t first, std::uint64_t count,
+                      util::MutByteSpan out) override;
+  void do_write_blocks(std::uint64_t first, util::ByteSpan data) override;
+
  private:
-  void append_page(std::uint64_t logical, util::ByteSpan data);
-  void append_metadata_pages();
+  /// Batches physical page writes for one vectored call: pages land in a
+  /// staging buffer and flush as coalesced async submissions.
+  struct PageBatch;
+
+  /// Appends into `batch` when non-null, else writes through directly.
+  void append_page(std::uint64_t logical, util::ByteSpan data,
+                   PageBatch* batch = nullptr);
+  void append_metadata_pages(PageBatch* batch = nullptr);
   void garbage_collect();
   std::uint64_t log_advance();
 

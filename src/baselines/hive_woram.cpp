@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "fs/run_coalescer.hpp"
 #include "util/error.hpp"
 
 namespace mobiceal::baselines {
@@ -59,9 +60,44 @@ void HiveWoOram::write_slot(std::uint64_t slot, util::ByteSpan plain) {
         {plain.data() + s * blockdev::kSectorSize, blockdev::kSectorSize},
         {ct.data() + s * blockdev::kSectorSize, blockdev::kSectorSize});
   }
-  phys_->write_block(slot, ct);
+  emit_slot_write(slot, std::move(ct));
+}
+
+void HiveWoOram::emit_slot_write(std::uint64_t slot, util::Bytes ct) {
   ++physical_writes_;
+  if (batching_) {
+    pending_slots_.emplace_back(slot, std::move(ct));
+    return;
+  }
+  phys_->write_block(slot, ct);
   if (config_.sync_every_physical_write) phys_->flush();
+}
+
+void HiveWoOram::flush_slot_writes() {
+  if (pending_slots_.empty()) return;
+  const std::size_t bs = block_size();
+  // Bucket I/O rides the async engine: slots that happen to be contiguous
+  // in emission order coalesce into one run; the rest overlap as
+  // independent submissions under the device queue.
+  util::Bytes stage(pending_slots_.size() * bs);
+  fs::RunCoalescer runs(bs, [&](std::uint64_t first, std::uint64_t count,
+                                std::size_t buf_offset) {
+    blockdev::IoRequest req;
+    req.op = blockdev::IoOp::kWrite;
+    req.first = first;
+    req.count = count;
+    req.write_buf = {stage.data() + buf_offset,
+                     static_cast<std::size_t>(count) * bs};
+    phys_->submit(req);
+  });
+  for (std::size_t i = 0; i < pending_slots_.size(); ++i) {
+    std::copy(pending_slots_[i].second.begin(),
+              pending_slots_[i].second.end(), stage.begin() + i * bs);
+    runs.push(pending_slots_[i].first, i * bs);
+  }
+  runs.flush();
+  pending_slots_.clear();
+  phys_->drain();
 }
 
 util::Bytes HiveWoOram::read_slot(std::uint64_t slot) {
@@ -91,9 +127,7 @@ void HiveWoOram::rerandomise_slot(std::uint64_t slot) {
     util::Bytes noise(block_size());
     rng_.fill_bytes(noise);
     ++gens_[slot];
-    phys_->write_block(slot, noise);
-    ++physical_writes_;
-    if (config_.sync_every_physical_write) phys_->flush();
+    emit_slot_write(slot, std::move(noise));
   }
 }
 
@@ -114,10 +148,67 @@ void HiveWoOram::read_block(std::uint64_t index, util::MutByteSpan out) {
   std::copy(plain.begin(), plain.end(), out.begin());
 }
 
+void HiveWoOram::do_read_blocks(std::uint64_t first, std::uint64_t count,
+                                util::MutByteSpan out) {
+  if (phys_->queue_depth() <= 1) {
+    BlockDevice::do_read_blocks(first, count, out);
+    return;
+  }
+  const std::size_t bs = block_size();
+  util::Bytes ct(static_cast<std::size_t>(count) * bs);
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> fetched;  // (i, slot)
+  fs::RunCoalescer runs(bs, [&](std::uint64_t slot_first,
+                                std::uint64_t run_count,
+                                std::size_t buf_offset) {
+    blockdev::IoRequest req;
+    req.op = blockdev::IoOp::kRead;
+    req.first = slot_first;
+    req.count = run_count;
+    req.read_buf = {ct.data() + buf_offset,
+                    static_cast<std::size_t>(run_count) * bs};
+    phys_->submit(req);
+  });
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t index = first + i;
+    charge_posmap();
+    const auto it = stash_.find(index);
+    if (it != stash_.end()) {
+      std::copy(it->second.begin(), it->second.end(),
+                out.begin() + i * bs);
+      continue;
+    }
+    const std::uint64_t slot = pos_map_[index];
+    if (slot == kNone) {
+      std::fill(out.begin() + i * bs, out.begin() + (i + 1) * bs, 0);
+      continue;
+    }
+    fetched.emplace_back(i, slot);
+    runs.push(slot, (fetched.size() - 1) * bs);
+  }
+  runs.flush();
+  phys_->drain();
+
+  const std::size_t sectors = bs / blockdev::kSectorSize;
+  for (std::size_t m = 0; m < fetched.size(); ++m) {
+    const auto [i, slot] = fetched[m];
+    const std::uint64_t base =
+        (slot * 0x100000000ULL + gens_[slot]) * sectors;
+    for (std::size_t s = 0; s < sectors; ++s) {
+      cipher_->decrypt_sector(
+          base + s,
+          {ct.data() + m * bs + s * blockdev::kSectorSize,
+           blockdev::kSectorSize},
+          {out.data() + i * bs + s * blockdev::kSectorSize,
+           blockdev::kSectorSize});
+    }
+  }
+}
+
 void HiveWoOram::write_block(std::uint64_t index, util::ByteSpan data) {
   check_io(index, data.size());
   ++logical_writes_;
   charge_posmap();
+  batching_ = phys_->queue_depth() > 1;
 
   // Sample k distinct physical slots uniformly.
   std::vector<std::uint64_t> slots;
@@ -153,6 +244,11 @@ void HiveWoOram::write_block(std::uint64_t index, util::ByteSpan data) {
     }
     rerandomise_slot(slot);
   }
+
+  // Queued slot writes (queue_depth > 1) go out before the stash/map
+  // bookkeeping settles, mirroring where the serial path wrote them.
+  flush_slot_writes();
+  batching_ = false;
 
   if (!placed) {
     // All sampled slots were occupied: the new version waits in the stash.

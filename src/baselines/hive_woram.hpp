@@ -16,6 +16,7 @@
 
 #include <deque>
 #include <memory>
+#include <utility>
 #include <unordered_map>
 #include <vector>
 
@@ -60,6 +61,15 @@ class HiveWoOram final : public blockdev::BlockDevice {
   /// Physical writes issued per logical write so far (amplification).
   double write_amplification() const noexcept;
 
+ protected:
+  /// Vectored reads (queue_depth() > 1): every mapped slot of the range is
+  /// submitted as its own async request — the slots are uniformly random,
+  /// so runs rarely coalesce, but the fetches overlap under the device
+  /// queue. Position-map charges and results are identical to the
+  /// per-block path; at queue depth 1 that historical path runs unchanged.
+  void do_read_blocks(std::uint64_t first, std::uint64_t count,
+                      util::MutByteSpan out) override;
+
  private:
   void charge_posmap();
   /// Writes `plain` into physical `slot` under a fresh generation.
@@ -67,6 +77,19 @@ class HiveWoOram final : public blockdev::BlockDevice {
   /// Reads and decrypts the current content of `slot`.
   util::Bytes read_slot(std::uint64_t slot);
   void rerandomise_slot(std::uint64_t slot);
+
+  /// Queues `ct` for physical `slot`. When the device keeps multiple
+  /// requests in flight (queue_depth() > 1) the k slot writes of one
+  /// logical write batch here and go out as coalesced-where-contiguous
+  /// submit() runs, with ONE durability barrier for the batch (the logical
+  /// write's map+data sync); at queue depth 1 the slot is written — and,
+  /// per config, synced — immediately, exactly the historical trace.
+  /// Slot decisions, RNG draws and ciphertext are computed identically on
+  /// both paths (the k sampled slots are distinct, so deferring the data
+  /// movement changes nothing an adversary can observe).
+  void emit_slot_write(std::uint64_t slot, util::Bytes ct);
+  /// Flushes queued slot writes: coalesced async submissions + drain.
+  void flush_slot_writes();
 
   std::shared_ptr<blockdev::BlockDevice> phys_;
   std::unique_ptr<crypto::SectorCipher> cipher_;
@@ -84,6 +107,9 @@ class HiveWoOram final : public blockdev::BlockDevice {
   crypto::SecureRandom rng_;
   std::uint64_t logical_writes_ = 0;
   std::uint64_t physical_writes_ = 0;
+  /// Slot writes queued for the current logical write (queue_depth > 1).
+  std::vector<std::pair<std::uint64_t, util::Bytes>> pending_slots_;
+  bool batching_ = false;
 };
 
 }  // namespace mobiceal::baselines

@@ -76,8 +76,9 @@ std::shared_ptr<blockdev::BlockDevice> MobiflageDevice::public_crypt(
   const std::uint64_t fb = fde::footer_blocks(storage_->block_size());
   auto region = std::make_shared<dm::LinearTarget>(
       storage_, 0, storage_->num_blocks() - fb);
-  return std::make_shared<dm::CryptTarget>(region, config_.cipher_spec, key,
-                                           clock_, config_.crypt_cpu);
+  auto crypt = std::make_shared<dm::CryptTarget>(
+      region, config_.cipher_spec, key, clock_, config_.crypt_cpu);
+  return cache::wrap(crypt, config_.cache, clock_);
 }
 
 std::shared_ptr<blockdev::BlockDevice> MobiflageDevice::hidden_crypt(
@@ -89,8 +90,9 @@ std::shared_ptr<blockdev::BlockDevice> MobiflageDevice::hidden_crypt(
   if (offset >= end) throw util::PolicyError("mobiflage: bad offset");
   auto region =
       std::make_shared<dm::LinearTarget>(storage_, offset, end - offset);
-  return std::make_shared<dm::CryptTarget>(region, config_.cipher_spec, key,
-                                           clock_, config_.crypt_cpu);
+  auto crypt = std::make_shared<dm::CryptTarget>(
+      region, config_.cipher_spec, key, clock_, config_.crypt_cpu);
+  return cache::wrap(crypt, config_.cache, clock_);
 }
 
 MobiflageDevice::Mode MobiflageDevice::boot(const std::string& password) {

@@ -17,6 +17,7 @@
 #include <string>
 
 #include "blockdev/block_device.hpp"
+#include "cache/cache_target.hpp"
 #include "dm/crypt_target.hpp"
 #include "fde/crypto_footer.hpp"
 #include "fs/ext_fs.hpp"
@@ -33,6 +34,8 @@ class MobiflageDevice {
     dm::CryptCpuModel crypt_cpu = dm::CryptCpuModel::snapdragon_s4();
     std::uint64_t rng_seed = 5;
     bool skip_random_fill = false;
+    /// Block cache over each mounted volume's crypt device (0 = off).
+    cache::CacheConfig cache;
   };
 
   enum class Mode { kLocked, kPublic, kHidden };

@@ -96,9 +96,10 @@ std::unique_ptr<MobiPlutoDevice> MobiPlutoDevice::attach(
 
 std::shared_ptr<blockdev::BlockDevice> MobiPlutoDevice::crypt_device(
     std::uint32_t vol, util::ByteSpan key) {
-  return std::make_shared<dm::CryptTarget>(pool_->open_thin(vol),
-                                           config_.cipher_spec, key, clock_,
-                                           config_.crypt_cpu);
+  auto crypt = std::make_shared<dm::CryptTarget>(pool_->open_thin(vol),
+                                                 config_.cipher_spec, key,
+                                                 clock_, config_.crypt_cpu);
+  return cache::wrap(crypt, config_.cache, clock_);
 }
 
 MobiPlutoDevice::Mode MobiPlutoDevice::boot(const std::string& password) {

@@ -19,6 +19,7 @@
 #include <string>
 
 #include "blockdev/block_device.hpp"
+#include "cache/cache_target.hpp"
 #include "dm/crypt_target.hpp"
 #include "fde/crypto_footer.hpp"
 #include "fs/ext_fs.hpp"
@@ -40,6 +41,8 @@ class MobiPlutoDevice {
     /// Skip the (slow) full-device random fill — only for unit tests that
     /// don't involve the adversary.
     bool skip_random_fill = false;
+    /// Block cache over each mounted volume's crypt device (0 = off).
+    cache::CacheConfig cache;
   };
 
   enum class Mode { kLocked, kPublic, kHidden };

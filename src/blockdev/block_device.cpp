@@ -148,6 +148,40 @@ util::Bytes BlockDevice::snapshot() {
   return read_blocks(0, num_blocks());
 }
 
+namespace {
+void submit_segments(BlockDevice& dev, IoOp op, std::uint64_t first,
+                     std::uint8_t* buf, std::uint64_t count) {
+  const std::size_t bs = dev.block_size();
+  for (std::uint64_t done = 0; done < count; done += kSubmitSegmentBlocks) {
+    const std::uint64_t n = std::min(kSubmitSegmentBlocks, count - done);
+    IoRequest req;
+    req.op = op;
+    req.first = first + done;
+    req.count = n;
+    const std::size_t len = static_cast<std::size_t>(n) * bs;
+    if (op == IoOp::kRead) {
+      req.read_buf = {buf + done * bs, len};
+    } else {
+      req.write_buf = {buf + done * bs, len};
+    }
+    dev.submit(req);
+  }
+}
+}  // namespace
+
+void submit_read_segments(BlockDevice& dev, std::uint64_t first,
+                          util::MutByteSpan buf) {
+  submit_segments(dev, IoOp::kRead, first, buf.data(),
+                  buf.size() / dev.block_size());
+}
+
+void submit_write_segments(BlockDevice& dev, std::uint64_t first,
+                           util::ByteSpan buf) {
+  submit_segments(dev, IoOp::kWrite, first,
+                  const_cast<std::uint8_t*>(buf.data()),
+                  buf.size() / dev.block_size());
+}
+
 void fill_random(BlockDevice& dev, std::uint64_t first, std::uint64_t count,
                  util::Rng& rng) {
   constexpr std::uint64_t kBatchBlocks = 256;  // 1 MiB at 4 KiB blocks

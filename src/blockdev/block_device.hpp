@@ -216,6 +216,21 @@ class MemBlockDevice final : public BlockDevice {
   util::Bytes data_;
 };
 
+/// Blocks per async submission segment used by the segmented-submit
+/// helpers below (and mirrored by CryptTarget's pipeline): large runs
+/// split so their transfer phases overlap under queue depth.
+inline constexpr std::uint64_t kSubmitSegmentBlocks = 32;
+
+/// Submits the read of blocks [first, first + buf.size()/block_size) in
+/// kSubmitSegmentBlocks-sized segments. Data lands in `buf` at submit
+/// time; callers drain() (or poll) the device to complete the flight.
+void submit_read_segments(BlockDevice& dev, std::uint64_t first,
+                          util::MutByteSpan buf);
+
+/// Write-side twin of submit_read_segments.
+void submit_write_segments(BlockDevice& dev, std::uint64_t first,
+                           util::ByteSpan buf);
+
 /// Fills blocks [first, first+count) with random noise, streamed through
 /// the vectored write path in multi-block batches — the "fill the disk
 /// with randomness" static defence shared by MobiPluto and Mobiflage.

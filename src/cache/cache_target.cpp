@@ -1,0 +1,231 @@
+#include "cache/cache_target.hpp"
+
+#include <cstring>
+
+#include "fs/run_coalescer.hpp"
+#include "util/error.hpp"
+
+namespace mobiceal::cache {
+
+CacheTarget::CacheTarget(std::shared_ptr<blockdev::BlockDevice> lower,
+                         CacheConfig config,
+                         std::shared_ptr<util::SimClock> clock)
+    : lower_(std::move(lower)), config_(config), clock_(std::move(clock)) {
+  if (config_.capacity_blocks == 0) {
+    throw util::PolicyError("cache: capacity must be > 0 (use cache::wrap "
+                            "for an optional cache)");
+  }
+  entries_.reserve(static_cast<std::size_t>(config_.capacity_blocks));
+}
+
+CacheTarget::~CacheTarget() {
+  // Normal teardown order syncs the filesystem (and thus this cache) first;
+  // this is a last-resort net for exceptional unwinds, so it must not throw.
+  try {
+    flush_dirty();
+  } catch (...) {  // NOLINT(bugprone-empty-catch)
+  }
+}
+
+void CacheTarget::charge_copy(std::uint64_t blocks) {
+  if (clock_ && config_.copy_ns_per_block > 0) {
+    clock_->advance(blocks * config_.copy_ns_per_block);
+  }
+}
+
+void CacheTarget::touch(
+    std::unordered_map<std::uint64_t, Entry>::iterator it) {
+  if (it->second.lru_pos != lru_.begin()) {
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  }
+}
+
+void CacheTarget::evict_for_capacity() {
+  if (entries_.size() < config_.capacity_blocks) return;
+  const std::uint64_t victim = lru_.back();
+  auto it = entries_.find(victim);
+  if (it->second.dirty) {
+    // Rule 2 (header comment): individual dirty evictions could reorder
+    // writeback against first-dirty order, so eviction pressure flushes the
+    // whole dirty set as one epoch before the victim is dropped.
+    flush_dirty();
+    ++counters_.epochs;
+  }
+  lru_.pop_back();
+  entries_.erase(victim);
+  ++counters_.evictions;
+}
+
+std::unordered_map<std::uint64_t, CacheTarget::Entry>::iterator
+CacheTarget::ensure_entry(std::uint64_t block, bool* inserted) {
+  auto it = entries_.find(block);
+  if (it != entries_.end()) {
+    *inserted = false;
+    touch(it);
+    return it;
+  }
+  evict_for_capacity();
+  lru_.push_front(block);
+  Entry e;
+  e.data.resize(block_size());
+  e.lru_pos = lru_.begin();
+  *inserted = true;
+  return entries_.emplace(block, std::move(e)).first;
+}
+
+void CacheTarget::flush_dirty() {
+  if (dirty_fifo_.empty()) return;
+  const std::size_t bs = block_size();
+  stage_.resize(dirty_fifo_.size() * bs);
+
+  // First-dirty order with contiguity coalescing — byte-for-byte the runs
+  // fs::RunCoalescer emits for the same block sequence (cache_test pins
+  // this equivalence). Deep queues split each run into pipeline segments
+  // submitted back-to-back so their transfer (and crypt) phases overlap;
+  // at depth 1 a run goes out as one synchronous vectored write, keeping
+  // the lower layers' batched fast paths. Final content is identical
+  // either way — the engine moves data at submit time.
+  const bool async = lower_->queue_depth() > 1;
+  fs::RunCoalescer runs(bs, [&](std::uint64_t run_first, std::uint64_t blocks,
+                                std::size_t buf_offset) {
+    ++counters_.writeback_runs;
+    const util::ByteSpan run{stage_.data() + buf_offset,
+                             static_cast<std::size_t>(blocks) * bs};
+    if (async) {
+      blockdev::submit_write_segments(*lower_, run_first, run);
+    } else {
+      lower_->write_blocks(run_first, run);
+    }
+  });
+  std::size_t off = 0;
+  for (const std::uint64_t block : dirty_fifo_) {
+    std::memcpy(stage_.data() + off, entries_.at(block).data.data(), bs);
+    runs.push(block, off);
+    off += bs;
+  }
+  runs.flush();
+  if (async) lower_->drain();
+  // Bookkeeping only clears after every run landed: if a lower layer threw
+  // mid-flush (say NoSpaceError from the thin pool), the set stays dirty
+  // and the next flush retries instead of silently serving RAM-only data.
+  counters_.writeback_blocks += dirty_fifo_.size();
+  for (const std::uint64_t block : dirty_fifo_) {
+    entries_.at(block).dirty = false;
+  }
+  dirty_fifo_.clear();
+}
+
+void CacheTarget::read_block(std::uint64_t index, util::MutByteSpan out) {
+  check_io(index, out.size());
+  do_read_blocks(index, 1, out);
+}
+
+void CacheTarget::write_block(std::uint64_t index, util::ByteSpan data) {
+  check_io(index, data.size());
+  do_write_blocks(index, data);
+}
+
+void CacheTarget::do_read_blocks(std::uint64_t first, std::uint64_t count,
+                                 util::MutByteSpan out) {
+  const std::size_t bs = block_size();
+  // Miss runs are fetched read-through: one vectored async submission per
+  // contiguous missing range, directly into the caller's buffer, then the
+  // batch drains and the blocks are installed in the cache.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> miss_runs;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t block = first + i;
+    auto it = entries_.find(block);
+    if (it != entries_.end()) {
+      std::memcpy(out.data() + i * bs, it->second.data.data(), bs);
+      touch(it);
+      ++counters_.hits;
+      charge_copy(1);
+      continue;
+    }
+    ++counters_.misses;
+    if (!miss_runs.empty() &&
+        miss_runs.back().first + miss_runs.back().second == block) {
+      ++miss_runs.back().second;
+    } else {
+      miss_runs.emplace_back(block, 1);
+    }
+  }
+  if (miss_runs.empty()) return;
+
+  // Same submission strategy as flush_dirty: pipeline segments at depth,
+  // the lower layers' synchronous vectored fast path at queue depth 1.
+  const bool async = lower_->queue_depth() > 1;
+  for (const auto& [run_first, run_count] : miss_runs) {
+    ++counters_.fill_reads;
+    util::MutByteSpan dst{out.data() + (run_first - first) * bs,
+                          static_cast<std::size_t>(run_count) * bs};
+    if (async) {
+      blockdev::submit_read_segments(*lower_, run_first, dst);
+    } else {
+      lower_->read_blocks(run_first, run_count, dst);
+    }
+  }
+  if (async) lower_->drain();
+
+  for (const auto& [run_first, run_count] : miss_runs) {
+    for (std::uint64_t i = 0; i < run_count; ++i) {
+      bool inserted = false;
+      auto it = ensure_entry(run_first + i, &inserted);
+      std::memcpy(it->second.data.data(),
+                  out.data() + (run_first + i - first) * bs, bs);
+      charge_copy(1);
+    }
+  }
+}
+
+void CacheTarget::do_write_blocks(std::uint64_t first, util::ByteSpan data) {
+  const std::size_t bs = block_size();
+  const std::uint64_t count = data.size() / bs;
+
+  if (config_.policy == WritePolicy::kWritethrough) {
+    // Exact lower write sequence preserved: one vectored pass-through.
+    // Only blocks already resident are refreshed — streaming writes do not
+    // flood the read cache.
+    lower_->write_blocks(first, data);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      auto it = entries_.find(first + i);
+      if (it == entries_.end()) continue;
+      std::memcpy(it->second.data.data(), data.data() + i * bs, bs);
+      touch(it);
+      charge_copy(1);
+    }
+    return;
+  }
+
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t block = first + i;
+    bool inserted = false;
+    auto it = ensure_entry(block, &inserted);
+    std::memcpy(it->second.data.data(), data.data() + i * bs, bs);
+    if (!it->second.dirty) {
+      it->second.dirty = true;
+      dirty_fifo_.push_back(block);
+    }
+    charge_copy(1);
+  }
+}
+
+void CacheTarget::flush() {
+  flush_dirty();
+  lower_->flush();
+}
+
+void CacheTarget::do_drain() {
+  flush_dirty();
+  lower_->drain();
+}
+
+std::shared_ptr<blockdev::BlockDevice> wrap(
+    std::shared_ptr<blockdev::BlockDevice> lower, const CacheConfig& config,
+    std::shared_ptr<util::SimClock> clock) {
+  if (config.capacity_blocks == 0) return lower;
+  return std::make_shared<CacheTarget>(std::move(lower), config,
+                                       std::move(clock));
+}
+
+}  // namespace mobiceal::cache

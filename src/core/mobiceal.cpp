@@ -280,8 +280,12 @@ std::shared_ptr<blockdev::BlockDevice> MobiCealDevice::make_crypt_device(
     lower = std::make_shared<dm::LinearTarget>(lower, 1,
                                                lower->num_blocks() - 1);
   }
-  return std::make_shared<dm::CryptTarget>(lower, config_.cipher_spec, key,
-                                           clock_, config_.crypt_cpu);
+  auto crypt = std::make_shared<dm::CryptTarget>(
+      lower, config_.cipher_spec, key, clock_, config_.crypt_cpu);
+  // Per-mount block cache between the filesystem and dm-crypt. Each
+  // make_crypt_device call produces a fresh cache, so a mode switch never
+  // carries cached plaintext (or a stale view) across volumes.
+  return cache::wrap(crypt, config_.cache, clock_);
 }
 
 // ---- boot / switch ---------------------------------------------------------------------

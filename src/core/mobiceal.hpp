@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "blockdev/block_device.hpp"
+#include "cache/cache_target.hpp"
 #include "core/dummy_write.hpp"
 #include "crypto/random.hpp"
 #include "dm/crypt_target.hpp"
@@ -67,6 +68,10 @@ class MobiCealDevice {
     dm::CryptCpuModel crypt_cpu = dm::CryptCpuModel::snapdragon_s4();
     std::uint64_t rng_seed = 1;
     std::uint32_t fs_inode_count = 1024;
+    /// Block cache over each mounted volume's dm-crypt device
+    /// (capacity_blocks == 0 keeps the historical uncached stack). Dummy
+    /// writes are issued below the mount, so they always bypass it.
+    cache::CacheConfig cache;
   };
 
   /// "vdc cryptfs pde wipe <pub_pwd> <num_vol> <hid_pwds>" (Sec. V-B).

@@ -30,8 +30,11 @@ TEST(SchemeRegistry, CapabilityTableMatchesTheSystems) {
               C::kGarbageCollection, C::kDummyWrites}) {
     EXPECT_TRUE(mc.has(c));
   }
-  // Android FDE: encryption only.
-  EXPECT_EQ(SchemeRegistry::entry("android_fde").capabilities.bits(), 0u);
+  // Android FDE: encryption only (the writeback-cache bit is a stack
+  // property, not a PDE feature — dm-crypt over the raw region tolerates
+  // write combining).
+  EXPECT_EQ(SchemeRegistry::entry("android_fde").capabilities.bits(),
+            static_cast<std::uint32_t>(C::kWritebackCacheSafe));
   // Single-snapshot PDE systems: hidden volume, nothing else.
   for (const char* s : {"mobipluto", "mobiflage"}) {
     const auto caps = SchemeRegistry::entry(s).capabilities;
@@ -47,13 +50,27 @@ TEST(SchemeRegistry, CapabilityTableMatchesTheSystems) {
     EXPECT_FALSE(entry.capabilities.has(C::kHiddenVolume)) << s;
     EXPECT_FALSE(entry.supports_attach) << s;
   }
+  // Write-combining safety: the dm-crypt stacks advertise it, the
+  // order-sensitive log/ORAM translators must not (their cache is demoted
+  // to writethrough).
+  for (const char* s : {"mobiceal", "android_fde", "mobipluto", "mobiflage"}) {
+    EXPECT_TRUE(SchemeRegistry::entry(s).capabilities.has(
+        C::kWritebackCacheSafe)) << s;
+  }
+  for (const char* s : {"defy", "hive"}) {
+    EXPECT_FALSE(SchemeRegistry::entry(s).capabilities.has(
+        C::kWritebackCacheSafe)) << s;
+  }
 }
 
 TEST(SchemeRegistry, CapabilitiesToStringIsReadable) {
   EXPECT_EQ(SchemeRegistry::entry("android_fde").capabilities.to_string(),
-            "none");
+            "writeback-cache-safe");
   EXPECT_EQ(SchemeRegistry::entry("mobipluto").capabilities.to_string(),
-            "hidden-volume");
+            "hidden-volume|writeback-cache-safe");
+  EXPECT_EQ(SchemeRegistry::entry("defy").capabilities.to_string(),
+            "multi-snapshot-secure");
+  EXPECT_EQ(api::Capabilities{}.to_string(), "none");
   const auto mc = SchemeRegistry::entry("mobiceal").capabilities.to_string();
   EXPECT_NE(mc.find("fast-switch"), std::string::npos);
   EXPECT_NE(mc.find("dummy-writes"), std::string::npos);

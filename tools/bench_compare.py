@@ -1,8 +1,10 @@
 #!/usr/bin/env python3
-"""Diff two bench JSON files and gate on virtual-time regressions.
+"""Diff bench JSON files (or whole directories) and gate on regressions.
 
-Usage: bench_compare.py BASELINE.json CURRENT.json [--threshold PCT]
-                                                   [--adv-tolerance ADV]
+Usage: bench_compare.py BASELINE.json CURRENT.json [options]
+       bench_compare.py BASELINE_DIR/ CURRENT_DIR/  [options]
+
+Options: [--threshold PCT] [--adv-tolerance ADV]
 
 Bench binaries emit BENCH_<name>.json via --json / MOBICEAL_BENCH_JSON (see
 bench/harness.hpp). Metric-name suffixes carry the comparison direction:
@@ -18,16 +20,26 @@ performance one. Advantages shrinking is always fine.
 
 Metrics with any other suffix (percentages, counts, derived ratios like
 _speedup — whose numerator and denominator are already gated individually)
-are informational: printed, never gated. The exit code is nonzero iff any
-tracked metric regresses by more than the threshold (default 10%), any
-canary grows beyond tolerance, the two files are from different benches or
-run configurations (workload_mb / queue_depth), or a tracked baseline
-metric disappeared. Virtual-clock benches are deterministic, so any drift
-is a real code change, not noise.
+are informational: printed, never gated.
+
+Directory mode pairs the BENCH_*.json files by name: a bench present in
+the candidate directory but missing from the baselines is reported as
+"new, skipped (info)" — commit a baseline to start gating it — while a
+baseline bench missing from the candidate fails the gate (a gated bench
+silently disappearing is a regression). A one-line per-bench summary table
+prints at the end in both modes.
+
+The exit code is nonzero iff any tracked metric regresses by more than the
+threshold (default 10%), any canary grows beyond tolerance, a compared pair
+is from different benches or run configurations (workload_mb /
+queue_depth / cache_blocks), a tracked baseline metric disappeared, or a
+baseline bench has no candidate file. Virtual-clock benches are
+deterministic, so any drift is a real code change, not noise.
 """
 
 import argparse
 import json
+import os
 import sys
 
 HIGHER_BETTER = ("_kbps", "_mbps")
@@ -35,8 +47,13 @@ LOWER_BETTER = ("_s", "_ns")
 CANARY = ("_adv",)
 
 # Run-configuration metrics: a mismatch means the two files are not
-# comparable at all (different workload or device queue model).
-CONFIG_KEYS = ("workload_mb", "queue_depth")
+# comparable at all (different workload, device queue model, or cache).
+CONFIG_KEYS = ("workload_mb", "queue_depth", "cache_blocks")
+
+STATUS_OK = "ok"
+STATUS_REGRESSION = "REGRESSION"
+STATUS_NEW = "new, skipped (info)"
+STATUS_MISSING = "missing from candidate"
 
 
 def direction(metric: str):
@@ -61,19 +78,19 @@ def load(path: str) -> dict:
     return doc
 
 
-def main() -> int:
-    ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("baseline")
-    ap.add_argument("current")
-    ap.add_argument("--threshold", type=float, default=10.0,
-                    help="regression threshold in percent (default 10)")
-    ap.add_argument("--adv-tolerance", type=float, default=0.05,
-                    help="max absolute advantage growth for _adv canaries "
-                         "(default 0.05)")
-    args = ap.parse_args()
+class BenchReport:
+    """Outcome of one baseline/candidate pair (or unpaired file)."""
 
-    base = load(args.baseline)
-    cur = load(args.current)
+    def __init__(self, bench, status, compared=0, regressions=None):
+        self.bench = bench
+        self.status = status
+        self.compared = compared
+        self.regressions = regressions or []
+
+
+def compare_pair(baseline_path, current_path, args) -> BenchReport:
+    base = load(baseline_path)
+    cur = load(current_path)
     if base["bench"] != cur["bench"]:
         sys.exit(f"bench_compare: comparing different benches: "
                  f"{base['bench']} vs {cur['bench']}")
@@ -88,7 +105,8 @@ def main() -> int:
                      f"configuration")
 
     regressions = []
-    print(f"== {base['bench']}: {args.baseline} -> {args.current} "
+    compared = 0
+    print(f"== {base['bench']}: {baseline_path} -> {current_path} "
           f"(threshold {args.threshold:g}%) ==")
     for name, old in base["metrics"].items():
         if name not in cur["metrics"]:
@@ -97,6 +115,8 @@ def main() -> int:
             continue
         new = cur["metrics"][name]
         sign = direction(name)
+        if sign:
+            compared += 1
         if old == 0:
             change = 0.0 if new == 0 else float("inf")
         else:
@@ -118,11 +138,79 @@ def main() -> int:
         if name not in base["metrics"]:
             print(f"  {name:44s} (new metric, not in baseline)")
 
-    if regressions:
-        print(f"\n{len(regressions)} regression(s) beyond "
-              f"{args.threshold:g}%:")
-        for r in regressions:
-            print(f"  {r}")
+    status = STATUS_REGRESSION if regressions else STATUS_OK
+    return BenchReport(base["bench"], status, compared, regressions)
+
+
+def compare_dirs(baseline_dir, current_dir, args):
+    def bench_files(d):
+        return sorted(f for f in os.listdir(d)
+                      if f.startswith("BENCH_") and f.endswith(".json"))
+
+    reports = []
+    base_files = bench_files(baseline_dir)
+    cur_files = bench_files(current_dir)
+    for fname in base_files:
+        cur_path = os.path.join(current_dir, fname)
+        if not os.path.exists(cur_path):
+            reports.append(BenchReport(fname[len("BENCH_"):-len(".json")],
+                                       STATUS_MISSING))
+            continue
+        reports.append(compare_pair(os.path.join(baseline_dir, fname),
+                                    cur_path, args))
+        print()
+    for fname in cur_files:
+        if fname in base_files:
+            continue
+        # A bench with no committed baseline yet: report, don't gate.
+        doc = load(os.path.join(current_dir, fname))
+        reports.append(BenchReport(doc["bench"], STATUS_NEW,
+                                   compared=len(doc["metrics"])))
+    return reports
+
+
+def print_summary(reports):
+    print("== summary ==")
+    width = max([len(r.bench) for r in reports] + [5])
+    for r in reports:
+        if r.status == STATUS_NEW:
+            detail = f"{r.compared} metrics (no baseline committed)"
+        elif r.status == STATUS_MISSING:
+            detail = "baseline has no candidate file"
+        else:
+            detail = (f"{r.compared} tracked metrics, "
+                      f"{len(r.regressions)} regression(s)")
+        print(f"  {r.bench:{width}s}  {r.status:24s} {detail}")
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline", help="baseline JSON file or directory")
+    ap.add_argument("current", help="candidate JSON file or directory")
+    ap.add_argument("--threshold", type=float, default=10.0,
+                    help="regression threshold in percent (default 10)")
+    ap.add_argument("--adv-tolerance", type=float, default=0.05,
+                    help="max absolute advantage growth for _adv canaries "
+                         "(default 0.05)")
+    args = ap.parse_args()
+
+    if os.path.isdir(args.baseline) != os.path.isdir(args.current):
+        sys.exit("bench_compare: baseline and current must both be files "
+                 "or both be directories")
+    if os.path.isdir(args.baseline):
+        reports = compare_dirs(args.baseline, args.current, args)
+    else:
+        reports = [compare_pair(args.baseline, args.current, args)]
+        print()
+
+    print_summary(reports)
+    failing = [r for r in reports
+               if r.status in (STATUS_REGRESSION, STATUS_MISSING)]
+    if failing:
+        print(f"\n{len(failing)} bench(es) failing the gate:")
+        for r in failing:
+            for reg in r.regressions or [r.status]:
+                print(f"  {r.bench}: {reg}")
         return 1
     print("\nno regressions")
     return 0
