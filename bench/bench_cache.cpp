@@ -108,6 +108,8 @@ int main(int argc, char** argv) {
   base.cache_blocks = 0;  // per-config below; --queue-depth still applies
   json.add("workload_mb", static_cast<double>(bytes >> 20));
   json.add("queue_depth", static_cast<double>(base.queue_depth));
+  json.add("stripes", static_cast<double>(base.stripe_count));
+  json.add("crypto_lanes", static_cast<double>(base.crypto_lanes));
   bool ok = true;
 
   std::printf("== Block-cache sweep (%llu MB working set, QD %u, virtual "

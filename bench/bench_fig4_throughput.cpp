@@ -76,6 +76,8 @@ int main(int argc, char** argv) {
   json.add("workload_mb", static_cast<double>(bytes >> 20));
   json.add("queue_depth", static_cast<double>(qd));
   json.add("cache_blocks", static_cast<double>(knobs.cache_blocks));
+  json.add("stripes", static_cast<double>(knobs.stripe_count));
+  json.add("crypto_lanes", static_cast<double>(knobs.crypto_lanes));
 
   std::printf("== Figure 4: sequential throughput in KB/s (mean ± stddev, "
               "%d reps, %llu MB files, QD %u) ==\n\n",

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "dm/striped_target.hpp"
 #include "util/error.hpp"
 
 namespace mobiceal::bench {
@@ -11,6 +12,44 @@ namespace mobiceal::bench {
 namespace {
 constexpr char kPub[] = "bench-public";
 constexpr char kHid[] = "bench-hidden";
+
+/// Builds the backing store for a stack into `s` and fills the device
+/// fields of `opts`: one timed device (opts.device), or stripe_count
+/// independently timed stripes (opts.stripe_devices) plus an untimed
+/// striped view in s.raw so raw->snapshot() stays the logical image.
+void build_backing(BenchStack& s, const StackOptions& o,
+                   api::SchemeOptions& opts) {
+  opts.clock = s.clock;
+  if (o.stripe_count <= 1) {
+    s.raw = std::make_shared<blockdev::MemBlockDevice>(o.device_blocks);
+    s.timed = std::make_shared<blockdev::TimedDevice>(s.raw, o.device_model,
+                                                      s.clock);
+    s.timed->set_queue_depth(o.queue_depth);
+    opts.device = s.timed;
+    return;
+  }
+  const std::uint64_t row =
+      std::uint64_t{o.stripe_count} * o.stripe_chunk_blocks;
+  if (row == 0 || o.device_blocks % row != 0) {
+    throw util::PolicyError(
+        "bench: device_blocks must divide into stripe_count stripes of "
+        "whole stripe_chunk_blocks chunks");
+  }
+  const std::uint64_t per = o.device_blocks / o.stripe_count;
+  for (std::uint32_t i = 0; i < o.stripe_count; ++i) {
+    auto raw = std::make_shared<blockdev::MemBlockDevice>(per);
+    auto timed = std::make_shared<blockdev::TimedDevice>(
+        raw, o.device_model, s.clock);
+    timed->set_queue_depth(o.queue_depth);
+    s.stripe_raw.push_back(std::move(raw));
+    s.stripe_timed.push_back(std::move(timed));
+  }
+  opts.stripe_count = o.stripe_count;
+  opts.stripe_chunk_blocks = o.stripe_chunk_blocks;
+  opts.stripe_devices = s.stripe_timed;
+  s.raw = std::make_shared<dm::StripedTarget>(s.stripe_raw,
+                                              o.stripe_chunk_blocks);
+}
 }  // namespace
 
 const char* stack_name(StackKind kind) {
@@ -31,14 +70,8 @@ BenchStack make_scheme_stack(const std::string& scheme_name, bool hidden,
                              const StackOptions& o) {
   BenchStack s;
   s.clock = std::make_shared<util::SimClock>();
-  s.raw = std::make_shared<blockdev::MemBlockDevice>(o.device_blocks);
-  s.timed = std::make_shared<blockdev::TimedDevice>(s.raw, o.device_model,
-                                                    s.clock);
-  s.timed->set_queue_depth(o.queue_depth);
-
   api::SchemeOptions opts;
-  opts.device = s.timed;
-  opts.clock = s.clock;
+  build_backing(s, o, opts);
   opts.public_password = kPub;
   opts.rng_seed = o.seed;
   opts.num_volumes = 8;
@@ -51,6 +84,7 @@ BenchStack make_scheme_stack(const std::string& scheme_name, bool hidden,
   opts.skip_random_fill = o.skip_random_fill;
   opts.cache_blocks = o.cache_blocks;
   opts.cache_writeback = o.cache_writeback;
+  opts.crypto_lanes = o.crypto_lanes;
 
   const auto& entry = api::SchemeRegistry::entry(scheme_name);
   if (entry.capabilities.has(api::Capability::kHiddenVolume)) {
@@ -76,11 +110,9 @@ BenchStack make_stack(StackKind kind, const StackOptions& o) {
     case StackKind::kRawExt: {
       BenchStack s;
       s.clock = std::make_shared<util::SimClock>();
-      s.raw = std::make_shared<blockdev::MemBlockDevice>(o.device_blocks);
-      s.timed = std::make_shared<blockdev::TimedDevice>(s.raw, o.device_model,
-                                                        s.clock);
-      s.timed->set_queue_depth(o.queue_depth);
-      s.owned_fs = fs::ExtFs::format(s.timed, 1024);
+      api::SchemeOptions opts;
+      build_backing(s, o, opts);
+      s.owned_fs = fs::ExtFs::format(api::stack_device_for(opts), 1024);
       s.fs = s.owned_fs.get();
       return s;
     }
@@ -284,10 +316,32 @@ bool bench_cache_writeback(int argc, char** argv, bool def) {
                         "MOBICEAL_CACHE_WRITEBACK", def ? 1 : 0) != 0;
 }
 
+std::uint32_t bench_stripes(int argc, char** argv, std::uint32_t def) {
+  const std::uint64_t n =
+      bench_knob_u64(argc, argv, "--stripes", "MOBICEAL_STRIPES", def);
+  return n == 0 ? 1 : static_cast<std::uint32_t>(n);
+}
+
+std::uint32_t bench_stripe_chunk(int argc, char** argv, std::uint32_t def) {
+  const std::uint64_t n = bench_knob_u64(argc, argv, "--stripe-chunk",
+                                         "MOBICEAL_STRIPE_CHUNK", def);
+  return n == 0 ? def : static_cast<std::uint32_t>(n);
+}
+
+std::uint32_t bench_crypto_lanes(int argc, char** argv, std::uint32_t def) {
+  const std::uint64_t n = bench_knob_u64(argc, argv, "--crypto-lanes",
+                                         "MOBICEAL_CRYPTO_LANES", def);
+  return n == 0 ? 1 : static_cast<std::uint32_t>(n);
+}
+
 void apply_stack_knobs(StackOptions& o, int argc, char** argv) {
   o.queue_depth = bench_queue_depth(argc, argv, o.queue_depth);
   o.cache_blocks = bench_cache_blocks(argc, argv, o.cache_blocks);
   o.cache_writeback = bench_cache_writeback(argc, argv, o.cache_writeback);
+  o.stripe_count = bench_stripes(argc, argv, o.stripe_count);
+  o.stripe_chunk_blocks =
+      bench_stripe_chunk(argc, argv, o.stripe_chunk_blocks);
+  o.crypto_lanes = bench_crypto_lanes(argc, argv, o.crypto_lanes);
 }
 
 }  // namespace mobiceal::bench

@@ -44,9 +44,15 @@ struct BenchStack {
   std::shared_ptr<util::SimClock> clock;
   fs::FileSystem* fs = nullptr;
 
-  // Keepalive owners.
+  // Keepalive owners. `raw` is the untimed logical image of the backing
+  // store: the memory device itself for single-device stacks, or an
+  // untimed dm::StripedTarget view over `stripe_raw` when striping is on —
+  // raw->snapshot() is the bit-exact final image either way, so parity
+  // checks need not care about the layout.
   std::shared_ptr<blockdev::BlockDevice> raw;
-  std::shared_ptr<blockdev::BlockDevice> timed;
+  std::shared_ptr<blockdev::BlockDevice> timed;  // single-device stacks only
+  std::vector<std::shared_ptr<blockdev::BlockDevice>> stripe_raw;
+  std::vector<std::shared_ptr<blockdev::BlockDevice>> stripe_timed;
   std::unique_ptr<api::PdeScheme> scheme;  // scheme-backed stacks
   std::unique_ptr<fs::FileSystem> owned_fs;  // kRawExt only
 };
@@ -75,6 +81,17 @@ struct StackOptions {
   /// Writeback (true) or writethrough policy when the cache is on;
   /// demoted per scheme capability (see api::cache_config_for).
   bool cache_writeback = true;
+  /// RAID-0 stripes under the whole stack (dm::StripedTarget over that
+  /// many independently timed backing devices, each with its own submit
+  /// queue). 1 (the default) keeps the historical single-device stack —
+  /// byte- and time-identical, so committed baselines stay comparable.
+  /// device_blocks must divide into stripe_count stripes of whole chunks.
+  std::uint32_t stripe_count = 1;
+  /// Stripe chunk size in blocks (64 KiB at 4 KiB blocks).
+  std::uint32_t stripe_chunk_blocks = 16;
+  /// Parallel crypto lanes (per-CPU kcryptd; dm::CryptCpuModel::lanes).
+  /// 1 keeps the historical serial cipher model — baselines comparable.
+  std::uint32_t crypto_lanes = 1;
 };
 
 /// Builds a freshly initialised, unlocked stack for a registered scheme.
@@ -145,8 +162,23 @@ std::uint64_t bench_cache_blocks(int argc, char** argv,
 /// default writeback (1).
 bool bench_cache_writeback(int argc, char** argv, bool def = true);
 
+/// Stripe count: --stripes / MOBICEAL_STRIPES, default `def`
+/// (1 — baselines stay comparable).
+std::uint32_t bench_stripes(int argc, char** argv, std::uint32_t def = 1);
+
+/// Stripe chunk in blocks: --stripe-chunk / MOBICEAL_STRIPE_CHUNK,
+/// default `def` (16 blocks = 64 KiB).
+std::uint32_t bench_stripe_chunk(int argc, char** argv,
+                                 std::uint32_t def = 16);
+
+/// Crypto lanes: --crypto-lanes / MOBICEAL_CRYPTO_LANES, default `def`
+/// (1 — baselines stay comparable).
+std::uint32_t bench_crypto_lanes(int argc, char** argv,
+                                 std::uint32_t def = 1);
+
 /// Applies every registered stack knob (queue depth, cache size, cache
-/// policy) to `o` in one call — the per-bench entry point.
+/// policy, stripe count/chunk) to `o` in one call — the per-bench entry
+/// point.
 void apply_stack_knobs(StackOptions& o, int argc, char** argv);
 
 // ---- machine-readable output ------------------------------------------------

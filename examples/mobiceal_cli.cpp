@@ -18,6 +18,7 @@
 #include "adversary/snapshot.hpp"
 #include "api/scheme_registry.hpp"
 #include "blockdev/block_device.hpp"
+#include "dm/striped_target.hpp"
 #include "util/error.hpp"
 
 using namespace mobiceal;
@@ -28,6 +29,9 @@ std::string g_scheme = "mobiceal";
 std::uint32_t g_queue_depth = 1;
 std::uint64_t g_cache_blocks = 0;
 bool g_cache_writeback = true;
+std::uint32_t g_stripes = 1;
+std::uint32_t g_stripe_chunk = 16;
+std::uint32_t g_crypto_lanes = 1;
 
 api::SchemeOptions cli_options() {
   api::SchemeOptions opts;
@@ -37,6 +41,9 @@ api::SchemeOptions cli_options() {
   opts.fs_inode_count = 512;
   opts.cache_blocks = g_cache_blocks;
   opts.cache_writeback = g_cache_writeback;
+  opts.stripe_count = g_stripes;
+  opts.stripe_chunk_blocks = g_stripe_chunk;
+  opts.crypto_lanes = g_crypto_lanes;
   return opts;
 }
 
@@ -46,12 +53,54 @@ std::uint64_t image_blocks(const std::string& path) {
   return static_cast<std::uint64_t>(in.tellg()) / 4096;
 }
 
+/// Path of backing stripe `i`: the image itself unstriped, <image>.s<i>
+/// with --stripes N (one file per backing device, as separate eMMC
+/// channels would be separate flash parts).
+std::string stripe_path(const std::string& image, std::uint32_t i) {
+  return g_stripes <= 1 ? image : image + ".s" + std::to_string(i);
+}
+
+/// Fills opts with the image's backing device(s). `blocks_per_stripe` 0
+/// sizes each device from the existing file (attach path).
+void open_backing(api::SchemeOptions& opts, const std::string& image,
+                  std::uint64_t blocks_per_stripe) {
+  if (g_stripes <= 1) {
+    opts.device = std::make_shared<blockdev::FileBlockDevice>(
+        image, blocks_per_stripe ? blocks_per_stripe : image_blocks(image));
+    opts.device->set_queue_depth(g_queue_depth);
+    return;
+  }
+  for (std::uint32_t i = 0; i < g_stripes; ++i) {
+    const std::string path = stripe_path(image, i);
+    auto dev = std::make_shared<blockdev::FileBlockDevice>(
+        path, blocks_per_stripe ? blocks_per_stripe : image_blocks(path));
+    dev->set_queue_depth(g_queue_depth);
+    opts.stripe_devices.push_back(std::move(dev));
+  }
+}
+
+/// Raw (keyless) view for the adversary commands: the border agent images
+/// each backing device and reassembles the chunk interleave — placement is
+/// pure geometry, no secret involved.
+std::shared_ptr<blockdev::BlockDevice> open_raw(const std::string& image) {
+  if (g_stripes <= 1) {
+    return std::make_shared<blockdev::FileBlockDevice>(image,
+                                                       image_blocks(image));
+  }
+  std::vector<std::shared_ptr<blockdev::BlockDevice>> stripes;
+  for (std::uint32_t i = 0; i < g_stripes; ++i) {
+    const std::string path = stripe_path(image, i);
+    stripes.push_back(std::make_shared<blockdev::FileBlockDevice>(
+        path, image_blocks(path)));
+  }
+  return std::make_shared<dm::StripedTarget>(std::move(stripes),
+                                             g_stripe_chunk);
+}
+
 std::unique_ptr<api::PdeScheme> attach(const std::string& image) {
   auto opts = cli_options();
   opts.format = false;
-  opts.device = std::make_shared<blockdev::FileBlockDevice>(
-      image, image_blocks(image));
-  opts.device->set_queue_depth(g_queue_depth);
+  open_backing(opts, image, 0);
   return api::SchemeRegistry::create(g_scheme, opts);
 }
 
@@ -74,7 +123,8 @@ int usage() {
       stderr,
       "usage: mobiceal_cli [--scheme <name>] [--queue-depth <n>]\n"
       "                    [--cache-blocks <n>] [--cache-writeback 0|1]\n"
-      "                    <command> [args...]\n"
+      "                    [--stripes <n>] [--stripe-chunk <blocks>]\n"
+      "                    [--crypto-lanes <n>] <command> [args...]\n"
       "\n"
       "commands:\n"
       "  init <image> <size_mb> <pub_pwd> [hidden_pwd...]\n"
@@ -101,6 +151,13 @@ int usage() {
       "capabilities allow, writethrough otherwise) between the mounted\n"
       "filesystem and the crypt layer (default 0 = off);\n"
       "--cache-writeback 0 forces writethrough.\n"
+      "--stripes N runs the whole stack over a RAID-0 stripe of N backing\n"
+      "image files <image>.s0 .. <image>.s(N-1), interleaved in\n"
+      "--stripe-chunk block chunks (default 16 = 64 KiB); pass the same\n"
+      "flags to every command touching the image, including the adversary\n"
+      "commands, which reassemble the interleave from the backing files.\n"
+      "--crypto-lanes N models N parallel kcryptd cipher workers (virtual\n"
+      "service time only; pair with --stripes so the cipher keeps up).\n"
       "--scheme selects the backend (default: mobiceal); note\n"
       "that the DEFY/HIVE reproductions keep their translation maps in\n"
       "RAM and therefore only support `init` followed by in-process use,\n"
@@ -130,12 +187,21 @@ int cmd_init(int argc, char** argv) {
     std::fprintf(stderr, "image must be at least 8 MB\n");
     return 1;
   }
-  opts.device = std::make_shared<blockdev::FileBlockDevice>(image, mb << 8);
-  opts.device->set_queue_depth(g_queue_depth);
+  const std::uint64_t total_blocks = mb << 8;
+  if (g_stripes > 1 &&
+      total_blocks % (std::uint64_t{g_stripes} * g_stripe_chunk) != 0) {
+    std::fprintf(stderr,
+                 "image size must divide into %u stripes of whole %u-block "
+                 "chunks\n", g_stripes, g_stripe_chunk);
+    return 1;
+  }
+  open_backing(opts, image, total_blocks / g_stripes);
   auto dev = api::SchemeRegistry::create(g_scheme, opts);
-  std::printf("initialised %s: %llu MB, scheme %s (%zu hidden password(s))\n",
+  std::printf("initialised %s: %llu MB%s, scheme %s (%zu hidden "
+              "password(s))\n",
               image.c_str(), static_cast<unsigned long long>(mb),
-              g_scheme.c_str(), opts.hidden_passwords.size());
+              g_stripes > 1 ? " (striped)" : "", g_scheme.c_str(),
+              opts.hidden_passwords.size());
   return 0;
 }
 
@@ -209,8 +275,8 @@ int cmd_gc(int argc, char** argv) {
 
 int cmd_info(int argc, char** argv) {
   if (argc < 3) return usage();
-  blockdev::FileBlockDevice dev(argv[2], image_blocks(argv[2]));
-  const auto snap = adversary::Snapshot::take(dev);
+  const auto dev = open_raw(argv[2]);
+  const auto snap = adversary::Snapshot::take(*dev);
   adversary::ThinMetadataReader meta(snap);
   const auto& sb = meta.superblock();
   std::printf("thin pool: %llu chunks x %u blocks, policy=%s, txn=%llu\n",
@@ -232,8 +298,8 @@ int cmd_info(int argc, char** argv) {
 
 int cmd_snapshot(int argc, char** argv) {
   if (argc < 4) return usage();
-  blockdev::FileBlockDevice dev(argv[2], image_blocks(argv[2]));
-  const auto snap = adversary::Snapshot::take(dev);
+  const auto dev = open_raw(argv[2]);
+  const auto snap = adversary::Snapshot::take(*dev);
   std::ofstream out(argv[3], std::ios::binary | std::ios::trunc);
   out.write(reinterpret_cast<const char*>(snap.image.data()),
             static_cast<std::streamsize>(snap.image.size()));
@@ -244,8 +310,8 @@ int cmd_snapshot(int argc, char** argv) {
 
 int cmd_analyze(int argc, char** argv) {
   if (argc < 4) return usage();
-  blockdev::FileBlockDevice dev(argv[2], image_blocks(argv[2]));
-  const auto now = adversary::Snapshot::take(dev);
+  const auto dev = open_raw(argv[2]);
+  const auto now = adversary::Snapshot::take(*dev);
   adversary::Snapshot old;
   old.block_size = now.block_size;
   {
@@ -316,6 +382,42 @@ int main(int argc, char** argv) {
                  args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
       continue;
     }
+    if (std::strcmp(args[i], "--stripes") == 0) {
+      if (i + 1 >= args.size()) return usage();
+      const long n = std::strtol(args[i + 1], nullptr, 10);
+      if (n < 1) {
+        std::fprintf(stderr, "--stripes must be >= 1\n");
+        return 2;
+      }
+      g_stripes = static_cast<std::uint32_t>(n);
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+                 args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+      continue;
+    }
+    if (std::strcmp(args[i], "--stripe-chunk") == 0) {
+      if (i + 1 >= args.size()) return usage();
+      const long n = std::strtol(args[i + 1], nullptr, 10);
+      if (n < 1) {
+        std::fprintf(stderr, "--stripe-chunk must be >= 1\n");
+        return 2;
+      }
+      g_stripe_chunk = static_cast<std::uint32_t>(n);
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+                 args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+      continue;
+    }
+    if (std::strcmp(args[i], "--crypto-lanes") == 0) {
+      if (i + 1 >= args.size()) return usage();
+      const long n = std::strtol(args[i + 1], nullptr, 10);
+      if (n < 1) {
+        std::fprintf(stderr, "--crypto-lanes must be >= 1\n");
+        return 2;
+      }
+      g_crypto_lanes = static_cast<std::uint32_t>(n);
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+                 args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+      continue;
+    }
     break;
   }
   if (args.size() < 2) return usage();
@@ -326,6 +428,9 @@ int main(int argc, char** argv) {
         std::strcmp(args[i], "--queue-depth") == 0 ||
         std::strcmp(args[i], "--cache-blocks") == 0 ||
         std::strcmp(args[i], "--cache-writeback") == 0 ||
+        std::strcmp(args[i], "--stripes") == 0 ||
+        std::strcmp(args[i], "--stripe-chunk") == 0 ||
+        std::strcmp(args[i], "--crypto-lanes") == 0 ||
         std::strcmp(args[i], "--list-schemes") == 0) {
       std::fprintf(stderr, "%s must come before the command\n", args[i]);
       return 2;

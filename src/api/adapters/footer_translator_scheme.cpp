@@ -16,17 +16,18 @@ void FooterTranslatorScheme::setup(const SchemeOptions& opts) {
                  "logical map lives in RAM in this reproduction)");
   }
   crypto::SecureRandom rng(opts.rng_seed);
+  const auto userdata = stack_device_for(opts);
   // 32-byte master key: the translators' XTS sector cipher needs it (the
   // dm-crypt stacks use 16-byte CBC-ESSIV keys instead).
   footer_ = fde::create_footer(rng, util::bytes_of(opts.public_password),
                                "aes-xts-plain64", 32, opts.kdf_iterations);
-  fde::write_footer(*opts.device, footer_);
+  fde::write_footer(*userdata, footer_);
   master_key_ =
       fde::decrypt_master_key(footer_, util::bytes_of(opts.public_password));
 
-  const std::uint64_t fb = fde::footer_blocks(opts.device->block_size());
+  const std::uint64_t fb = fde::footer_blocks(userdata->block_size());
   auto data_region = std::make_shared<dm::LinearTarget>(
-      opts.device, 0, opts.device->num_blocks() - fb);
+      userdata, 0, userdata->num_blocks() - fb);
   translator_ = make_translator(std::move(data_region), master_key_.span(),
                                 opts);
   cache_ = cache_config_for(opts, capabilities());

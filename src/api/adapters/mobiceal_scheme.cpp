@@ -32,6 +32,7 @@ core::MobiCealDevice::Config device_config(const SchemeOptions& opts) {
     cfg.thin_cpu = thin::ThinCpuModel::zero();
     cfg.crypt_cpu = dm::CryptCpuModel::zero();
   }
+  cfg.crypt_cpu.lanes = opts.crypto_lanes;
   return cfg;
 }
 
@@ -39,12 +40,15 @@ class MobiCealScheme final : public PdeScheme {
  public:
   explicit MobiCealScheme(const SchemeOptions& opts) {
     const auto cfg = device_config(opts);
+    // Possibly a striped assembly: LVM, the thin pool's data device, and
+    // the footer all sit above it, so extent runs fan out per stripe.
+    const auto userdata = stack_device_for(opts);
     device_ = opts.format
-                  ? core::MobiCealDevice::initialize(opts.device, cfg,
+                  ? core::MobiCealDevice::initialize(userdata, cfg,
                                                      opts.public_password,
                                                      opts.hidden_passwords,
                                                      opts.clock)
-                  : core::MobiCealDevice::attach(opts.device, cfg, opts.clock);
+                  : core::MobiCealDevice::attach(userdata, cfg, opts.clock);
   }
 
   const std::string& name() const noexcept override {

@@ -23,16 +23,18 @@ class MobiflageScheme final : public PdeScheme {
     cfg.skip_random_fill = opts.skip_random_fill;
     cfg.cache = cache_config_for(opts, kMobiflageCaps);
     if (opts.zero_cpu_models) cfg.crypt_cpu = dm::CryptCpuModel::zero();
+    cfg.crypt_cpu.lanes = opts.crypto_lanes;
+    const auto userdata = stack_device_for(opts);
     if (opts.format) {
       if (opts.hidden_passwords.size() != 1) {
         throw util::PolicyError(
             "mobiflage: initialisation needs exactly one hidden password");
       }
       device_ = baselines::MobiflageDevice::initialize(
-          opts.device, cfg, opts.public_password, opts.hidden_passwords[0],
+          userdata, cfg, opts.public_password, opts.hidden_passwords[0],
           opts.clock);
     } else {
-      device_ = baselines::MobiflageDevice::attach(opts.device, cfg,
+      device_ = baselines::MobiflageDevice::attach(userdata, cfg,
                                                    opts.clock);
     }
   }

@@ -27,16 +27,18 @@ class MobiPlutoScheme final : public PdeScheme {
       cfg.thin_cpu = thin::ThinCpuModel::zero();
       cfg.crypt_cpu = dm::CryptCpuModel::zero();
     }
+    cfg.crypt_cpu.lanes = opts.crypto_lanes;
+    const auto userdata = stack_device_for(opts);
     if (opts.format) {
       if (opts.hidden_passwords.size() != 1) {
         throw util::PolicyError(
             "mobipluto: initialisation needs exactly one hidden password");
       }
       device_ = baselines::MobiPlutoDevice::initialize(
-          opts.device, cfg, opts.public_password, opts.hidden_passwords[0],
+          userdata, cfg, opts.public_password, opts.hidden_passwords[0],
           opts.clock);
     } else {
-      device_ = baselines::MobiPlutoDevice::attach(opts.device, cfg,
+      device_ = baselines::MobiPlutoDevice::attach(userdata, cfg,
                                                    opts.clock);
     }
   }

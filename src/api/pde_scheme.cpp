@@ -1,5 +1,6 @@
 #include "api/pde_scheme.hpp"
 
+#include "dm/striped_target.hpp"
 #include "util/error.hpp"
 
 namespace mobiceal::api {
@@ -34,6 +35,25 @@ cache::CacheConfig cache_config_for(const SchemeOptions& opts,
                    ? cache::WritePolicy::kWriteback
                    : cache::WritePolicy::kWritethrough;
   return cfg;
+}
+
+std::shared_ptr<blockdev::BlockDevice> stack_device_for(
+    const SchemeOptions& opts) {
+  if (opts.stripe_count <= 1) {
+    if (!opts.device) {
+      throw util::PolicyError("scheme options: no device given");
+    }
+    return opts.device;
+  }
+  if (opts.stripe_devices.size() != opts.stripe_count) {
+    throw util::PolicyError(
+        "scheme options: stripe_count is " +
+        std::to_string(opts.stripe_count) + " but " +
+        std::to_string(opts.stripe_devices.size()) +
+        " stripe device(s) were given");
+  }
+  return std::make_shared<dm::StripedTarget>(opts.stripe_devices,
+                                             opts.stripe_chunk_blocks);
 }
 
 bool PdeScheme::switch_volume(const std::string& /*password*/) {

@@ -94,8 +94,30 @@ struct UnlockResult {
 /// Knobs a scheme does not have (e.g. num_volumes for Android FDE) are
 /// ignored by its adapter.
 struct SchemeOptions {
-  /// The userdata partition the scheme formats or re-attaches to.
+  /// The userdata partition the scheme formats or re-attaches to. May be
+  /// left null when stripe_count > 1 (the striped assembly below is the
+  /// partition then).
   std::shared_ptr<blockdev::BlockDevice> device;
+
+  /// RAID-0 striping of the partition (stack_device_for): with
+  /// stripe_count > 1 the scheme is built over a dm::StripedTarget that
+  /// interleaves stripe_chunk_blocks-sized chunks round-robin across
+  /// `stripe_devices` — stripe_count equal-size backing devices, each with
+  /// its own submit queue so sub-runs overlap on the virtual timeline.
+  /// 1 (the default) keeps the exact single-device stack.
+  std::uint32_t stripe_count = 1;
+  /// Stripe chunk size in blocks (64 KiB at 4 KiB blocks — the dm-stripe
+  /// default used throughout the benches).
+  std::uint32_t stripe_chunk_blocks = 16;
+  /// The stripe_count backing devices (ignored when stripe_count <= 1).
+  std::vector<std::shared_ptr<blockdev::BlockDevice>> stripe_devices;
+
+  /// Parallel crypto lanes for the dm-crypt stacks (per-CPU kcryptd
+  /// workers; see dm::CryptCpuModel::lanes). 1 (the default) keeps the
+  /// historical serial cipher model; pair with stripe_count so the cipher
+  /// scales with device parallelism. Virtual service time only — never
+  /// changes ciphertext. Translator schemes (DEFY, HIVE) ignore it.
+  std::uint32_t crypto_lanes = 1;
 
   /// true: format the device from scratch (the paper's
   /// "vdc cryptfs pde wipe"); false: re-attach to an existing image.
@@ -143,6 +165,17 @@ struct SchemeOptions {
 /// demotion non-optional).
 cache::CacheConfig cache_config_for(const SchemeOptions& opts,
                                     Capabilities caps);
+
+/// The device a scheme builds its stack on: `opts.device` verbatim for the
+/// single-device layout (stripe_count <= 1), or a dm::StripedTarget
+/// assembled over `opts.stripe_devices`. Every adapter routes its options
+/// through this helper, so striping sits below crypto footers, LVM, and the
+/// thin pool's data device for all registered schemes alike — and the
+/// extent runs resolved above it fan out per stripe without the callers
+/// changing. Throws util::PolicyError when the options are inconsistent
+/// (missing device, wrong stripe_devices count, mismatched geometry).
+std::shared_ptr<blockdev::BlockDevice> stack_device_for(
+    const SchemeOptions& opts);
 
 /// Abstract PDE scheme: one initialised (or attached) device image plus its
 /// mount state. Instances come from SchemeRegistry::create and start locked.

@@ -22,7 +22,10 @@ void SchemeRegistry::add(const std::string& name, Entry entry) {
 
 std::unique_ptr<PdeScheme> SchemeRegistry::create(const std::string& name,
                                                   const SchemeOptions& opts) {
-  if (!opts.device) {
+  // With stripe_count > 1 the partition is the striped assembly and
+  // `device` may legitimately be null; stack_device_for validates the
+  // stripe geometry inside the adapter.
+  if (!opts.device && opts.stripe_count <= 1) {
     throw util::PolicyError("registry: SchemeOptions.device is null");
   }
   return entry(name).factory(opts);

@@ -22,7 +22,8 @@ CryptTarget::CryptTarget(std::shared_ptr<blockdev::BlockDevice> lower,
       clock_(std::move(clock)),
       cpu_(cpu),
       pool_(pool ? std::move(pool) : crypto::CryptoWorkerPool::shared()),
-      sectors_per_block_(lower_->block_size() / blockdev::kSectorSize) {}
+      sectors_per_block_(lower_->block_size() / blockdev::kSectorSize),
+      lane_free_ns_(std::max<std::uint32_t>(1, cpu.lanes), 0) {}
 
 void CryptTarget::set_crypto_pool(
     std::shared_ptr<crypto::CryptoWorkerPool> pool) {
@@ -72,9 +73,11 @@ void CryptTarget::xform_range(bool encrypt, std::uint64_t first_sector,
 std::uint64_t CryptTarget::lane_charge(std::uint64_t ready_ns,
                                        std::uint64_t cost_ns) {
   const std::uint64_t now = clock_ ? clock_->now() : 0;
-  crypto_lane_ns_ =
-      std::max(crypto_lane_ns_, std::max(now, ready_ns)) + cost_ns;
-  return crypto_lane_ns_;
+  // Earliest-free lane, like a device transfer slot: with one lane this is
+  // exactly the historical serial model.
+  auto lane = std::min_element(lane_free_ns_.begin(), lane_free_ns_.end());
+  *lane = std::max(*lane, std::max(now, ready_ns)) + cost_ns;
+  return *lane;
 }
 
 void CryptTarget::read_block(std::uint64_t index, util::MutByteSpan out) {
@@ -253,8 +256,10 @@ std::uint64_t CryptTarget::do_submit(const blockdev::IoRequest& req) {
 
 void CryptTarget::do_drain() {
   lower_->drain();
-  if (clock_ && crypto_lane_ns_ > clock_->now()) {
-    clock_->advance(crypto_lane_ns_ - clock_->now());
+  const std::uint64_t busy =
+      *std::max_element(lane_free_ns_.begin(), lane_free_ns_.end());
+  if (clock_ && busy > clock_->now()) {
+    clock_->advance(busy - clock_->now());
   }
 }
 

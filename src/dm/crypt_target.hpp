@@ -33,6 +33,14 @@ namespace mobiceal::dm {
 struct CryptCpuModel {
   std::uint64_t encrypt_ns_per_block = 25'000;
   std::uint64_t decrypt_ns_per_block = 25'000;
+  /// Parallel crypto lanes — the analogue of per-CPU kcryptd workers.
+  /// Segments are assigned to the earliest-free lane, so with L lanes up
+  /// to L segments cipher concurrently on the virtual clock. 1 (the
+  /// default) is the historical serial lane, bit- and time-identical;
+  /// raise it alongside device parallelism (e.g. one lane per stripe of a
+  /// striped data device) or the cipher becomes the stack's ceiling.
+  /// Lane count never changes ciphertext — virtual service time only.
+  std::uint32_t lanes = 1;
 
   static CryptCpuModel snapdragon_s4() { return {25'000, 25'000}; }
   /// Desktop-class AES-NI: ~2 GB/s.
@@ -102,8 +110,9 @@ class CryptTarget final : public blockdev::BlockDevice {
   void xform_range(bool encrypt, std::uint64_t first_sector,
                    util::ByteSpan in, util::MutByteSpan out);
 
-  /// Serial crypto-lane charge: the lane starts no earlier than now and
-  /// `ready_ns`, runs for `cost_ns`, and returns its finish time.
+  /// Crypto-lane charge: the earliest-free of cpu_.lanes lanes starts no
+  /// earlier than now and `ready_ns`, runs for `cost_ns`, and returns its
+  /// finish time. One lane reproduces the historical serial model exactly.
   std::uint64_t lane_charge(std::uint64_t ready_ns, std::uint64_t cost_ns);
 
   void read_pipelined(std::uint64_t first, std::uint64_t count,
@@ -120,8 +129,8 @@ class CryptTarget final : public blockdev::BlockDevice {
   CryptCpuModel cpu_;
   std::shared_ptr<crypto::CryptoWorkerPool> pool_;
   std::size_t sectors_per_block_;
-  /// When the serial crypto lane frees up (virtual ns).
-  std::uint64_t crypto_lane_ns_ = 0;
+  /// When each crypto lane frees up (virtual ns); cpu_.lanes entries.
+  std::vector<std::uint64_t> lane_free_ns_;
   /// Scratch buffers: `ct_scratch_` for the serial paths, the pipe pair
   /// for double-buffered pipelined writes.
   util::Bytes ct_scratch_, pipe_scratch_[2];

@@ -1,0 +1,132 @@
+// dm-stripe (RAID-0) — interleaves fixed-size chunks of a logical device
+// round-robin across N equal backing devices, exactly as `dmsetup create
+// striped` lays a thin pool's data device over several eMMC channels.
+//
+// Placement is a pure function of geometry: logical chunk c lives on stripe
+// c % N at inner chunk c / N, so the striped layout is reconstructible from
+// the backing images alone — the property the multi-snapshot deniability
+// parity proofs in tests/striping_test.cpp rely on (an adversary imaging
+// each backing device must see bit-identical content whether or not the
+// stack was striped).
+//
+// Service model: each backing device keeps its own submit queue (its own
+// command channel and transfer slots when it is a TimedDevice), so a
+// vectored request crossing a stripe boundary is split into one vectored
+// sub-run per stripe and the sub-runs overlap on the virtual timeline.
+// With one stripe every path forwards verbatim: byte- and time-identical
+// to the unstriped stack by construction.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "blockdev/block_device.hpp"
+
+namespace mobiceal::dm {
+
+class StripedTarget final : public blockdev::BlockDevice {
+ public:
+  /// `stripes` must be non-empty, share one block size, and have equal
+  /// capacities that are a multiple of `chunk_blocks` (> 0). Throws
+  /// util::PolicyError on any geometry violation.
+  StripedTarget(std::vector<std::shared_ptr<blockdev::BlockDevice>> stripes,
+                std::uint32_t chunk_blocks);
+
+  std::size_t block_size() const noexcept override {
+    return stripes_.front()->block_size();
+  }
+  std::uint64_t num_blocks() const noexcept override { return num_blocks_; }
+  void read_block(std::uint64_t index, util::MutByteSpan out) override;
+  void write_block(std::uint64_t index, util::ByteSpan data) override;
+
+  /// Flush fans out: one flush per backing device, serviced in parallel
+  /// through the submit queues (a real array flushes its members
+  /// concurrently), then a barrier over all of them.
+  void flush() override;
+
+  std::uint32_t queue_depth() const noexcept override {
+    return stripes_.front()->queue_depth();
+  }
+  void set_queue_depth(std::uint32_t depth) override;
+  /// Completion cutoff of the first stripe — the backing devices share one
+  /// SimClock, so any member reports the common timeline.
+  std::uint64_t completion_cutoff() const noexcept override {
+    return stripes_.front()->completion_cutoff();
+  }
+
+  // -- geometry (tests, image reconstruction) ---------------------------------
+
+  std::uint32_t stripe_count() const noexcept {
+    return static_cast<std::uint32_t>(stripes_.size());
+  }
+  std::uint32_t chunk_blocks() const noexcept { return chunk_blocks_; }
+  const std::shared_ptr<blockdev::BlockDevice>& stripe(
+      std::uint32_t i) const {
+    return stripes_.at(i);
+  }
+
+  struct Placement {
+    std::uint32_t stripe = 0;
+    std::uint64_t inner = 0;  ///< block index on that backing device
+  };
+  Placement place(std::uint64_t block) const noexcept;
+
+  // -- fan-out counters (tests) -----------------------------------------------
+
+  /// Requests (sync or submitted) that crossed a stripe boundary.
+  std::uint64_t split_requests() const noexcept {
+    return split_requests_.load(std::memory_order_relaxed);
+  }
+  /// Per-stripe sub-requests issued for vectored/submitted requests.
+  std::uint64_t sub_requests() const noexcept {
+    return sub_requests_.load(std::memory_order_relaxed);
+  }
+
+ protected:
+  void do_read_blocks(std::uint64_t first, std::uint64_t count,
+                      util::MutByteSpan out) override;
+  void do_write_blocks(std::uint64_t first, util::ByteSpan data) override;
+
+  /// Splits the request into per-stripe vectored sub-runs and submits each
+  /// to its backing device (data moves at submit, as everywhere in the
+  /// engine); returns the latest modelled completion time.
+  std::uint64_t do_submit(const blockdev::IoRequest& req) override;
+  void do_drain() override;
+
+ private:
+  /// One logically ordered buffer piece of a per-stripe sub-run.
+  struct Piece {
+    std::size_t buf_off = 0;  ///< byte offset into the caller's buffer
+    std::size_t len = 0;      ///< bytes
+  };
+  /// A stripe's share of one request. The inner range is always contiguous
+  /// (consecutive logical chunks of a stripe are consecutive inner chunks;
+  /// partial chunks only occur at the range edges), while the caller-buffer
+  /// pieces are strided by (stripe_count - 1) chunks.
+  struct StripeRun {
+    std::uint32_t stripe = 0;
+    std::uint64_t inner_first = 0;
+    std::uint64_t blocks = 0;
+    std::vector<Piece> pieces;
+  };
+
+  /// Per-stripe decomposition of [first, first + count), non-empty runs
+  /// only, ordered by first logical touch.
+  std::vector<StripeRun> split_range(std::uint64_t first,
+                                     std::uint64_t count) const;
+
+  /// Shared fan-out for the vectored and submit paths. `involved` (optional)
+  /// collects the stripes touched so sync callers can drain exactly those.
+  std::uint64_t fan_out(const blockdev::IoRequest& req,
+                        std::vector<std::uint32_t>* involved);
+
+  std::vector<std::shared_ptr<blockdev::BlockDevice>> stripes_;
+  std::uint32_t chunk_blocks_;
+  std::uint64_t per_stripe_blocks_ = 0;
+  std::uint64_t num_blocks_ = 0;
+  std::atomic<std::uint64_t> split_requests_{0};
+  std::atomic<std::uint64_t> sub_requests_{0};
+};
+
+}  // namespace mobiceal::dm

@@ -1,0 +1,526 @@
+// dm::StripedTarget — RAID-0 geometry, per-stripe sub-run splitting, the
+// one-stripe byte/time-identity contract, virtual-timeline overlap across
+// backing devices, and the deniability-parity proof: for every registered
+// scheme the striped stack's logical image (reassembled from the backing
+// devices by pure geometry) is bit-identical to the single-device stack —
+// hidden-mode and dummy-write workloads included. A multi-snapshot
+// adversary imaging each backing device therefore learns nothing from the
+// layout that the single-device image would not already reveal.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/scheme_registry.hpp"
+#include "blockdev/block_device.hpp"
+#include "blockdev/timed_device.hpp"
+#include "dm/crypt_target.hpp"
+#include "dm/striped_target.hpp"
+#include "util/error.hpp"
+#include "util/sim_clock.hpp"
+
+namespace mobiceal {
+namespace {
+
+using blockdev::kDefaultBlockSize;
+
+util::Bytes pattern(std::size_t n, std::uint8_t salt) {
+  util::Bytes data(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    data[i] = static_cast<std::uint8_t>(salt + i * 7 + (i >> 8) * 131);
+  }
+  return data;
+}
+
+struct StripedRig {
+  std::vector<std::shared_ptr<blockdev::MemBlockDevice>> mems;
+  std::vector<std::shared_ptr<blockdev::BlockDevice>> devs;
+  std::shared_ptr<dm::StripedTarget> target;
+};
+
+StripedRig make_mem_rig(std::uint32_t stripes, std::uint64_t per_blocks,
+                        std::uint32_t chunk) {
+  StripedRig r;
+  for (std::uint32_t i = 0; i < stripes; ++i) {
+    r.mems.push_back(std::make_shared<blockdev::MemBlockDevice>(per_blocks));
+    r.devs.push_back(r.mems.back());
+  }
+  r.target = std::make_shared<dm::StripedTarget>(r.devs, chunk);
+  return r;
+}
+
+// ---- geometry ---------------------------------------------------------------
+
+TEST(StripedTarget, GeometryMapsChunksRoundRobin) {
+  const StripedRig r = make_mem_rig(4, 32, 4);  // 4 stripes, chunk = 4
+  EXPECT_EQ(r.target->num_blocks(), 128u);
+  EXPECT_EQ(r.target->stripe_count(), 4u);
+  for (std::uint64_t b = 0; b < r.target->num_blocks(); ++b) {
+    const auto p = r.target->place(b);
+    const std::uint64_t chunk = b / 4;
+    EXPECT_EQ(p.stripe, chunk % 4);
+    EXPECT_EQ(p.inner, (chunk / 4) * 4 + b % 4);
+  }
+}
+
+TEST(StripedTarget, OneStripePlacementIsIdentity) {
+  const StripedRig r = make_mem_rig(1, 64, 16);
+  for (std::uint64_t b = 0; b < 64; ++b) {
+    const auto p = r.target->place(b);
+    EXPECT_EQ(p.stripe, 0u);
+    EXPECT_EQ(p.inner, b);
+  }
+}
+
+TEST(StripedTarget, RejectsBadGeometry) {
+  std::vector<std::shared_ptr<blockdev::BlockDevice>> none;
+  EXPECT_THROW(dm::StripedTarget(none, 16), util::PolicyError);
+
+  auto a = std::make_shared<blockdev::MemBlockDevice>(32);
+  auto b = std::make_shared<blockdev::MemBlockDevice>(48);  // differing size
+  EXPECT_THROW(dm::StripedTarget({a, b}, 16), util::PolicyError);
+
+  auto c = std::make_shared<blockdev::MemBlockDevice>(32, 512);
+  EXPECT_THROW(dm::StripedTarget({a, c}, 16), util::PolicyError);  // bs
+
+  EXPECT_THROW(dm::StripedTarget({a, a}, 0), util::PolicyError);  // chunk 0
+  // 32 blocks is not a whole number of 24-block chunks.
+  EXPECT_THROW(dm::StripedTarget({a, a}, 24), util::PolicyError);
+  EXPECT_THROW(dm::StripedTarget({a, nullptr}, 16), util::PolicyError);
+}
+
+// ---- data paths -------------------------------------------------------------
+
+TEST(StripedTarget, VectoredRoundTripCrossesStripeBoundaries) {
+  const StripedRig r = make_mem_rig(4, 64, 4);
+  // Unaligned range crossing many chunk rows: blocks [3, 3 + 53).
+  const util::Bytes payload = pattern(53 * kDefaultBlockSize, 11);
+  r.target->write_blocks(3, payload);
+
+  util::Bytes back(payload.size());
+  r.target->read_blocks(3, 53, back);
+  EXPECT_EQ(back, payload);
+
+  // Per-block reads agree, and each block sits on its placed backing dev.
+  util::Bytes blk(kDefaultBlockSize), inner(kDefaultBlockSize);
+  for (std::uint64_t b = 3; b < 56; ++b) {
+    r.target->read_block(b, blk);
+    EXPECT_EQ(0, std::memcmp(blk.data(),
+                             payload.data() + (b - 3) * kDefaultBlockSize,
+                             kDefaultBlockSize));
+    const auto p = r.target->place(b);
+    r.mems[p.stripe]->read_block(p.inner, inner);
+    EXPECT_EQ(inner, blk) << "block " << b;
+  }
+}
+
+TEST(StripedTarget, LogicalImageReassemblesFromBackingImages) {
+  const StripedRig r = make_mem_rig(4, 16, 4);
+  const util::Bytes payload = pattern(64 * kDefaultBlockSize, 3);
+  r.target->write_blocks(0, payload);
+
+  // Reassemble by pure geometry from the four backing snapshots — the
+  // multi-snapshot adversary's view.
+  std::vector<util::Bytes> images;
+  for (const auto& m : r.mems) images.push_back(m->snapshot());
+  util::Bytes logical(64 * kDefaultBlockSize);
+  for (std::uint64_t b = 0; b < 64; ++b) {
+    const auto p = r.target->place(b);
+    std::copy_n(images[p.stripe].data() + p.inner * kDefaultBlockSize,
+                kDefaultBlockSize, logical.data() + b * kDefaultBlockSize);
+  }
+  EXPECT_EQ(logical, payload);
+  EXPECT_EQ(r.target->snapshot(), payload);
+}
+
+TEST(StripedTarget, SplitsRequestsIntoOneSubRunPerStripe) {
+  const StripedRig r = make_mem_rig(4, 64, 4);
+  const util::Bytes row = pattern(16 * kDefaultBlockSize, 1);
+
+  // One full chunk row: 4 chunks -> 4 sub-requests, 1 boundary crossing.
+  r.target->write_blocks(0, row);
+  EXPECT_EQ(r.target->sub_requests(), 4u);
+  EXPECT_EQ(r.target->split_requests(), 1u);
+
+  // Within one chunk: a single forwarded sub-request, no split.
+  r.target->write_blocks(17, {row.data(), 2 * kDefaultBlockSize});
+  EXPECT_EQ(r.target->sub_requests(), 5u);
+  EXPECT_EQ(r.target->split_requests(), 1u);
+
+  // Submitted requests fan out the same way.
+  blockdev::IoRequest req;
+  req.op = blockdev::IoOp::kWrite;
+  req.first = 32;
+  req.count = 16;
+  req.write_buf = row;
+  r.target->submit(req);
+  r.target->drain();
+  EXPECT_EQ(r.target->sub_requests(), 9u);
+  EXPECT_EQ(r.target->split_requests(), 2u);
+}
+
+TEST(StripedTarget, EmptySubmitAnywhereInRangeIsFree) {
+  // A zero-count request at a logical offset beyond one stripe's capacity
+  // must not trip the (smaller) backing geometry's validation.
+  const StripedRig r = make_mem_rig(4, 16, 4);  // logical 64, stripe 16
+  blockdev::IoRequest req;
+  req.op = blockdev::IoOp::kRead;
+  req.first = 60;
+  req.count = 0;
+  EXPECT_NO_THROW(r.target->submit(req));
+  req.op = blockdev::IoOp::kWrite;
+  EXPECT_NO_THROW(r.target->submit(req));
+  r.target->drain();
+}
+
+TEST(StripedTarget, SubmitPathMatchesSyncPathByteForByte) {
+  const StripedRig sync_rig = make_mem_rig(4, 64, 4);
+  const StripedRig async_rig = make_mem_rig(4, 64, 4);
+  for (const auto& d : async_rig.devs) d->set_queue_depth(8);
+
+  const util::Bytes a = pattern(24 * kDefaultBlockSize, 5);
+  const util::Bytes b = pattern(40 * kDefaultBlockSize, 9);
+  sync_rig.target->write_blocks(5, a);
+  sync_rig.target->write_blocks(100, b);
+
+  blockdev::IoRequest ra;
+  ra.op = blockdev::IoOp::kWrite;
+  ra.first = 5;
+  ra.count = 24;
+  ra.write_buf = a;
+  async_rig.target->submit(ra);
+  blockdev::IoRequest rb;
+  rb.op = blockdev::IoOp::kWrite;
+  rb.first = 100;
+  rb.count = 40;
+  rb.write_buf = b;
+  async_rig.target->submit(rb);
+  async_rig.target->drain();
+
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(sync_rig.mems[i]->raw(), async_rig.mems[i]->raw())
+        << "stripe " << i;
+  }
+}
+
+// ---- service-time model -----------------------------------------------------
+
+struct TimedRig {
+  std::shared_ptr<util::SimClock> clock;
+  std::vector<std::shared_ptr<blockdev::MemBlockDevice>> mems;
+  std::vector<std::shared_ptr<blockdev::TimedDevice>> timed;
+  std::shared_ptr<dm::StripedTarget> target;
+};
+
+TimedRig make_timed_rig(std::uint32_t stripes, std::uint64_t per_blocks,
+                        std::uint32_t chunk, std::uint32_t qd) {
+  TimedRig r;
+  r.clock = std::make_shared<util::SimClock>();
+  std::vector<std::shared_ptr<blockdev::BlockDevice>> devs;
+  for (std::uint32_t i = 0; i < stripes; ++i) {
+    r.mems.push_back(std::make_shared<blockdev::MemBlockDevice>(per_blocks));
+    r.timed.push_back(std::make_shared<blockdev::TimedDevice>(
+        r.mems.back(), blockdev::TimingModel::nexus4_emmc(), r.clock));
+    r.timed.back()->set_queue_depth(qd);
+    devs.push_back(r.timed.back());
+  }
+  r.target = std::make_shared<dm::StripedTarget>(devs, chunk);
+  return r;
+}
+
+TEST(StripedTarget, OneStripeIsByteAndTimeIdenticalToBareDevice) {
+  // The same op sequence against a bare TimedDevice and against a
+  // 1-stripe StripedTarget over an identical device: every path must
+  // forward verbatim — same virtual clock, same image, same counters.
+  auto bare_clock = std::make_shared<util::SimClock>();
+  auto bare_mem = std::make_shared<blockdev::MemBlockDevice>(256);
+  auto bare = std::make_shared<blockdev::TimedDevice>(
+      bare_mem, blockdev::TimingModel::nexus4_emmc(), bare_clock);
+  const TimedRig striped = make_timed_rig(1, 256, 16, 1);
+
+  auto drive = [](blockdev::BlockDevice& dev) {
+    const util::Bytes one = pattern(kDefaultBlockSize, 1);
+    const util::Bytes many = pattern(48 * kDefaultBlockSize, 2);
+    dev.write_block(7, one);
+    dev.write_blocks(16, many);
+    util::Bytes back(many.size());
+    dev.read_blocks(16, 48, back);
+    util::Bytes blk(kDefaultBlockSize);
+    dev.read_block(7, blk);
+    blockdev::IoRequest req;
+    req.op = blockdev::IoOp::kWrite;
+    req.first = 128;
+    req.count = 48;
+    req.write_buf = many;
+    dev.submit(req);
+    req.op = blockdev::IoOp::kRead;
+    req.read_buf = back;
+    dev.submit(req);
+    dev.drain();
+    dev.flush();
+  };
+  drive(*bare);
+  drive(*striped.target);
+
+  EXPECT_EQ(bare_clock->now(), striped.clock->now());
+  EXPECT_EQ(bare_mem->raw(), striped.mems[0]->raw());
+  const auto& st = *striped.timed[0];
+  EXPECT_EQ(bare->reads(), st.reads());
+  EXPECT_EQ(bare->writes(), st.writes());
+  EXPECT_EQ(bare->flushes(), st.flushes());
+  EXPECT_EQ(bare->sequential_ios(), st.sequential_ios());
+  EXPECT_EQ(bare->random_ios(), st.random_ios());
+  EXPECT_EQ(bare->vectored_ios(), st.vectored_ios());
+  EXPECT_EQ(bare->async_ios(), st.async_ios());
+  EXPECT_EQ(striped.target->split_requests(), 0u);
+  EXPECT_EQ(striped.target->sub_requests(), 0u);
+}
+
+TEST(StripedTarget, StripesOverlapOnTheVirtualTimeline) {
+  // A 64-block sequential read: one device services 64 transfers back to
+  // back; four stripes service 16 each on independent queues, so the
+  // striped read must beat half the single-device time even at QD 1.
+  TimedRig one = make_timed_rig(1, 256, 16, 1);
+  TimedRig four = make_timed_rig(4, 64, 16, 1);
+  util::Bytes buf(64 * kDefaultBlockSize);
+  one.target->read_blocks(0, 64, buf);
+  four.target->read_blocks(0, 64, buf);
+  EXPECT_LT(four.clock->now(), one.clock->now() / 2)
+      << "striped service did not overlap across backing devices";
+}
+
+TEST(StripedTarget, FlushFansOutInParallel) {
+  TimedRig four = make_timed_rig(4, 64, 16, 1);
+  const std::uint64_t t0 = four.clock->now();
+  four.target->flush();
+  // Parallel flush: max over members, not the sum.
+  EXPECT_EQ(four.clock->now() - t0,
+            blockdev::TimingModel::nexus4_emmc().flush_ns);
+  for (const auto& t : four.timed) EXPECT_EQ(t->flushes(), 1u);
+}
+
+TEST(StripedTarget, SyncBarrierDrainsOnlyInvolvedStripes) {
+  TimedRig four = make_timed_rig(4, 256, 16, 4);
+  const util::Bytes chunk = pattern(16 * kDefaultBlockSize, 4);
+  // Put a request in flight on stripe 2 (logical chunk 2 -> stripe 2).
+  blockdev::IoRequest req;
+  req.op = blockdev::IoOp::kWrite;
+  req.first = 32;
+  req.count = 16;
+  req.write_buf = chunk;
+  four.target->submit(req);
+  // A sync read confined to stripe 0 must not wait for stripe 2's flight.
+  util::Bytes back(16 * kDefaultBlockSize);
+  four.target->read_blocks(0, 16, back);
+  const std::uint64_t write_done =
+      16 * blockdev::TimingModel::nexus4_emmc().write_per_block_ns;
+  EXPECT_LT(four.clock->now(), write_done)
+      << "sync read on stripe 0 stalled on stripe 2's in-flight write";
+  four.target->drain();
+  EXPECT_GE(four.clock->now(), write_done);
+}
+
+// ---- crypto lanes (per-CPU kcryptd; pairs with striping) --------------------
+
+TEST(CryptoLanes, LaneCountNeverChangesCiphertextAndScalesThroughput) {
+  const util::Bytes key = pattern(16, 77);
+  auto run = [&](std::uint32_t lanes) {
+    auto clock = std::make_shared<util::SimClock>();
+    auto mem = std::make_shared<blockdev::MemBlockDevice>(512);
+    auto timed = std::make_shared<blockdev::TimedDevice>(
+        mem, blockdev::TimingModel::nexus4_emmc(), clock);
+    timed->set_queue_depth(8);
+    dm::CryptCpuModel cpu = dm::CryptCpuModel::snapdragon_s4();
+    cpu.lanes = lanes;
+    dm::CryptTarget crypt(timed, "aes-cbc-essiv:sha256", key, clock, cpu);
+
+    const util::Bytes plain = pattern(256 * kDefaultBlockSize, 21);
+    crypt.write_blocks(8, plain);
+    util::Bytes back(plain.size());
+    crypt.read_blocks(8, 256, back);
+    EXPECT_EQ(back, plain);
+    return std::pair{mem->snapshot(), clock->now()};
+  };
+  const auto [img1, ns1] = run(1);
+  const auto [img4, ns4] = run(4);
+  // Lanes are virtual service time only: ciphertext bit-identical.
+  EXPECT_TRUE(img1 == img4);
+  // And the cipher ceiling lifts once segments cipher concurrently.
+  EXPECT_LT(ns4, ns1);
+}
+
+// ---- deniability parity across every registered scheme ----------------------
+
+util::Bytes file_payload(std::size_t n, std::uint8_t salt) {
+  util::Bytes data(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    data[i] = static_cast<std::uint8_t>(salt + i * 7);
+  }
+  return data;
+}
+
+constexpr std::uint64_t kParityBlocks = 24576;  // 96 MiB at 4 KiB
+constexpr std::uint32_t kParityChunk = 16;
+
+/// Scheme options over a single untimed device (stripes == 1) or a
+/// striped assembly of equal Mem devices, plus the logical view whose
+/// snapshot() is the geometric reassembly an adversary would perform.
+struct ParityRig {
+  api::SchemeOptions opts;
+  std::shared_ptr<blockdev::BlockDevice> logical;
+};
+
+ParityRig make_parity_rig(std::uint32_t stripes, std::uint32_t qd) {
+  ParityRig r;
+  if (stripes <= 1) {
+    auto disk = std::make_shared<blockdev::MemBlockDevice>(kParityBlocks);
+    disk->set_queue_depth(qd);
+    r.opts.device = disk;
+    r.logical = disk;
+    return r;
+  }
+  std::vector<std::shared_ptr<blockdev::BlockDevice>> devs;
+  for (std::uint32_t i = 0; i < stripes; ++i) {
+    auto d =
+        std::make_shared<blockdev::MemBlockDevice>(kParityBlocks / stripes);
+    d->set_queue_depth(qd);
+    devs.push_back(std::move(d));
+  }
+  r.opts.stripe_count = stripes;
+  r.opts.stripe_chunk_blocks = kParityChunk;
+  r.opts.stripe_devices = devs;
+  r.logical = std::make_shared<dm::StripedTarget>(devs, kParityChunk);
+  return r;
+}
+
+/// Runs the same fs workload against a freshly initialised scheme over
+/// either a single device (stripes == 1) or a striped assembly, at the
+/// given queue depth, and returns the final *logical* image after
+/// reboot(). Striped images are reassembled by geometry, so equality with
+/// the single-device image is exactly the multi-snapshot parity claim.
+util::Bytes striped_final_image(const std::string& name,
+                                std::uint32_t stripes, std::uint32_t qd) {
+  auto [opts, logical] = make_parity_rig(stripes, qd);
+  opts.public_password = "pub";
+  if (api::SchemeRegistry::entry(name).capabilities.has(
+          api::Capability::kHiddenVolume)) {
+    opts.hidden_passwords = {"hid"};
+  }
+  opts.rng_seed = 99;
+  opts.skip_random_fill = true;
+
+  auto scheme = api::SchemeRegistry::create(name, opts);
+  EXPECT_TRUE(scheme->unlock("pub").ok) << name;
+  auto& fs = scheme->data_fs();
+  fs.mkdir("/d");
+  fs.write_file("/d/a.bin", file_payload(300 * 1024, 1));
+  fs.write_file("/b.bin", file_payload(90 * 1024, 2));
+  fs.write("/d/a.bin", 64 * 1024, file_payload(32 * 1024, 3));
+  for (int i = 0; i < 8; ++i) {
+    fs.write_file("/d/small" + std::to_string(i) + ".bin",
+                  file_payload(4096, static_cast<std::uint8_t>(i)));
+  }
+  fs.unlink("/d/small3.bin");
+  (void)fs.read_file("/d/a.bin");
+  scheme->reboot();
+  return logical->snapshot();
+}
+
+class StripingParity : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(StripingParity, StripedFinalImageBitIdenticalToSingleDevice) {
+  const std::string scheme = GetParam();
+  const util::Bytes single = striped_final_image(scheme, 1, 1);
+  const util::Bytes striped_qd1 = striped_final_image(scheme, 4, 1);
+  const util::Bytes striped_qd8 = striped_final_image(scheme, 4, 8);
+  ASSERT_EQ(single.size(), striped_qd1.size());
+  EXPECT_TRUE(single == striped_qd1)
+      << scheme << ": striping perturbed the on-flash state at QD 1";
+  EXPECT_TRUE(single == striped_qd8)
+      << scheme << ": striping perturbed the on-flash state at QD 8";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, StripingParity,
+    ::testing::ValuesIn(api::SchemeRegistry::names()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      return info.param;
+    });
+
+TEST(StripingParity, MobiCealHiddenModeWithNoiseWritesStaysBitIdentical) {
+  // Hidden-volume workload with dummy writes live (lambda low so bursts
+  // definitely fire) plus garbage collection: the noise chunks and GC
+  // discards ride the striped fan-out below the mount, and the logical
+  // image must still match the single-device run bit for bit.
+  auto run = [](std::uint32_t stripes) {
+    auto [opts, logical] = make_parity_rig(stripes, /*qd=*/8);
+    opts.public_password = "pub";
+    opts.hidden_passwords = {"hid"};
+    opts.rng_seed = 1234;
+    opts.lambda = 0.25;  // bigger bursts
+
+    auto scheme = api::SchemeRegistry::create("mobiceal", opts);
+    EXPECT_TRUE(scheme->unlock("pub").ok);
+    scheme->data_fs().write_file("/decoy.bin", file_payload(200 * 1024, 9));
+    EXPECT_TRUE(scheme->switch_volume("hid"));
+    scheme->data_fs().write_file("/secret.bin", file_payload(150 * 1024, 4));
+    scheme->data_fs().write("/secret.bin", 8192, file_payload(8192, 5));
+    (void)scheme->data_fs().read_file("/secret.bin");
+    (void)scheme->collect_garbage(0.5);
+    scheme->reboot();
+    return logical->snapshot();
+  };
+  EXPECT_TRUE(run(1) == run(4));
+}
+
+struct ReplayRun {
+  std::vector<util::Bytes> images;
+  std::uint64_t ns = 0;
+};
+
+TEST(StripingParity, TimedStripedRunsReplayIdentically) {
+  // Same striped stack, timed backing devices, run twice: per-stripe
+  // images and total virtual time must replay exactly.
+  auto run = [] {
+    ReplayRun r;
+    auto clock = std::make_shared<util::SimClock>();
+    api::SchemeOptions opts;
+    std::vector<std::shared_ptr<blockdev::MemBlockDevice>> mems;
+    std::vector<std::shared_ptr<blockdev::BlockDevice>> devs;
+    for (std::uint32_t i = 0; i < 4; ++i) {
+      mems.push_back(
+          std::make_shared<blockdev::MemBlockDevice>(kParityBlocks / 4));
+      auto t = std::make_shared<blockdev::TimedDevice>(
+          mems.back(), blockdev::TimingModel::nexus4_emmc(), clock);
+      t->set_queue_depth(8);
+      devs.push_back(std::move(t));
+    }
+    opts.stripe_count = 4;
+    opts.stripe_chunk_blocks = kParityChunk;
+    opts.stripe_devices = devs;
+    opts.clock = clock;
+    opts.public_password = "pub";
+    opts.hidden_passwords = {"hid"};
+    opts.rng_seed = 7;
+    auto scheme = api::SchemeRegistry::create("mobiceal", opts);
+    EXPECT_TRUE(scheme->unlock("pub").ok);
+    scheme->data_fs().write_file("/f.bin", file_payload(256 * 1024, 1));
+    (void)scheme->data_fs().read_file("/f.bin");
+    scheme->reboot();
+    for (const auto& m : mems) r.images.push_back(m->snapshot());
+    r.ns = clock->now();
+    return r;
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a.ns, b.ns);
+  ASSERT_EQ(a.images.size(), b.images.size());
+  for (std::size_t i = 0; i < a.images.size(); ++i) {
+    EXPECT_TRUE(a.images[i] == b.images[i]) << "stripe " << i;
+  }
+}
+
+}  // namespace
+}  // namespace mobiceal

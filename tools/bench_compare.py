@@ -47,8 +47,11 @@ LOWER_BETTER = ("_s", "_ns")
 CANARY = ("_adv",)
 
 # Run-configuration metrics: a mismatch means the two files are not
-# comparable at all (different workload, device queue model, or cache).
-CONFIG_KEYS = ("workload_mb", "queue_depth", "cache_blocks")
+# comparable at all (different workload, device queue model, cache, or
+# stripe geometry). Only enforced when both files record the key, so
+# baselines from before a knob existed keep comparing.
+CONFIG_KEYS = ("workload_mb", "queue_depth", "cache_blocks", "stripes",
+               "stripe_chunk_blocks", "crypto_lanes")
 
 STATUS_OK = "ok"
 STATUS_REGRESSION = "REGRESSION"
