@@ -218,6 +218,7 @@ JsonReport::JsonReport(std::string bench_name, int argc, char** argv)
       return;
     }
   }
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): bench setup, before any threads
   if (const char* dir = std::getenv("MOBICEAL_BENCH_JSON")) {
     path_ = std::string(dir);
     if (!path_.empty() && path_.back() != '/') path_ += '/';
@@ -251,6 +252,7 @@ JsonReport::~JsonReport() {
 }
 
 std::uint64_t env_bench_bytes(std::uint64_t def_mb) {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): bench setup, before any threads
   if (const char* v = std::getenv("MOBICEAL_BENCH_MB")) {
     const long mb = std::atol(v);
     if (mb > 0) return static_cast<std::uint64_t>(mb) << 20;
@@ -259,6 +261,7 @@ std::uint64_t env_bench_bytes(std::uint64_t def_mb) {
 }
 
 int env_bench_reps(int def_reps) {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): bench setup, before any threads
   if (const char* v = std::getenv("MOBICEAL_BENCH_REPS")) {
     const int r = std::atoi(v);
     if (r > 0) return r;
@@ -294,6 +297,7 @@ std::uint64_t bench_knob_u64(int argc, char** argv, const char* flag,
       return v;
     }
   }
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): bench setup, before any threads
   if (const char* e = std::getenv(env)) {
     if (parse_knob_value(e, &v)) return v;
   }

@@ -232,7 +232,10 @@ void HiveWoOram::write_block(std::uint64_t index, util::ByteSpan data) {
       continue;
     }
     if (slot_owner_[slot] == kNone && !stash_.empty()) {
-      // Drain a stash entry into this free sampled slot.
+      // Drain a stash entry into this free sampled slot. stash_ is an
+      // ordered map precisely because of this begin(): the smallest
+      // stashed logical index drains first on every platform (see the
+      // stash_ declaration; HiveWoOram.StashDrainOrderIsDeterministic).
       const auto st = stash_.begin();
       const std::uint64_t logical = st->first;
       if (pos_map_[logical] != kNone) slot_owner_[pos_map_[logical]] = kNone;

@@ -15,9 +15,9 @@
 #pragma once
 
 #include <deque>
+#include <map>
 #include <memory>
 #include <utility>
-#include <unordered_map>
 #include <vector>
 
 #include "blockdev/block_device.hpp"
@@ -102,7 +102,13 @@ class HiveWoOram final : public blockdev::BlockDevice {
   std::vector<std::uint64_t> pos_map_;
   std::vector<std::uint64_t> slot_owner_;
   std::vector<std::uint32_t> gens_;
-  std::unordered_map<std::uint64_t, util::Bytes> stash_;
+  /// Stash of versions waiting for a free slot. An ORDERED map: the drain
+  /// path pops begin(), and with an unordered container that choice — and
+  /// therefore the physical device image — would depend on the standard
+  /// library's hash layout. std::map pins it to "smallest logical index
+  /// first" on every platform (regression-tested; also lint rule
+  /// unordered-iteration).
+  std::map<std::uint64_t, util::Bytes> stash_;
 
   crypto::SecureRandom rng_;
   std::uint64_t logical_writes_ = 0;

@@ -14,7 +14,7 @@ CryptoWorkerPool::CryptoWorkerPool(unsigned threads) {
 
 CryptoWorkerPool::~CryptoWorkerPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -25,8 +25,8 @@ void CryptoWorkerPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      util::MutexLock lock(mutex_);
+      while (!stop_ && queue_.empty()) cv_.wait(mutex_);
       if (queue_.empty()) return;  // stop_ set and nothing left to run
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -44,34 +44,34 @@ void CryptoWorkerPool::parallel(std::size_t shards,
   // Completion latch shared by all shards; the first failure wins.
   struct State {
     std::atomic<std::size_t> remaining;
-    std::mutex m;
-    std::condition_variable done;
-    std::exception_ptr error;
+    util::Mutex m;
+    util::CondVar done;
+    std::exception_ptr error GUARDED_BY(m);
   };
   auto state = std::make_shared<State>();
   state->remaining.store(shards, std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     for (std::size_t s = 0; s < shards; ++s) {
       queue_.emplace_back([state, &fn, s] {
         try {
           fn(s);
         } catch (...) {
-          std::lock_guard<std::mutex> el(state->m);
+          util::MutexLock el(state->m);
           if (!state->error) state->error = std::current_exception();
         }
         if (state->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-          std::lock_guard<std::mutex> el(state->m);
+          util::MutexLock el(state->m);
           state->done.notify_all();
         }
       });
     }
   }
   cv_.notify_all();
-  std::unique_lock<std::mutex> lock(state->m);
-  state->done.wait(lock, [&] {
-    return state->remaining.load(std::memory_order_acquire) == 0;
-  });
+  util::MutexLock lock(state->m);
+  while (state->remaining.load(std::memory_order_acquire) != 0) {
+    state->done.wait(state->m);
+  }
   if (state->error) std::rethrow_exception(state->error);
 }
 
@@ -83,7 +83,7 @@ std::future<void> CryptoWorkerPool::async(std::function<void()> fn) {
     return result;
   }
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     queue_.emplace_back([task] { (*task)(); });
   }
   cv_.notify_one();
@@ -94,6 +94,8 @@ namespace {
 std::shared_ptr<CryptoWorkerPool>& shared_slot() {
   static std::shared_ptr<CryptoWorkerPool> pool = [] {
     unsigned threads = 0;
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): read once at first use, before
+    // any worker threads exist; nothing in the process calls setenv.
     if (const char* v = std::getenv("MOBICEAL_CRYPTO_THREADS")) {
       const long n = std::atol(v);
       if (n > 0) threads = static_cast<unsigned>(n);

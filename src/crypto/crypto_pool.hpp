@@ -9,15 +9,16 @@
 // identical for every worker-thread count, including zero (inline).
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace mobiceal::crypto {
 
@@ -58,10 +59,10 @@ class CryptoWorkerPool {
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stop_ = false;
+  util::Mutex mutex_;
+  util::CondVar cv_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mutex_);
+  bool stop_ GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace mobiceal::crypto

@@ -9,14 +9,17 @@
 // exclusive locks on [first, first+count) block ranges, blocking on
 // overlap. Lock order is acyclic by construction (public-volume writes may
 // take a dummy volume's lock via the observer, never the reverse), so
-// there is no deadlock.
+// there is no deadlock. The internal bookkeeping mutex is an annotated
+// util::Mutex: clang's -Wthread-safety proves `held_` is only touched
+// under it.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <utility>
 #include <vector>
+
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace mobiceal::thin {
 
@@ -54,25 +57,26 @@ class RangeLock {
 
   /// Blocks until [first, first+count) overlaps no held range, then holds
   /// it. Zero-length ranges lock nothing.
-  Guard acquire(std::uint64_t first, std::uint64_t count) {
+  Guard acquire(std::uint64_t first, std::uint64_t count) EXCLUDES(mutex_) {
     if (count == 0) return {};
-    std::unique_lock<std::mutex> lock(mutex_);
-    cv_.wait(lock, [&] { return !overlaps(first, count); });
+    util::MutexLock lock(mutex_);
+    while (overlaps(first, count)) cv_.wait(mutex_);
     held_.emplace_back(first, count);
     return Guard{this, first, count};
   }
 
  private:
-  bool overlaps(std::uint64_t first, std::uint64_t count) const {
+  bool overlaps(std::uint64_t first, std::uint64_t count) const
+      REQUIRES(mutex_) {
     for (const auto& [f, c] : held_) {
       if (first < f + c && f < first + count) return true;
     }
     return false;
   }
 
-  void unlock(std::uint64_t first, std::uint64_t count) {
+  void unlock(std::uint64_t first, std::uint64_t count) EXCLUDES(mutex_) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      util::MutexLock lock(mutex_);
       for (auto it = held_.begin(); it != held_.end(); ++it) {
         if (it->first == first && it->second == count) {
           held_.erase(it);
@@ -83,9 +87,10 @@ class RangeLock {
     cv_.notify_all();
   }
 
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::vector<std::pair<std::uint64_t, std::uint64_t>> held_;
+  util::Mutex mutex_;
+  util::CondVar cv_;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> held_
+      GUARDED_BY(mutex_);
 };
 
 }  // namespace mobiceal::thin

@@ -50,15 +50,19 @@ std::shared_ptr<ThinPool> ThinPool::format(
         std::to_string(pool->metadata_dev_->num_blocks()));
   }
 
-  const std::uint64_t words = (sb.nr_chunks + 63) / 64;
-  pool->bitmap_.assign(words, 0);
-  // Mark the padding bits past nr_chunks as allocated so no scan picks them.
-  for (std::uint64_t c = sb.nr_chunks; c < words * 64; ++c) {
-    bit_set(pool->bitmap_, c);
-  }
-  pool->free_chunks_ = sb.nr_chunks;
   pool->volumes_ = std::vector<VolumeState>(sb.max_volumes);
-  pool->store_metadata();
+  {
+    util::MutexLock meta(pool->meta_mutex_);
+    const std::uint64_t words = (sb.nr_chunks + 63) / 64;
+    pool->bitmap_.assign(words, 0);
+    // Mark the padding bits past nr_chunks as allocated so no scan picks
+    // them.
+    for (std::uint64_t c = sb.nr_chunks; c < words * 64; ++c) {
+      bit_set(pool->bitmap_, c);
+    }
+    pool->free_chunks_ = sb.nr_chunks;
+    pool->store_metadata();
+  }
   return pool;
 }
 
@@ -155,6 +159,10 @@ void ThinPool::store_metadata() {
 }
 
 void ThinPool::load_metadata() {
+  // Open/recovery path: the pool is not yet shared, but the guarded fields
+  // below are repopulated wholesale, so take the metadata mutex anyway —
+  // the discipline is uniform and the lock is uncontended here.
+  util::MutexLock meta(meta_mutex_);
   const std::size_t bs = metadata_dev_->block_size();
   util::Bytes block(bs);
   metadata_dev_->read_block(0, block);
@@ -348,9 +356,15 @@ void ThinPool::create_thin(std::uint32_t id, std::uint64_t virtual_chunks) {
 
 void ThinPool::delete_thin(std::uint32_t id) {
   check_volume(id);
-  for (std::uint64_t v = 0; v < volumes_[id].map.size(); ++v) {
-    if (volumes_[id].map[v] != kUnmapped) {
-      mark_free(volumes_[id].map[v]);
+  {
+    // Returning the volume's chunks mutates the shared bitmap: without the
+    // metadata mutex a concurrent allocator could double-allocate a chunk
+    // freed mid-scan (lock-discipline gap surfaced by -Wthread-safety).
+    util::MutexLock meta(meta_mutex_);
+    for (std::uint64_t v = 0; v < volumes_[id].map.size(); ++v) {
+      if (volumes_[id].map[v] != kUnmapped) {
+        mark_free(volumes_[id].map[v]);
+      }
     }
   }
   volumes_[id] = VolumeState{};
@@ -358,8 +372,19 @@ void ThinPool::delete_thin(std::uint32_t id) {
 
 RangeLock& ThinPool::io_lock(std::uint32_t id) {
   auto& vol = volumes_[id];
-  if (!vol.io_lock) vol.io_lock = std::make_unique<RangeLock>();
+  if (!vol.io_lock) {
+    // First use races with other submitters: create under the metadata
+    // mutex (double-checked — the pointer is only ever set here or in the
+    // single-threaded lifecycle paths) so exactly one lock wins.
+    util::MutexLock meta(meta_mutex_);
+    if (!vol.io_lock) vol.io_lock = std::make_unique<RangeLock>();
+  }
   return *vol.io_lock;
+}
+
+RangeLock::Guard ThinPool::lock_range(std::uint32_t id, std::uint64_t first,
+                                      std::uint64_t count) {
+  return io_lock(id).acquire(first, count);
 }
 
 std::shared_ptr<ThinVolume> ThinPool::open_thin(std::uint32_t id) {
@@ -375,6 +400,7 @@ void ThinPool::observe_volume(std::uint32_t id, bool observed) {
 // ---- transactions ------------------------------------------------------------------
 
 void ThinPool::commit() {
+  util::MutexLock meta(meta_mutex_);
   // Exception safety: a failed store (device fault) must leave the
   // in-memory superblock describing the still-committed on-disk state.
   const Superblock saved = sb_;
@@ -403,7 +429,7 @@ std::optional<std::uint64_t> ThinPool::write_noise_chunk(
   std::uint64_t vchunk = kUnmapped;
   std::uint64_t phys = 0;
   {
-    std::lock_guard<std::mutex> meta(meta_mutex_);
+    util::MutexLock meta(meta_mutex_);
     const std::uint64_t unmapped = vol.virtual_chunks - vol.mapped;
     if (unmapped == 0 || free_chunks_ == 0) return std::nullopt;
 
@@ -427,8 +453,7 @@ std::optional<std::uint64_t> ThinPool::write_noise_chunk(
   // Serialise against client I/O on the same logical range (the observer
   // only ever reaches here for a *different* volume than the one whose
   // write triggered it, so lock order is acyclic).
-  const auto guard =
-      io_lock(id).acquire(vchunk * sb_.chunk_blocks, noise_blocks);
+  const auto guard = lock_range(id, vchunk * sb_.chunk_blocks, noise_blocks);
 
   // One noise draw + one vectored write for the whole burst. Rng::fill
   // consumes the same word sequence over n*bs bytes as n fills of bs, so
@@ -456,6 +481,10 @@ std::optional<std::uint64_t> ThinPool::write_noise_chunk(
 void ThinPool::discard(std::uint32_t id, std::uint64_t vchunk) {
   check_volume(id);
   auto& vol = volumes_[id];
+  // GC runs concurrently with client I/O once submitters are threaded:
+  // freeing the chunk and unmapping it must be atomic against the
+  // allocator (lock-discipline gap surfaced by -Wthread-safety).
+  util::MutexLock meta(meta_mutex_);
   if (vchunk >= vol.map.size() || vol.map[vchunk] == kUnmapped) {
     throw util::IoError("thin discard: chunk not mapped");
   }
@@ -485,10 +514,12 @@ bool ThinPool::chunk_allocated(std::uint64_t phys_chunk) const {
   if (phys_chunk >= sb_.nr_chunks) {
     throw util::IoError("chunk_allocated: out of range");
   }
+  util::MutexLock meta(meta_mutex_);
   return bit_test(bitmap_, phys_chunk);
 }
 
 bool ThinPool::check_consistency() const {
+  util::MutexLock meta(meta_mutex_);
   std::vector<std::uint8_t> refs(sb_.nr_chunks, 0);
   std::uint64_t mapped_total = 0;
   for (std::uint32_t v = 0; v < volumes_.size(); ++v) {
@@ -522,7 +553,7 @@ std::vector<ExtentRun> ThinPool::resolve_extents(std::uint32_t id,
                                                  std::uint64_t lblock,
                                                  std::uint64_t count) const {
   check_volume(id);
-  std::lock_guard<std::mutex> meta(meta_mutex_);
+  util::MutexLock meta(meta_mutex_);
   const auto& vol = volumes_[id];
   const std::uint64_t vol_blocks = vol.virtual_chunks * sb_.chunk_blocks;
   if (lblock > vol_blocks || count > vol_blocks - lblock) {
@@ -596,7 +627,7 @@ void ThinPool::volume_read_range(std::uint32_t id, std::uint64_t lblock,
     return;
   }
   const auto guard =
-      io_lock(id).acquire(lblock, out.size() / data_dev_->block_size());
+      lock_range(id, lblock, out.size() / data_dev_->block_size());
   const auto runs = resolve_extents(id, lblock, out.size() / data_dev_->block_size());
   const std::size_t bs = data_dev_->block_size();
   for (const ExtentRun& run : runs) {
@@ -619,7 +650,7 @@ std::uint64_t ThinPool::submit_read_range(std::uint32_t id,
                                           util::MutByteSpan out,
                                           std::uint64_t available_ns) {
   const std::size_t bs = data_dev_->block_size();
-  const auto guard = io_lock(id).acquire(lblock, out.size() / bs);
+  const auto guard = lock_range(id, lblock, out.size() / bs);
   const auto runs = resolve_extents(id, lblock, out.size() / bs);
   std::uint64_t done = available_ns;
   for (const ExtentRun& run : runs) {
@@ -652,7 +683,7 @@ void ThinPool::volume_write_range(std::uint32_t id, std::uint64_t lblock,
     return;
   }
   const auto guard =
-      io_lock(id).acquire(lblock, data.size() / data_dev_->block_size());
+      lock_range(id, lblock, data.size() / data_dev_->block_size());
   auto& vol = volumes_[id];
   const std::size_t bs = data_dev_->block_size();
   std::uint64_t pos = lblock;
@@ -672,7 +703,7 @@ void ThinPool::volume_write_range(std::uint32_t id, std::uint64_t lblock,
     bool fresh = false;
     std::uint64_t phys;
     {
-      std::lock_guard<std::mutex> meta(meta_mutex_);
+      util::MutexLock meta(meta_mutex_);
       phys = vol.map[vchunk];
       if (phys == kUnmapped) {
         phys = allocate_chunk();
@@ -695,7 +726,7 @@ std::uint64_t ThinPool::submit_write_range(std::uint32_t id,
                                            util::ByteSpan data,
                                            std::uint64_t available_ns) {
   const std::size_t bs = data_dev_->block_size();
-  const auto guard = io_lock(id).acquire(lblock, data.size() / bs);
+  const auto guard = lock_range(id, lblock, data.size() / bs);
   auto& vol = volumes_[id];
   std::uint64_t pos = lblock;
   std::size_t off_bytes = 0;
@@ -714,7 +745,7 @@ std::uint64_t ThinPool::submit_write_range(std::uint32_t id,
     bool fresh = false;
     std::uint64_t phys;
     {
-      std::lock_guard<std::mutex> meta(meta_mutex_);
+      util::MutexLock meta(meta_mutex_);
       phys = vol.map[vchunk];
       if (phys == kUnmapped) {
         phys = allocate_chunk();

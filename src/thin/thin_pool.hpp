@@ -16,7 +16,6 @@
 
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -25,6 +24,8 @@
 #include "thin/range_lock.hpp"
 #include "util/rng.hpp"
 #include "util/sim_clock.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace mobiceal::thin {
 
@@ -90,7 +91,7 @@ class ThinPool : public std::enable_shared_from_this<ThinPool> {
   void create_thin(std::uint32_t id, std::uint64_t virtual_chunks);
 
   /// Deletes a volume, returning all its chunks to the free pool.
-  void delete_thin(std::uint32_t id);
+  void delete_thin(std::uint32_t id) EXCLUDES(meta_mutex_);
 
   /// Opens a BlockDevice view of a volume.
   std::shared_ptr<ThinVolume> open_thin(std::uint32_t id);
@@ -100,14 +101,18 @@ class ThinPool : public std::enable_shared_from_this<ThinPool> {
   // -- transactions ----------------------------------------------------------
 
   /// Persists all metadata; the superblock (with a new txn id) is written
-  /// last as the commit point.
-  void commit();
+  /// last as the commit point. Holds the metadata mutex for the duration:
+  /// concurrent allocators stall rather than race the transaction record.
+  void commit() EXCLUDES(meta_mutex_);
 
   std::uint64_t txn_id() const noexcept { return sb_.txn_id; }
 
   /// Chunks allocated since the last commit (the paper's in-transaction
-  /// record; exposed for the transaction-safety property tests).
-  const std::vector<std::uint64_t>& txn_allocations() const noexcept {
+  /// record; exposed for the transaction-safety property tests). Returned
+  /// by value: the backing record is guarded by the metadata mutex, and a
+  /// reference would escape the lock.
+  std::vector<std::uint64_t> txn_allocations() const EXCLUDES(meta_mutex_) {
+    util::MutexLock lock(meta_mutex_);
     return txn_allocated_;
   }
 
@@ -126,17 +131,22 @@ class ThinPool : public std::enable_shared_from_this<ThinPool> {
   std::optional<std::uint64_t> write_noise_chunk(std::uint32_t id,
                                                  std::uint32_t noise_blocks,
                                                  util::Rng& noise_source,
-                                                 util::Rng& placement);
+                                                 util::Rng& placement)
+      EXCLUDES(meta_mutex_);
 
   /// Unmaps one virtual chunk, clearing its bitmap bit. Data content is left
   /// in place (discard does not scrub), as on real dm-thin.
-  void discard(std::uint32_t id, std::uint64_t vchunk);
+  void discard(std::uint32_t id, std::uint64_t vchunk)
+      EXCLUDES(meta_mutex_);
 
   // -- introspection ----------------------------------------------------------
 
   const Superblock& superblock() const noexcept { return sb_; }
   std::uint64_t nr_chunks() const noexcept { return sb_.nr_chunks; }
-  std::uint64_t free_chunks() const noexcept { return free_chunks_; }
+  std::uint64_t free_chunks() const EXCLUDES(meta_mutex_) {
+    util::MutexLock lock(meta_mutex_);
+    return free_chunks_;
+  }
   std::uint32_t chunk_blocks() const noexcept { return sb_.chunk_blocks; }
   std::uint64_t mapped_chunks(std::uint32_t id) const;
   std::uint64_t virtual_chunks(std::uint32_t id) const;
@@ -151,17 +161,18 @@ class ThinPool : public std::enable_shared_from_this<ThinPool> {
   /// exactly, in logical order. Throws util::IoError on out-of-range.
   std::vector<ExtentRun> resolve_extents(std::uint32_t id,
                                          std::uint64_t lblock,
-                                         std::uint64_t count) const;
+                                         std::uint64_t count) const
+      EXCLUDES(meta_mutex_);
 
   /// True if the physical chunk is allocated (committed or in-txn).
-  bool chunk_allocated(std::uint64_t phys_chunk) const;
+  bool chunk_allocated(std::uint64_t phys_chunk) const EXCLUDES(meta_mutex_);
 
   /// Full consistency check (thin_check equivalent): every mapped chunk is
   /// in range, marked in the bitmap, and mapped by exactly one volume;
   /// per-volume mapped counts and the free counter agree with the bitmap.
   /// Note: allocated-but-unmapped chunks are legal mid-transaction but not
   /// after a commit. Returns true iff consistent.
-  bool check_consistency() const;
+  bool check_consistency() const EXCLUDES(meta_mutex_);
 
   std::shared_ptr<blockdev::BlockDevice> data_device() const noexcept {
     return data_dev_;
@@ -199,24 +210,28 @@ class ThinPool : public std::enable_shared_from_this<ThinPool> {
     std::unique_ptr<RangeLock> io_lock;
   };
 
-  void load_metadata();
-  void store_metadata();
+  void load_metadata() EXCLUDES(meta_mutex_);
+  void store_metadata() REQUIRES(meta_mutex_);
   void check_volume(std::uint32_t id) const;
 
   /// Allocates a free physical chunk per policy; records it in the open
   /// transaction. Throws util::NoSpaceError when the pool is exhausted.
-  std::uint64_t allocate_chunk();
+  std::uint64_t allocate_chunk() REQUIRES(meta_mutex_);
 
   /// Fires the allocation observer for a fresh provision on an observed
   /// volume, with the re-entrancy guard (a dummy write's own allocations
   /// must not trigger more dummy writes). Both write paths call this after
   /// the triggering data has landed, keeping their device state identical.
-  void notify_fresh_provision(std::uint32_t id, std::uint64_t phys);
+  /// EXCLUDES is load-bearing: the observer re-enters the pool (dummy
+  /// writes allocate), so holding the metadata mutex here would deadlock —
+  /// clang rejects any such call site at compile time.
+  void notify_fresh_provision(std::uint32_t id, std::uint64_t phys)
+      EXCLUDES(meta_mutex_);
 
-  std::uint64_t pick_sequential();
-  std::uint64_t pick_random();
-  void mark_allocated(std::uint64_t chunk);
-  void mark_free(std::uint64_t chunk);
+  std::uint64_t pick_sequential() REQUIRES(meta_mutex_);
+  std::uint64_t pick_random() REQUIRES(meta_mutex_);
+  void mark_allocated(std::uint64_t chunk) REQUIRES(meta_mutex_);
+  void mark_free(std::uint64_t chunk) REQUIRES(meta_mutex_);
   bool bit_test(const std::vector<std::uint64_t>& bm,
                 std::uint64_t chunk) const;
   static void bit_set(std::vector<std::uint64_t>& bm, std::uint64_t chunk);
@@ -224,9 +239,9 @@ class ThinPool : public std::enable_shared_from_this<ThinPool> {
 
   /// I/O path used by ThinVolume.
   void volume_read(std::uint32_t id, std::uint64_t lblock,
-                   util::MutByteSpan out);
+                   util::MutByteSpan out) EXCLUDES(meta_mutex_);
   void volume_write(std::uint32_t id, std::uint64_t lblock,
-                    util::ByteSpan data);
+                    util::ByteSpan data) EXCLUDES(meta_mutex_);
 
   /// Vectored I/O path: reads service each extent run with one lower-device
   /// call (one metadata charge per run); writes proceed chunk-by-chunk (as
@@ -235,9 +250,9 @@ class ThinPool : public std::enable_shared_from_this<ThinPool> {
   /// provision exactly as the per-block path does. When async_io() is on,
   /// both delegate to the submit_* fan-out below and drain.
   void volume_read_range(std::uint32_t id, std::uint64_t lblock,
-                         util::MutByteSpan out);
+                         util::MutByteSpan out) EXCLUDES(meta_mutex_);
   void volume_write_range(std::uint32_t id, std::uint64_t lblock,
-                          util::ByteSpan data);
+                          util::ByteSpan data) EXCLUDES(meta_mutex_);
 
   /// Async fan-out: submits every independent extent run (reads) / chunk
   /// segment (writes) to the data device without awaiting, and returns the
@@ -248,13 +263,25 @@ class ThinPool : public std::enable_shared_from_this<ThinPool> {
   /// order, so device state is bit-identical to the synchronous path.
   std::uint64_t submit_read_range(std::uint32_t id, std::uint64_t lblock,
                                   util::MutByteSpan out,
-                                  std::uint64_t available_ns);
+                                  std::uint64_t available_ns)
+      EXCLUDES(meta_mutex_);
   std::uint64_t submit_write_range(std::uint32_t id, std::uint64_t lblock,
                                    util::ByteSpan data,
-                                   std::uint64_t available_ns);
+                                   std::uint64_t available_ns)
+      EXCLUDES(meta_mutex_);
 
-  /// The volume's range lock (created on first use).
-  RangeLock& io_lock(std::uint32_t id);
+  /// The volume's range lock (created on first use, under the metadata
+  /// mutex so concurrent first users agree on one lock).
+  RangeLock& io_lock(std::uint32_t id) EXCLUDES(meta_mutex_);
+
+  /// Blocks until [first, first+count) of volume `id` is exclusively held.
+  /// All range acquisition funnels through here: EXCLUDES(meta_mutex_)
+  /// encodes the RangeLock-before-metadata lock order — holding the
+  /// metadata mutex across a (potentially blocking) range acquire is a
+  /// compile error, so the allocator can never wait on an I/O holder that
+  /// in turn needs the allocator's lock.
+  RangeLock::Guard lock_range(std::uint32_t id, std::uint64_t first,
+                              std::uint64_t count) EXCLUDES(meta_mutex_);
 
   void charge(std::uint64_t ns) {
     if (clock_) clock_->advance(ns);
@@ -267,19 +294,23 @@ class ThinPool : public std::enable_shared_from_this<ThinPool> {
   MetadataGeometry geom_{};
   ThinCpuModel cpu_;
 
+  /// Guards allocator + mapping metadata (bitmap_, free_chunks_, txn
+  /// records, VolumeState::map) against concurrent submitters. Never held
+  /// across data-device I/O or the allocation observer (machine-checked:
+  /// notify_fresh_provision and lock_range are EXCLUDES(meta_mutex_)).
+  /// Commit does hold it across *metadata*-device writes, which take no
+  /// locks, so allocators simply stall until the transaction point passes.
+  mutable util::Mutex meta_mutex_;
+
   /// Effective allocation bitmap (committed state + open transaction).
-  std::vector<std::uint64_t> bitmap_;
-  std::uint64_t free_chunks_ = 0;
-  std::vector<std::uint64_t> txn_allocated_;
-  std::vector<std::uint64_t> txn_freed_;
+  std::vector<std::uint64_t> bitmap_ GUARDED_BY(meta_mutex_);
+  std::uint64_t free_chunks_ GUARDED_BY(meta_mutex_) = 0;
+  std::vector<std::uint64_t> txn_allocated_ GUARDED_BY(meta_mutex_);
+  std::vector<std::uint64_t> txn_freed_ GUARDED_BY(meta_mutex_);
 
   std::vector<VolumeState> volumes_;
   AllocationObserver observer_;
   bool in_observer_ = false;
-  /// Guards allocator + mapping metadata (bitmap_, free_chunks_, txn
-  /// records, VolumeState::map) against concurrent submitters. Never held
-  /// across device I/O or the allocation observer.
-  mutable std::mutex meta_mutex_;
 
   util::Xoshiro256 default_rng_{0};
   util::Rng* alloc_rng_ = nullptr;

@@ -1,0 +1,73 @@
+// Clang Thread Safety Analysis annotation macros.
+//
+// The ROADMAP's sharded-clock refactor will put real worker threads behind
+// every lock in the thin/crypto/cache layers; TSan only catches races that
+// happen to execute, so lock discipline is proven *at compile time* instead:
+// annotate guarded state with GUARDED_BY, lock-requiring functions with
+// REQUIRES, and build with clang's `-Wthread-safety -Werror` (wired up
+// automatically in CMakeLists.txt whenever the compiler supports it).
+//
+// Under GCC — which has no thread-safety analysis — every macro expands to
+// nothing, so non-clang builds are bit-identical to the unannotated tree.
+// The annotated primitives themselves live in util/sync.hpp.
+//
+// Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+#pragma once
+
+#if defined(__clang__)
+#define MOBICEAL_TSA_ATTR(x) __attribute__((x))
+#else
+#define MOBICEAL_TSA_ATTR(x)  // no-op: GCC and others lack the analysis
+#endif
+
+/// Marks a class as a lockable capability (e.g. util::Mutex).
+#define CAPABILITY(x) MOBICEAL_TSA_ATTR(capability(x))
+
+/// Marks an RAII class that acquires a capability in its constructor and
+/// releases it in its destructor (e.g. util::MutexLock).
+#define SCOPED_CAPABILITY MOBICEAL_TSA_ATTR(scoped_lockable)
+
+/// Data member readable/writable only while holding the given capability.
+#define GUARDED_BY(x) MOBICEAL_TSA_ATTR(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by the given capability.
+#define PT_GUARDED_BY(x) MOBICEAL_TSA_ATTR(pt_guarded_by(x))
+
+/// Static lock-ordering declarations (deadlock prevention).
+#define ACQUIRED_BEFORE(...) MOBICEAL_TSA_ATTR(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) MOBICEAL_TSA_ATTR(acquired_after(__VA_ARGS__))
+
+/// Function may only be called while holding the capability (it does not
+/// acquire or release it).
+#define REQUIRES(...) MOBICEAL_TSA_ATTR(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  MOBICEAL_TSA_ATTR(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability and holds it on return.
+#define ACQUIRE(...) MOBICEAL_TSA_ATTR(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  MOBICEAL_TSA_ATTR(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases a capability the caller held on entry.
+#define RELEASE(...) MOBICEAL_TSA_ATTR(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  MOBICEAL_TSA_ATTR(release_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability iff it returns `ret`.
+#define TRY_ACQUIRE(ret, ...) \
+  MOBICEAL_TSA_ATTR(try_acquire_capability(ret, __VA_ARGS__))
+
+/// Caller must NOT hold the capability (non-reentrancy / lock-order proof:
+/// e.g. the thin pool's allocation observer is annotated EXCLUDES(meta
+/// mutex), so holding it across the observer is a compile error).
+#define EXCLUDES(...) MOBICEAL_TSA_ATTR(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the capability is held (informs the analysis).
+#define ASSERT_CAPABILITY(x) MOBICEAL_TSA_ATTR(assert_capability(x))
+
+/// Function returns a reference to the given capability.
+#define RETURN_CAPABILITY(x) MOBICEAL_TSA_ATTR(lock_returned(x))
+
+/// Escape hatch for functions deliberately outside the analysis. Every use
+/// must carry a comment explaining why (see README "Static analysis").
+#define NO_THREAD_SAFETY_ANALYSIS MOBICEAL_TSA_ATTR(no_thread_safety_analysis)

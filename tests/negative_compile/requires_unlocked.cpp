@@ -1,0 +1,37 @@
+// Negative-compile fixture: calling a REQUIRES(mu) function without holding
+// mu MUST be rejected by clang's -Wthread-safety (-Werror=thread-safety).
+//
+// This is the exact shape ThinPool relies on: allocate_chunk()/mark_free()
+// are REQUIRES(meta_mutex_) and every caller must hold the metadata mutex.
+// See tests/CMakeLists.txt for the WILL_FAIL / control registration scheme.
+
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace {
+
+class Pool {
+ public:
+  void public_entry() {
+    mobiceal::util::MutexLock lock(mu_);
+    allocate_locked();
+  }
+
+  // BAD: calls the REQUIRES function with mu_ not held.
+  void bad_entry() { allocate_locked(); }
+
+ private:
+  void allocate_locked() REQUIRES(mu_) { ++allocated_; }
+
+  mobiceal::util::Mutex mu_;
+  long allocated_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Pool p;
+  p.public_entry();
+  p.bad_entry();
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Negative-compile fixture: writing a GUARDED_BY field without holding its
+// mutex MUST be rejected by clang's -Wthread-safety (-Werror=thread-safety).
+//
+// Registered twice in tests/CMakeLists.txt:
+//   * clang only: compiled with the analysis, expected to FAIL (WILL_FAIL)
+//   * all compilers: compiled without the analysis, expected to succeed —
+//     proving the fixture itself is valid C++ and the failure above comes
+//     from the analysis, not a stale fixture.
+
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void good_increment() {
+    mobiceal::util::MutexLock lock(mu_);
+    ++value_;
+  }
+
+  // BAD: touches value_ with mu_ not held. The thread-safety analysis must
+  // reject this function; if it compiles under -Wthread-safety the
+  // annotation plumbing is broken.
+  void bad_increment() { ++value_; }
+
+ private:
+  mobiceal::util::Mutex mu_;
+  long value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.good_increment();
+  c.bad_increment();
+  return 0;
+}

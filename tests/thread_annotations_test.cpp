@@ -1,0 +1,128 @@
+// Runtime behaviour of the annotated sync primitives (util/sync.hpp).
+//
+// The *static* half of the contract — that clang's -Wthread-safety rejects
+// unguarded access to GUARDED_BY fields and unlocked calls to REQUIRES
+// functions — is proven by the negative-compile fixtures in
+// tests/negative_compile/ (registered as WILL_FAIL ctest entries when the
+// compiler is clang). This file proves the primitives also *work*: the
+// annotations must never change behaviour, only reject bad callers.
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace mobiceal {
+namespace {
+
+TEST(Sync, MutexProvidesMutualExclusion) {
+  util::Mutex mu;
+  std::int64_t counter GUARDED_BY(mu) = 0;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        util::MutexLock lock(mu);
+        ++counter;  // unguarded increments would lose updates
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  util::MutexLock lock(mu);
+  EXPECT_EQ(counter, static_cast<std::int64_t>(kThreads) * kIters);
+}
+
+TEST(Sync, TryLockReflectsOwnership) {
+  util::Mutex mu;
+  ASSERT_TRUE(mu.try_lock());
+  std::atomic<bool> other_got_it{true};
+  // Contend from a second thread: the lock is held, try_lock must fail.
+  std::thread probe([&] { other_got_it = mu.try_lock(); });
+  probe.join();
+  EXPECT_FALSE(other_got_it.load());
+  mu.unlock();
+  EXPECT_TRUE(mu.try_lock());
+  mu.unlock();
+}
+
+TEST(Sync, CondVarWakesExplicitPredicateLoop) {
+  // The project-wide wait idiom (sync.hpp header comment): hold the Mutex,
+  // loop on the predicate, cv.wait(mu) inside the loop. TSA cannot see
+  // into lambda predicates, so this explicit shape is the only one used.
+  util::Mutex mu;
+  util::CondVar cv;
+  bool ready GUARDED_BY(mu) = false;
+  std::int64_t observed = -1;
+
+  std::thread waiter([&] {
+    util::MutexLock lock(mu);
+    while (!ready) cv.wait(mu);
+    observed = 42;
+  });
+
+  {
+    util::MutexLock lock(mu);
+    ready = true;
+  }
+  cv.notify_one();
+  waiter.join();
+  EXPECT_EQ(observed, 42);
+}
+
+TEST(Sync, CondVarNotifyAllReleasesEveryWaiter) {
+  util::Mutex mu;
+  util::CondVar cv;
+  bool go GUARDED_BY(mu) = false;
+  std::atomic<int> released{0};
+  constexpr int kWaiters = 6;
+  std::vector<std::thread> threads;
+  threads.reserve(kWaiters);
+  for (int t = 0; t < kWaiters; ++t) {
+    threads.emplace_back([&] {
+      util::MutexLock lock(mu);
+      while (!go) cv.wait(mu);
+      released.fetch_add(1);
+    });
+  }
+  {
+    util::MutexLock lock(mu);
+    go = true;
+  }
+  cv.notify_all();
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(released.load(), kWaiters);
+}
+
+TEST(Sync, MutexLockReleasesOnScopeExit) {
+  util::Mutex mu;
+  { util::MutexLock lock(mu); }
+  // If the destructor failed to release, this try_lock would fail.
+  EXPECT_TRUE(mu.try_lock());
+  mu.unlock();
+}
+
+TEST(Sync, AnnotationsAreNoOpsWhereUnsupported) {
+  // The macro set must collapse cleanly: this TU compiles under gcc (no
+  // -Wthread-safety) and clang alike, and GUARDED_BY on a local is legal
+  // syntax in both. Nothing to assert beyond successful compilation and
+  // that annotated code runs.
+  util::Mutex mu;
+  int x GUARDED_BY(mu) = 0;
+  {
+    util::MutexLock lock(mu);
+    x = 1;
+  }
+  util::MutexLock lock(mu);
+  EXPECT_EQ(x, 1);
+}
+
+}  // namespace
+}  // namespace mobiceal
