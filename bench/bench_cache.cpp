@@ -64,8 +64,8 @@ RunResult run_workload(const std::string& scheme, std::uint64_t bytes,
   o.seed = 77;
   o.device_blocks = (bytes / 4096) * 6 + 32768;
   o.skip_random_fill = true;
-  o.cache_blocks = (bytes / 4096) * cfg.percent_of_ws / 100;
-  o.cache_writeback = cfg.writeback;
+  o.stack.cache_blocks = (bytes / 4096) * cfg.percent_of_ws / 100;
+  o.stack.cache_writeback = cfg.writeback;
 
   BenchStack s = make_scheme_stack(scheme, /*hidden=*/false, o);
   RunResult r;
@@ -105,17 +105,17 @@ int main(int argc, char** argv) {
   const std::uint64_t bytes = env_bench_bytes(8);
   StackOptions base;
   apply_stack_knobs(base, argc, argv);
-  base.cache_blocks = 0;  // per-config below; --queue-depth still applies
+  base.stack.cache_blocks = 0;  // per-config below; --queue-depth applies
   json.add("workload_mb", static_cast<double>(bytes >> 20));
-  json.add("queue_depth", static_cast<double>(base.queue_depth));
-  json.add("stripes", static_cast<double>(base.stripe_count));
-  json.add("crypto_lanes", static_cast<double>(base.crypto_lanes));
+  json.add("queue_depth", static_cast<double>(base.stack.queue_depth));
+  json.add("stripes", static_cast<double>(base.stack.stripe_count));
+  json.add("crypto_lanes", static_cast<double>(base.stack.crypto_lanes));
   bool ok = true;
 
   std::printf("== Block-cache sweep (%llu MB working set, QD %u, virtual "
               "time) ==\n\n",
               static_cast<unsigned long long>(bytes >> 20),
-              base.queue_depth);
+              base.stack.queue_depth);
   std::printf("%-14s %-8s %12s %12s %12s %10s %7s\n", "scheme", "cache",
               "write KB/s", "reread KB/s", "meta (s)", "vs off", "state");
 

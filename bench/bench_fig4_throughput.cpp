@@ -72,12 +72,13 @@ int main(int argc, char** argv) {
   const int reps = env_bench_reps(5);
   StackOptions knobs;
   apply_stack_knobs(knobs, argc, argv);
-  const std::uint32_t qd = knobs.queue_depth;
+  const std::uint32_t qd = knobs.stack.queue_depth;
   json.add("workload_mb", static_cast<double>(bytes >> 20));
   json.add("queue_depth", static_cast<double>(qd));
-  json.add("cache_blocks", static_cast<double>(knobs.cache_blocks));
-  json.add("stripes", static_cast<double>(knobs.stripe_count));
-  json.add("crypto_lanes", static_cast<double>(knobs.crypto_lanes));
+  json.add("cache_blocks", static_cast<double>(knobs.stack.cache_blocks));
+  json.add("stripes", static_cast<double>(knobs.stack.stripe_count));
+  json.add("crypto_lanes", static_cast<double>(knobs.stack.crypto_lanes));
+  json.add("clock_shards", static_cast<double>(knobs.stack.clock_shards));
 
   std::printf("== Figure 4: sequential throughput in KB/s (mean ± stddev, "
               "%d reps, %llu MB files, QD %u) ==\n\n",

@@ -41,7 +41,7 @@ Run run_workload(const std::string& scheme, std::uint32_t queue_depth,
   o.seed = 31;
   o.device_blocks = (bytes / 4096) * 6 + 32768;
   o.skip_random_fill = true;
-  o.queue_depth = queue_depth;
+  o.stack.queue_depth = queue_depth;
   BenchStack s = make_scheme_stack(scheme, /*hidden=*/false, o);
   Run r;
   r.write_s = dd_write(s, "/qd.dat", bytes);

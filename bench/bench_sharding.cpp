@@ -52,9 +52,10 @@ Run run_workload(const std::string& scheme, std::uint32_t stripes,
   o.seed = 47;
   o.device_blocks = (bytes / 4096) * 6 + 32768;
   o.skip_random_fill = true;
-  o.stripe_count = stripes;
-  o.crypto_lanes = stripes;  // one kcryptd lane per stripe
-  o.queue_depth = queue_depth;
+  o.stack.stripe_count = stripes;
+  o.stack.crypto_lanes = stripes;  // one kcryptd lane per stripe
+  o.stack.clock_shards = stripes;  // one virtual-clock shard per stripe
+  o.stack.queue_depth = queue_depth;
   BenchStack s = make_scheme_stack(scheme, /*hidden=*/false, o);
   Run r;
   // 4 MiB requests: big sequential transfers are where RAID-0 earns its
@@ -72,16 +73,16 @@ int main(int argc, char** argv) {
   const std::uint64_t bytes = env_bench_bytes(8);
   StackOptions base;
   apply_stack_knobs(base, argc, argv);
-  base.stripe_count = 1;  // per-cell below; --stripe-chunk still applies
+  base.stack.stripe_count = 1;  // per-cell below; --stripe-chunk applies
   json.add("workload_mb", static_cast<double>(bytes >> 20));
   json.add("stripe_chunk_blocks",
-           static_cast<double>(base.stripe_chunk_blocks));
+           static_cast<double>(base.stack.stripe_chunk_blocks));
   bool ok = true;
 
   std::printf("== Sharding sweep (%llu MB sequential dd, chunk %u blocks, "
               "virtual time) ==\n\n",
               static_cast<unsigned long long>(bytes >> 20),
-              base.stripe_chunk_blocks);
+              base.stack.stripe_chunk_blocks);
   std::printf("%-14s %3s %3s %14s %14s %14s %14s %7s\n", "scheme", "S",
               "QD", "write KB/s", "read KB/s", "wr vs s1", "rd vs s1",
               "state");
@@ -136,10 +137,12 @@ int main(int argc, char** argv) {
   std::printf("\n-- shape checks --\n");
   std::printf("MobiCeal 4-stripe/QD8 read >= 2x 1-stripe:  %s (%.2fx)\n",
               rd_speedup >= 2.0 ? "yes" : "NO", rd_speedup);
-  std::printf("MobiCeal 4-stripe/QD8 write speedup:        %.2fx\n",
-              wr_speedup);
+  std::printf("MobiCeal 4-stripe/QD8 write >= 2.2x:        %s (%.2fx)\n",
+              wr_speedup >= 2.2 ? "yes" : "NO", wr_speedup);
   std::printf("striped logical images bit-identical:       %s\n",
               ok ? "yes" : "NO");
-  ok = ok && rd_speedup >= 2.0;
+  // Write scaling cleared 2.2x once sharded clocks + the thin CPU-lane
+  // model let stripe service overlap (was ~1.6x on the shared timeline).
+  ok = ok && rd_speedup >= 2.0 && wr_speedup >= 2.2;
   return ok ? 0 : 1;
 }

@@ -17,38 +17,45 @@ constexpr char kHid[] = "bench-hidden";
 /// fields of `opts`: one timed device (opts.device), or stripe_count
 /// independently timed stripes (opts.stripe_devices) plus an untimed
 /// striped view in s.raw so raw->snapshot() stays the logical image.
+/// With clock shards on a striped stack, the shared clock becomes shard 0
+/// of a fresh util::ClockDomain and stripe i's device advances shard
+/// i % shards — clock_shards is ignored (single timeline) without striping.
 void build_backing(BenchStack& s, const StackOptions& o,
                    api::SchemeOptions& opts) {
+  opts.stack = o.stack;
+  if (o.stack.stripe_count > 1 && o.stack.clock_shards > 1) {
+    s.domain = std::make_shared<util::ClockDomain>(o.stack.clock_shards);
+    s.clock = s.domain->shard(0);
+    opts.clock_domain = s.domain;
+  }
   opts.clock = s.clock;
-  if (o.stripe_count <= 1) {
+  if (o.stack.stripe_count <= 1) {
     s.raw = std::make_shared<blockdev::MemBlockDevice>(o.device_blocks);
     s.timed = std::make_shared<blockdev::TimedDevice>(s.raw, o.device_model,
                                                       s.clock);
-    s.timed->set_queue_depth(o.queue_depth);
+    s.timed->set_queue_depth(o.stack.queue_depth);
     opts.device = s.timed;
     return;
   }
   const std::uint64_t row =
-      std::uint64_t{o.stripe_count} * o.stripe_chunk_blocks;
+      std::uint64_t{o.stack.stripe_count} * o.stack.stripe_chunk_blocks;
   if (row == 0 || o.device_blocks % row != 0) {
     throw util::PolicyError(
         "bench: device_blocks must divide into stripe_count stripes of "
         "whole stripe_chunk_blocks chunks");
   }
-  const std::uint64_t per = o.device_blocks / o.stripe_count;
-  for (std::uint32_t i = 0; i < o.stripe_count; ++i) {
+  const std::uint64_t per = o.device_blocks / o.stack.stripe_count;
+  for (std::uint32_t i = 0; i < o.stack.stripe_count; ++i) {
     auto raw = std::make_shared<blockdev::MemBlockDevice>(per);
     auto timed = std::make_shared<blockdev::TimedDevice>(
-        raw, o.device_model, s.clock);
-    timed->set_queue_depth(o.queue_depth);
+        raw, o.device_model, s.domain ? s.domain->shard_for(i) : s.clock);
+    timed->set_queue_depth(o.stack.queue_depth);
     s.stripe_raw.push_back(std::move(raw));
     s.stripe_timed.push_back(std::move(timed));
   }
-  opts.stripe_count = o.stripe_count;
-  opts.stripe_chunk_blocks = o.stripe_chunk_blocks;
   opts.stripe_devices = s.stripe_timed;
   s.raw = std::make_shared<dm::StripedTarget>(s.stripe_raw,
-                                              o.stripe_chunk_blocks);
+                                              o.stack.stripe_chunk_blocks);
 }
 }  // namespace
 
@@ -82,9 +89,6 @@ BenchStack make_scheme_stack(const std::string& scheme_name, bool hidden,
   opts.x = o.x;
   opts.random_allocation = o.mobiceal_random_alloc;
   opts.skip_random_fill = o.skip_random_fill;
-  opts.cache_blocks = o.cache_blocks;
-  opts.cache_writeback = o.cache_writeback;
-  opts.crypto_lanes = o.crypto_lanes;
 
   const auto& entry = api::SchemeRegistry::entry(scheme_name);
   if (entry.capabilities.has(api::Capability::kHiddenVolume)) {
@@ -267,85 +271,6 @@ int env_bench_reps(int def_reps) {
     if (r > 0) return r;
   }
   return def_reps;
-}
-
-namespace {
-/// Strict non-negative integer parse: unparseable or negative input (e.g.
-/// MOBICEAL_CACHE_WRITEBACK=true) is rejected rather than read as 0, so a
-/// typo can never silently invert a knob.
-bool parse_knob_value(const char* s, std::uint64_t* out) {
-  char* end = nullptr;
-  const long long v = std::strtoll(s, &end, 10);
-  if (end == s || *end != '\0' || v < 0) return false;
-  *out = static_cast<std::uint64_t>(v);
-  return true;
-}
-}  // namespace
-
-std::uint64_t bench_knob_u64(int argc, char** argv, const char* flag,
-                             const char* env, std::uint64_t def) {
-  const std::string name(flag);
-  const std::string prefixed = name + "=";
-  std::uint64_t v = 0;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == name && i + 1 < argc && parse_knob_value(argv[i + 1], &v)) {
-      return v;
-    }
-    if (arg.rfind(prefixed, 0) == 0 &&
-        parse_knob_value(arg.c_str() + prefixed.size(), &v)) {
-      return v;
-    }
-  }
-  // NOLINTNEXTLINE(concurrency-mt-unsafe): bench setup, before any threads
-  if (const char* e = std::getenv(env)) {
-    if (parse_knob_value(e, &v)) return v;
-  }
-  return def;
-}
-
-std::uint32_t bench_queue_depth(int argc, char** argv, std::uint32_t def) {
-  const std::uint64_t d = bench_knob_u64(argc, argv, "--queue-depth",
-                                         "MOBICEAL_QUEUE_DEPTH", def);
-  return d == 0 ? 1 : static_cast<std::uint32_t>(d);
-}
-
-std::uint64_t bench_cache_blocks(int argc, char** argv, std::uint64_t def) {
-  return bench_knob_u64(argc, argv, "--cache-blocks",
-                        "MOBICEAL_CACHE_BLOCKS", def);
-}
-
-bool bench_cache_writeback(int argc, char** argv, bool def) {
-  return bench_knob_u64(argc, argv, "--cache-writeback",
-                        "MOBICEAL_CACHE_WRITEBACK", def ? 1 : 0) != 0;
-}
-
-std::uint32_t bench_stripes(int argc, char** argv, std::uint32_t def) {
-  const std::uint64_t n =
-      bench_knob_u64(argc, argv, "--stripes", "MOBICEAL_STRIPES", def);
-  return n == 0 ? 1 : static_cast<std::uint32_t>(n);
-}
-
-std::uint32_t bench_stripe_chunk(int argc, char** argv, std::uint32_t def) {
-  const std::uint64_t n = bench_knob_u64(argc, argv, "--stripe-chunk",
-                                         "MOBICEAL_STRIPE_CHUNK", def);
-  return n == 0 ? def : static_cast<std::uint32_t>(n);
-}
-
-std::uint32_t bench_crypto_lanes(int argc, char** argv, std::uint32_t def) {
-  const std::uint64_t n = bench_knob_u64(argc, argv, "--crypto-lanes",
-                                         "MOBICEAL_CRYPTO_LANES", def);
-  return n == 0 ? 1 : static_cast<std::uint32_t>(n);
-}
-
-void apply_stack_knobs(StackOptions& o, int argc, char** argv) {
-  o.queue_depth = bench_queue_depth(argc, argv, o.queue_depth);
-  o.cache_blocks = bench_cache_blocks(argc, argv, o.cache_blocks);
-  o.cache_writeback = bench_cache_writeback(argc, argv, o.cache_writeback);
-  o.stripe_count = bench_stripes(argc, argv, o.stripe_count);
-  o.stripe_chunk_blocks =
-      bench_stripe_chunk(argc, argv, o.stripe_chunk_blocks);
-  o.crypto_lanes = bench_crypto_lanes(argc, argv, o.crypto_lanes);
 }
 
 }  // namespace mobiceal::bench

@@ -18,8 +18,10 @@
 #include <vector>
 
 #include "api/scheme_registry.hpp"
+#include "api/stack_config.hpp"
 #include "blockdev/timed_device.hpp"
 #include "fs/ext_fs.hpp"
+#include "util/clock_domain.hpp"
 #include "util/stats.hpp"
 
 namespace mobiceal::bench {
@@ -42,6 +44,9 @@ const char* stack_name(StackKind kind);
 /// Keepalives hold every layer; `fs` is the mount point for workloads.
 struct BenchStack {
   std::shared_ptr<util::SimClock> clock;
+  /// Sharded virtual-clock domain (stack.clock_shards > 1 with striping);
+  /// null for single-timeline stacks. `clock` is shard 0 either way.
+  std::shared_ptr<util::ClockDomain> domain;
   fs::FileSystem* fs = nullptr;
 
   // Keepalive owners. `raw` is the untimed logical image of the backing
@@ -69,29 +74,15 @@ struct StackOptions {
   /// Skip the one-time full random fill (the thin stacks always skip it —
   /// it is irrelevant to steady-state throughput).
   bool skip_random_fill = false;
-  /// Device queue depth for the async submit engine. 1 (the default)
-  /// keeps the historical fully-serial service model — the queue model
-  /// itself is bit-identical at QD1 — so committed baselines stay
-  /// comparable; >1 overlaps transfer phases and lets dm-crypt pipeline
-  /// cipher work against in-flight requests.
-  std::uint32_t queue_depth = 1;
-  /// Block cache between fs and crypt (cache::CacheTarget). 0 (default)
-  /// keeps the historical uncached stack, so baselines stay comparable.
-  std::uint64_t cache_blocks = 0;
-  /// Writeback (true) or writethrough policy when the cache is on;
-  /// demoted per scheme capability (see api::cache_config_for).
-  bool cache_writeback = true;
-  /// RAID-0 stripes under the whole stack (dm::StripedTarget over that
-  /// many independently timed backing devices, each with its own submit
-  /// queue). 1 (the default) keeps the historical single-device stack —
+  /// Every stack tuning knob (queue depth, cache, striping, crypto lanes,
+  /// clock shards, flusher) in one typed struct — see api/stack_config.hpp.
+  /// All defaults keep the historical single-device, single-timeline stack
   /// byte- and time-identical, so committed baselines stay comparable.
-  /// device_blocks must divide into stripe_count stripes of whole chunks.
-  std::uint32_t stripe_count = 1;
-  /// Stripe chunk size in blocks (64 KiB at 4 KiB blocks).
-  std::uint32_t stripe_chunk_blocks = 16;
-  /// Parallel crypto lanes (per-CPU kcryptd; dm::CryptCpuModel::lanes).
-  /// 1 keeps the historical serial cipher model — baselines comparable.
-  std::uint32_t crypto_lanes = 1;
+  /// With stack.stripe_count > 1, device_blocks must divide into
+  /// stripe_count stripes of whole stripe_chunk_blocks chunks; with
+  /// stack.clock_shards > 1 on top, the harness builds a util::ClockDomain
+  /// and pins stripe i's device to shard i % shards.
+  api::StackConfig stack;
 };
 
 /// Builds a freshly initialised, unlocked stack for a registered scheme.
@@ -138,48 +129,16 @@ int env_bench_reps(int def_reps);
 
 // ---- bench knobs ------------------------------------------------------------
 //
-// Every tunable a bench exposes registers ONCE as a (flag, env, default)
-// triple parsed by bench_knob_u64 — new knobs are added here, not
-// copy-pasted into each bench main. Resolution order: `--<flag> N` or
-// `--<flag>=N` on the command line, else the environment variable, else
-// the default.
+// Every stack tunable lives in the api::StackConfig knob registry (flag +
+// env var per field, see api/stack_config.hpp) — benches never parse knobs
+// themselves, they call apply_stack_knobs (or o.stack.apply_knobs) once.
 
-/// Generic numeric knob parser (see above).
-std::uint64_t bench_knob_u64(int argc, char** argv, const char* flag,
-                             const char* env, std::uint64_t def);
-
-/// Queue depth: --queue-depth / MOBICEAL_QUEUE_DEPTH, default `def`
-/// (1 — baselines stay comparable).
-std::uint32_t bench_queue_depth(int argc, char** argv,
-                                std::uint32_t def = 1);
-
-/// Cache capacity in blocks: --cache-blocks / MOBICEAL_CACHE_BLOCKS,
-/// default `def` (0 = off — baselines stay comparable).
-std::uint64_t bench_cache_blocks(int argc, char** argv,
-                                 std::uint64_t def = 0);
-
-/// Cache write policy: --cache-writeback 0|1 / MOBICEAL_CACHE_WRITEBACK,
-/// default writeback (1).
-bool bench_cache_writeback(int argc, char** argv, bool def = true);
-
-/// Stripe count: --stripes / MOBICEAL_STRIPES, default `def`
-/// (1 — baselines stay comparable).
-std::uint32_t bench_stripes(int argc, char** argv, std::uint32_t def = 1);
-
-/// Stripe chunk in blocks: --stripe-chunk / MOBICEAL_STRIPE_CHUNK,
-/// default `def` (16 blocks = 64 KiB).
-std::uint32_t bench_stripe_chunk(int argc, char** argv,
-                                 std::uint32_t def = 16);
-
-/// Crypto lanes: --crypto-lanes / MOBICEAL_CRYPTO_LANES, default `def`
-/// (1 — baselines stay comparable).
-std::uint32_t bench_crypto_lanes(int argc, char** argv,
-                                 std::uint32_t def = 1);
-
-/// Applies every registered stack knob (queue depth, cache size, cache
-/// policy, stripe count/chunk) to `o` in one call — the per-bench entry
-/// point.
-void apply_stack_knobs(StackOptions& o, int argc, char** argv);
+/// Applies every registered stack knob (queue depth, cache, striping,
+/// crypto lanes, clock shards, flusher policy) to `o.stack` in one call —
+/// the per-bench entry point.
+inline void apply_stack_knobs(StackOptions& o, int argc, char** argv) {
+  o.stack.apply_knobs(argc, argv);
+}
 
 // ---- machine-readable output ------------------------------------------------
 //

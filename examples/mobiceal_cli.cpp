@@ -26,12 +26,9 @@ using namespace mobiceal;
 namespace {
 
 std::string g_scheme = "mobiceal";
-std::uint32_t g_queue_depth = 1;
-std::uint64_t g_cache_blocks = 0;
-bool g_cache_writeback = true;
-std::uint32_t g_stripes = 1;
-std::uint32_t g_stripe_chunk = 16;
-std::uint32_t g_crypto_lanes = 1;
+/// Every stack knob (--queue-depth, --cache-blocks, --stripes, ...) comes
+/// from the api::StackConfig registry — the CLI never parses one itself.
+api::StackConfig g_stack;
 
 api::SchemeOptions cli_options() {
   api::SchemeOptions opts;
@@ -39,11 +36,7 @@ api::SchemeOptions cli_options() {
   opts.chunk_blocks = 4;  // 16 KiB chunks keep small images usable
   opts.kdf_iterations = 2000;
   opts.fs_inode_count = 512;
-  opts.cache_blocks = g_cache_blocks;
-  opts.cache_writeback = g_cache_writeback;
-  opts.stripe_count = g_stripes;
-  opts.stripe_chunk_blocks = g_stripe_chunk;
-  opts.crypto_lanes = g_crypto_lanes;
+  opts.stack = g_stack;
   return opts;
 }
 
@@ -57,24 +50,25 @@ std::uint64_t image_blocks(const std::string& path) {
 /// with --stripes N (one file per backing device, as separate eMMC
 /// channels would be separate flash parts).
 std::string stripe_path(const std::string& image, std::uint32_t i) {
-  return g_stripes <= 1 ? image : image + ".s" + std::to_string(i);
+  return g_stack.stripe_count <= 1 ? image
+                                   : image + ".s" + std::to_string(i);
 }
 
 /// Fills opts with the image's backing device(s). `blocks_per_stripe` 0
 /// sizes each device from the existing file (attach path).
 void open_backing(api::SchemeOptions& opts, const std::string& image,
                   std::uint64_t blocks_per_stripe) {
-  if (g_stripes <= 1) {
+  if (g_stack.stripe_count <= 1) {
     opts.device = std::make_shared<blockdev::FileBlockDevice>(
         image, blocks_per_stripe ? blocks_per_stripe : image_blocks(image));
-    opts.device->set_queue_depth(g_queue_depth);
+    opts.device->set_queue_depth(g_stack.queue_depth);
     return;
   }
-  for (std::uint32_t i = 0; i < g_stripes; ++i) {
+  for (std::uint32_t i = 0; i < g_stack.stripe_count; ++i) {
     const std::string path = stripe_path(image, i);
     auto dev = std::make_shared<blockdev::FileBlockDevice>(
         path, blocks_per_stripe ? blocks_per_stripe : image_blocks(path));
-    dev->set_queue_depth(g_queue_depth);
+    dev->set_queue_depth(g_stack.queue_depth);
     opts.stripe_devices.push_back(std::move(dev));
   }
 }
@@ -83,18 +77,18 @@ void open_backing(api::SchemeOptions& opts, const std::string& image,
 /// each backing device and reassembles the chunk interleave — placement is
 /// pure geometry, no secret involved.
 std::shared_ptr<blockdev::BlockDevice> open_raw(const std::string& image) {
-  if (g_stripes <= 1) {
+  if (g_stack.stripe_count <= 1) {
     return std::make_shared<blockdev::FileBlockDevice>(image,
                                                        image_blocks(image));
   }
   std::vector<std::shared_ptr<blockdev::BlockDevice>> stripes;
-  for (std::uint32_t i = 0; i < g_stripes; ++i) {
+  for (std::uint32_t i = 0; i < g_stack.stripe_count; ++i) {
     const std::string path = stripe_path(image, i);
     stripes.push_back(std::make_shared<blockdev::FileBlockDevice>(
         path, image_blocks(path)));
   }
   return std::make_shared<dm::StripedTarget>(std::move(stripes),
-                                             g_stripe_chunk);
+                                             g_stack.stripe_chunk_blocks);
 }
 
 std::unique_ptr<api::PdeScheme> attach(const std::string& image) {
@@ -124,7 +118,10 @@ int usage() {
       "usage: mobiceal_cli [--scheme <name>] [--queue-depth <n>]\n"
       "                    [--cache-blocks <n>] [--cache-writeback 0|1]\n"
       "                    [--stripes <n>] [--stripe-chunk <blocks>]\n"
-      "                    [--crypto-lanes <n>] <command> [args...]\n"
+      "                    [--crypto-lanes <n>] [--clock-shards <n>]\n"
+      "                    [--flusher 0|1] [--flusher-dirty-pct <n>]\n"
+      "                    [--flusher-deadline-ns <n>]\n"
+      "                    <command> [args...]\n"
       "\n"
       "commands:\n"
       "  init <image> <size_mb> <pub_pwd> [hidden_pwd...]\n"
@@ -158,6 +155,11 @@ int usage() {
       "commands, which reassemble the interleave from the backing files.\n"
       "--crypto-lanes N models N parallel kcryptd cipher workers (virtual\n"
       "service time only; pair with --stripes so the cipher keeps up).\n"
+      "--clock-shards N shards the virtual clock per stripe lane (timed\n"
+      "stacks only; the CLI's file-backed devices are untimed, so it is\n"
+      "accepted for parity with the benches but has no effect here).\n"
+      "--flusher 1 runs a background writeback thread for the block cache\n"
+      "(kicks at --flusher-dirty-pct %% dirty, default 50).\n"
       "--scheme selects the backend (default: mobiceal); note\n"
       "that the DEFY/HIVE reproductions keep their translation maps in\n"
       "RAM and therefore only support `init` followed by in-process use,\n"
@@ -188,20 +190,23 @@ int cmd_init(int argc, char** argv) {
     return 1;
   }
   const std::uint64_t total_blocks = mb << 8;
-  if (g_stripes > 1 &&
-      total_blocks % (std::uint64_t{g_stripes} * g_stripe_chunk) != 0) {
+  if (g_stack.stripe_count > 1 &&
+      total_blocks % (std::uint64_t{g_stack.stripe_count} *
+                      g_stack.stripe_chunk_blocks) !=
+          0) {
     std::fprintf(stderr,
                  "image size must divide into %u stripes of whole %u-block "
-                 "chunks\n", g_stripes, g_stripe_chunk);
+                 "chunks\n",
+                 g_stack.stripe_count, g_stack.stripe_chunk_blocks);
     return 1;
   }
-  open_backing(opts, image, total_blocks / g_stripes);
+  open_backing(opts, image, total_blocks / g_stack.stripe_count);
   auto dev = api::SchemeRegistry::create(g_scheme, opts);
   std::printf("initialised %s: %llu MB%s, scheme %s (%zu hidden "
               "password(s))\n",
               image.c_str(), static_cast<unsigned long long>(mb),
-              g_stripes > 1 ? " (striped)" : "", g_scheme.c_str(),
-              opts.hidden_passwords.size());
+              g_stack.stripe_count > 1 ? " (striped)" : "",
+              g_scheme.c_str(), opts.hidden_passwords.size());
   return 0;
 }
 
@@ -340,8 +345,11 @@ int cmd_analyze(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Consume global flags before the command word.
+  // Consume global flags before the command word. Stack knobs (anything in
+  // the api::StackConfig registry) are collected verbatim and applied in
+  // one shot — the CLI itself only knows --scheme / --list-schemes.
   std::vector<char*> args(argv, argv + argc);
+  std::vector<char*> knob_args = {argv[0]};
   for (std::size_t i = 1; i < args.size();) {
     if (std::strcmp(args[i], "--list-schemes") == 0) return cmd_list_schemes();
     if (std::strcmp(args[i], "--scheme") == 0) {
@@ -351,87 +359,25 @@ int main(int argc, char** argv) {
                  args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
       continue;
     }
-    if (std::strcmp(args[i], "--queue-depth") == 0) {
-      if (i + 1 >= args.size()) return usage();
-      const long d = std::strtol(args[i + 1], nullptr, 10);
-      if (d < 1) {
-        std::fprintf(stderr, "--queue-depth must be >= 1\n");
-        return 2;
-      }
-      g_queue_depth = static_cast<std::uint32_t>(d);
+    if (api::StackConfig::is_knob_flag(args[i])) {
+      const bool has_eq = std::strchr(args[i], '=') != nullptr;
+      if (!has_eq && i + 1 >= args.size()) return usage();
+      const std::size_t take = has_eq ? 1 : 2;
+      for (std::size_t j = 0; j < take; ++j) knob_args.push_back(args[i + j]);
       args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
-                 args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
-      continue;
-    }
-    if (std::strcmp(args[i], "--cache-blocks") == 0) {
-      if (i + 1 >= args.size()) return usage();
-      const long long n = std::strtoll(args[i + 1], nullptr, 10);
-      if (n < 0) {
-        std::fprintf(stderr, "--cache-blocks must be >= 0\n");
-        return 2;
-      }
-      g_cache_blocks = static_cast<std::uint64_t>(n);
-      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
-                 args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
-      continue;
-    }
-    if (std::strcmp(args[i], "--cache-writeback") == 0) {
-      if (i + 1 >= args.size()) return usage();
-      g_cache_writeback = std::strtol(args[i + 1], nullptr, 10) != 0;
-      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
-                 args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
-      continue;
-    }
-    if (std::strcmp(args[i], "--stripes") == 0) {
-      if (i + 1 >= args.size()) return usage();
-      const long n = std::strtol(args[i + 1], nullptr, 10);
-      if (n < 1) {
-        std::fprintf(stderr, "--stripes must be >= 1\n");
-        return 2;
-      }
-      g_stripes = static_cast<std::uint32_t>(n);
-      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
-                 args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
-      continue;
-    }
-    if (std::strcmp(args[i], "--stripe-chunk") == 0) {
-      if (i + 1 >= args.size()) return usage();
-      const long n = std::strtol(args[i + 1], nullptr, 10);
-      if (n < 1) {
-        std::fprintf(stderr, "--stripe-chunk must be >= 1\n");
-        return 2;
-      }
-      g_stripe_chunk = static_cast<std::uint32_t>(n);
-      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
-                 args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
-      continue;
-    }
-    if (std::strcmp(args[i], "--crypto-lanes") == 0) {
-      if (i + 1 >= args.size()) return usage();
-      const long n = std::strtol(args[i + 1], nullptr, 10);
-      if (n < 1) {
-        std::fprintf(stderr, "--crypto-lanes must be >= 1\n");
-        return 2;
-      }
-      g_crypto_lanes = static_cast<std::uint32_t>(n);
-      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
-                 args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+                 args.begin() + static_cast<std::ptrdiff_t>(i + take));
       continue;
     }
     break;
   }
+  g_stack.apply_knobs(static_cast<int>(knob_args.size()), knob_args.data());
   if (args.size() < 2) return usage();
   // Global flags are only valid before the command word — a stray
   // "--scheme" later would otherwise be swallowed as a password/path.
   for (std::size_t i = 2; i < args.size(); ++i) {
     if (std::strcmp(args[i], "--scheme") == 0 ||
-        std::strcmp(args[i], "--queue-depth") == 0 ||
-        std::strcmp(args[i], "--cache-blocks") == 0 ||
-        std::strcmp(args[i], "--cache-writeback") == 0 ||
-        std::strcmp(args[i], "--stripes") == 0 ||
-        std::strcmp(args[i], "--stripe-chunk") == 0 ||
-        std::strcmp(args[i], "--crypto-lanes") == 0 ||
-        std::strcmp(args[i], "--list-schemes") == 0) {
+        std::strcmp(args[i], "--list-schemes") == 0 ||
+        api::StackConfig::is_knob_flag(args[i])) {
       std::fprintf(stderr, "%s must come before the command\n", args[i]);
       return 2;
     }

@@ -20,7 +20,7 @@ class AndroidFdeScheme final : public PdeScheme {
     cfg.fs_inode_count = opts.fs_inode_count;
     cfg.rng_seed = opts.rng_seed;
     if (opts.zero_cpu_models) cfg.crypt_cpu = dm::CryptCpuModel::zero();
-    cfg.crypt_cpu.lanes = opts.crypto_lanes;
+    cfg.crypt_cpu.lanes = opts.stack.crypto_lanes;
     cfg.cache = cache_config_for(opts, kAndroidFdeCaps);
     const auto userdata = stack_device_for(opts);
     device_ = opts.format

@@ -28,11 +28,12 @@ core::MobiCealDevice::Config device_config(const SchemeOptions& opts) {
   cfg.dummy.lambda = opts.lambda;
   cfg.dummy.x = opts.x;
   cfg.cache = cache_config_for(opts, kMobiCealCaps);
+  cfg.clock_domain = opts.clock_domain;
   if (opts.zero_cpu_models) {
     cfg.thin_cpu = thin::ThinCpuModel::zero();
     cfg.crypt_cpu = dm::CryptCpuModel::zero();
   }
-  cfg.crypt_cpu.lanes = opts.crypto_lanes;
+  cfg.crypt_cpu.lanes = opts.stack.crypto_lanes;
   return cfg;
 }
 

@@ -23,7 +23,7 @@ class MobiflageScheme final : public PdeScheme {
     cfg.skip_random_fill = opts.skip_random_fill;
     cfg.cache = cache_config_for(opts, kMobiflageCaps);
     if (opts.zero_cpu_models) cfg.crypt_cpu = dm::CryptCpuModel::zero();
-    cfg.crypt_cpu.lanes = opts.crypto_lanes;
+    cfg.crypt_cpu.lanes = opts.stack.crypto_lanes;
     const auto userdata = stack_device_for(opts);
     if (opts.format) {
       if (opts.hidden_passwords.size() != 1) {

@@ -27,7 +27,7 @@ class MobiPlutoScheme final : public PdeScheme {
       cfg.thin_cpu = thin::ThinCpuModel::zero();
       cfg.crypt_cpu = dm::CryptCpuModel::zero();
     }
-    cfg.crypt_cpu.lanes = opts.crypto_lanes;
+    cfg.crypt_cpu.lanes = opts.stack.crypto_lanes;
     const auto userdata = stack_device_for(opts);
     if (opts.format) {
       if (opts.hidden_passwords.size() != 1) {

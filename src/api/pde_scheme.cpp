@@ -1,5 +1,6 @@
 #include "api/pde_scheme.hpp"
 
+#include "crypto/crypto_pool.hpp"
 #include "dm/striped_target.hpp"
 #include "util/error.hpp"
 
@@ -29,31 +30,40 @@ std::string Capabilities::to_string() const {
 cache::CacheConfig cache_config_for(const SchemeOptions& opts,
                                     Capabilities caps) {
   cache::CacheConfig cfg;
-  cfg.capacity_blocks = opts.cache_blocks;
-  cfg.policy = opts.cache_writeback &&
+  cfg.capacity_blocks = opts.stack.cache_blocks;
+  cfg.policy = opts.stack.cache_writeback &&
                        caps.has(Capability::kWritebackCacheSafe)
                    ? cache::WritePolicy::kWriteback
                    : cache::WritePolicy::kWritethrough;
+  // The background flusher only ever writes back dirty blocks, so it is a
+  // no-op (and its worker never wakes) under writethrough.
+  cfg.flusher = opts.stack.flusher;
   return cfg;
 }
 
 std::shared_ptr<blockdev::BlockDevice> stack_device_for(
     const SchemeOptions& opts) {
-  if (opts.stripe_count <= 1) {
+  if (opts.stack.stripe_count <= 1) {
     if (!opts.device) {
       throw util::PolicyError("scheme options: no device given");
     }
     return opts.device;
   }
-  if (opts.stripe_devices.size() != opts.stripe_count) {
+  if (opts.stripe_devices.size() != opts.stack.stripe_count) {
     throw util::PolicyError(
         "scheme options: stripe_count is " +
-        std::to_string(opts.stripe_count) + " but " +
+        std::to_string(opts.stack.stripe_count) + " but " +
         std::to_string(opts.stripe_devices.size()) +
         " stripe device(s) were given");
   }
-  return std::make_shared<dm::StripedTarget>(opts.stripe_devices,
-                                             opts.stripe_chunk_blocks);
+  const bool sharded =
+      opts.clock_domain && opts.clock_domain->shard_count() > 1;
+  // Sharded domains get true multi-threaded submitters: the process-wide
+  // crypto worker pool doubles as the per-stripe submit pool (inline when
+  // MOBICEAL_CRYPTO_THREADS is unset, so determinism is opt-in tested).
+  return std::make_shared<dm::StripedTarget>(
+      opts.stripe_devices, opts.stack.stripe_chunk_blocks, opts.clock_domain,
+      sharded ? crypto::CryptoWorkerPool::shared() : nullptr);
 }
 
 bool PdeScheme::switch_volume(const std::string& /*password*/) {

@@ -23,9 +23,11 @@
 #include <string>
 #include <vector>
 
+#include "api/stack_config.hpp"
 #include "blockdev/block_device.hpp"
 #include "cache/cache_target.hpp"
 #include "fs/filesystem.hpp"
+#include "util/clock_domain.hpp"
 #include "util/sim_clock.hpp"
 
 namespace mobiceal::api {
@@ -99,25 +101,17 @@ struct SchemeOptions {
   /// partition then).
   std::shared_ptr<blockdev::BlockDevice> device;
 
-  /// RAID-0 striping of the partition (stack_device_for): with
-  /// stripe_count > 1 the scheme is built over a dm::StripedTarget that
-  /// interleaves stripe_chunk_blocks-sized chunks round-robin across
-  /// `stripe_devices` — stripe_count equal-size backing devices, each with
-  /// its own submit queue so sub-runs overlap on the virtual timeline.
-  /// 1 (the default) keeps the exact single-device stack.
-  std::uint32_t stripe_count = 1;
-  /// Stripe chunk size in blocks (64 KiB at 4 KiB blocks — the dm-stripe
-  /// default used throughout the benches).
-  std::uint32_t stripe_chunk_blocks = 16;
-  /// The stripe_count backing devices (ignored when stripe_count <= 1).
+  /// Every stack tuning knob (queue depth, cache, striping, crypto lanes,
+  /// clock shards, flusher policy) in one typed struct — see
+  /// api/stack_config.hpp. With stack.stripe_count > 1 the scheme is built
+  /// over a dm::StripedTarget (stack_device_for) interleaving
+  /// stack.stripe_chunk_blocks-sized chunks round-robin across
+  /// `stripe_devices`. Knobs a scheme does not have are ignored by its
+  /// adapter; translator schemes (DEFY, HIVE) ignore crypto_lanes.
+  StackConfig stack;
+  /// The stack.stripe_count backing devices (ignored when striping is
+  /// off).
   std::vector<std::shared_ptr<blockdev::BlockDevice>> stripe_devices;
-
-  /// Parallel crypto lanes for the dm-crypt stacks (per-CPU kcryptd
-  /// workers; see dm::CryptCpuModel::lanes). 1 (the default) keeps the
-  /// historical serial cipher model; pair with stripe_count so the cipher
-  /// scales with device parallelism. Virtual service time only — never
-  /// changes ciphertext. Translator schemes (DEFY, HIVE) ignore it.
-  std::uint32_t crypto_lanes = 1;
 
   /// true: format the device from scratch (the paper's
   /// "vdc cryptfs pde wipe"); false: re-attach to an existing image.
@@ -129,7 +123,13 @@ struct SchemeOptions {
   std::vector<std::string> hidden_passwords;
 
   /// Virtual clock for the calibrated service-time models (may be null).
+  /// With clock shards this is the anchor — shard 0 of `clock_domain`.
   std::shared_ptr<util::SimClock> clock;
+  /// Sharded virtual-clock domain (stack.clock_shards > 1): one SimClock
+  /// shard per stripe lane, advancing independently and re-merging at
+  /// flush barriers. Null or 1-shard keeps the single shared timeline.
+  /// Adapters hand it to the crypt layer, thin pool, and striped target.
+  std::shared_ptr<util::ClockDomain> clock_domain;
 
   std::uint64_t rng_seed = 1;
   std::uint32_t kdf_iterations = 2000;
@@ -149,13 +149,6 @@ struct SchemeOptions {
   /// Zero out the thin/crypt CPU service-time models (adversary runs and
   /// unit tests that only care about on-disk behaviour).
   bool zero_cpu_models = false;
-  /// Block cache between the mounted filesystem and the crypt layer
-  /// (cache::CacheTarget), in blocks. 0 (the default) builds the exact
-  /// pre-cache stack so baselines stay comparable.
-  std::uint64_t cache_blocks = 0;
-  /// Writeback (true) or writethrough cache policy. Writeback is demoted
-  /// to writethrough for schemes without kWritebackCacheSafe.
-  bool cache_writeback = true;
 };
 
 /// Effective cache configuration for a scheme: the caller's cache knobs

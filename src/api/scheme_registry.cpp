@@ -25,7 +25,7 @@ std::unique_ptr<PdeScheme> SchemeRegistry::create(const std::string& name,
   // With stripe_count > 1 the partition is the striped assembly and
   // `device` may legitimately be null; stack_device_for validates the
   // stripe geometry inside the adapter.
-  if (!opts.device && opts.stripe_count <= 1) {
+  if (!opts.device && opts.stack.stripe_count <= 1) {
     throw util::PolicyError("registry: SchemeOptions.device is null");
   }
   return entry(name).factory(opts);

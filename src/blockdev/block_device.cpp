@@ -137,6 +137,11 @@ std::vector<IoCompletion> BlockDevice::drain() {
   return take_ready(~std::uint64_t{0});
 }
 
+std::vector<IoCompletion> BlockDevice::wait_until(std::uint64_t cutoff) {
+  do_wait_until(cutoff);
+  return take_ready(cutoff);
+}
+
 util::Bytes BlockDevice::read_blocks(std::uint64_t first,
                                      std::uint64_t count) {
   util::Bytes out(count * block_size());
@@ -149,8 +154,17 @@ util::Bytes BlockDevice::snapshot() {
 }
 
 namespace {
-void submit_segments(BlockDevice& dev, IoOp op, std::uint64_t first,
-                     std::uint8_t* buf, std::uint64_t count) {
+std::vector<SubmitResult> submit_segments(BlockDevice& dev, IoOp op,
+                                          std::uint64_t first,
+                                          std::uint8_t* buf,
+                                          std::uint64_t count,
+                                          std::uint64_t available_ns,
+                                          bool collect) {
+  std::vector<SubmitResult> results;
+  if (collect) {
+    results.reserve(static_cast<std::size_t>(
+        (count + kSubmitSegmentBlocks - 1) / kSubmitSegmentBlocks));
+  }
   const std::size_t bs = dev.block_size();
   for (std::uint64_t done = 0; done < count; done += kSubmitSegmentBlocks) {
     const std::uint64_t n = std::min(kSubmitSegmentBlocks, count - done);
@@ -158,28 +172,46 @@ void submit_segments(BlockDevice& dev, IoOp op, std::uint64_t first,
     req.op = op;
     req.first = first + done;
     req.count = n;
+    req.available_ns = available_ns;
     const std::size_t len = static_cast<std::size_t>(n) * bs;
     if (op == IoOp::kRead) {
       req.read_buf = {buf + done * bs, len};
     } else {
       req.write_buf = {buf + done * bs, len};
     }
-    dev.submit(req);
+    const SubmitResult r = dev.submit(req);
+    if (collect) results.push_back(r);
   }
+  return results;
 }
 }  // namespace
 
 void submit_read_segments(BlockDevice& dev, std::uint64_t first,
                           util::MutByteSpan buf) {
   submit_segments(dev, IoOp::kRead, first, buf.data(),
-                  buf.size() / dev.block_size());
+                  buf.size() / dev.block_size(), 0, false);
 }
 
 void submit_write_segments(BlockDevice& dev, std::uint64_t first,
                            util::ByteSpan buf) {
   submit_segments(dev, IoOp::kWrite, first,
                   const_cast<std::uint8_t*>(buf.data()),
-                  buf.size() / dev.block_size());
+                  buf.size() / dev.block_size(), 0, false);
+}
+
+std::vector<SubmitResult> submit_read_segments_timed(
+    BlockDevice& dev, std::uint64_t first, util::MutByteSpan buf,
+    std::uint64_t available_ns) {
+  return submit_segments(dev, IoOp::kRead, first, buf.data(),
+                         buf.size() / dev.block_size(), available_ns, true);
+}
+
+std::vector<SubmitResult> submit_write_segments_timed(
+    BlockDevice& dev, std::uint64_t first, util::ByteSpan buf,
+    std::uint64_t available_ns) {
+  return submit_segments(dev, IoOp::kWrite, first,
+                         const_cast<std::uint8_t*>(buf.data()),
+                         buf.size() / dev.block_size(), available_ns, true);
 }
 
 void fill_random(BlockDevice& dev, std::uint64_t first, std::uint64_t count,

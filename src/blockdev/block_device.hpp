@@ -34,6 +34,29 @@ inline constexpr std::size_t kDefaultBlockSize = 4096;
 // flight on the virtual clock, and wrappers (dm-linear, LVM, thin volumes,
 // dm-crypt) forward submissions downward so the overlap happens where the
 // paper's hardware provides it — at the eMMC controller.
+//
+// Contract (the sync shim, spelled out):
+//
+//  1. submit() validates exactly like the synchronous entry points, then
+//     moves data inline: a submitted write is visible to any read — sync or
+//     async — the moment submit() returns, and a submitted read's buffer is
+//     already filled. Completions therefore carry no data, only *time*.
+//  2. A device without a service-time model (MemBlockDevice, FileBlockDevice,
+//     untimed wrappers) executes do_submit through the default shim: the
+//     request runs through the vectored hooks and completes at virtual time
+//     0 ("already done"). Such devices report completion_cutoff() == +inf,
+//     so poll_completions() reaps everything instantly and drain()/
+//     wait_until() are pure reaps.
+//  3. On a timed device, completions become visible to poll_completions()
+//     once the device clock reaches their complete_ns. drain() is the full
+//     barrier (advance past ALL in-flight work); wait_until(cutoff) is the
+//     partial barrier (advance the clock to at most `cutoff`, reap only what
+//     finished by then, leave the rest in flight). Synchronous read/write
+//     calls on a timed device drain implicitly before servicing.
+//  4. Tickets are assigned in submission order and completions are reaped
+//     sorted by (complete_ns, ticket) — a total order independent of which
+//     thread submitted, which is what keeps multi-threaded submitters
+//     (per-stripe workers, the background cache flusher) deterministic.
 
 enum class IoOp : std::uint8_t { kRead, kWrite, kFlush };
 
@@ -138,6 +161,14 @@ class BlockDevice {
   /// implicitly on timed devices.
   std::vector<IoCompletion> drain();
 
+  /// Partial barrier: waits (on the virtual timeline) until `cutoff` and
+  /// reaps completions at or before it. Unlike drain(), requests completing
+  /// after `cutoff` stay in flight and the device clock advances to at most
+  /// `cutoff` — background workers (the cache flusher) and sharded-clock
+  /// sync wrappers use this to close a *specific* request's timeline
+  /// without serialising behind unrelated in-flight traffic.
+  std::vector<IoCompletion> wait_until(std::uint64_t cutoff);
+
   /// Advisory number of requests the device keeps in flight (NCQ-style).
   /// Wrapper targets forward to their lower device; TimedDevice models it
   /// on the virtual clock. Depth 1 (the default) preserves the historical
@@ -162,6 +193,11 @@ class BlockDevice {
   /// Drain hook: advance the clock past all in-flight work. Default no-op
   /// (the sync shim never leaves work in flight).
   virtual void do_drain() {}
+
+  /// wait_until hook: advance the device clock to at most `cutoff`.
+  /// Default no-op (untimed devices have nothing to wait for); TimedDevice
+  /// advances its clock shard, wrapper targets forward downward.
+  virtual void do_wait_until(std::uint64_t cutoff) { (void)cutoff; }
   /// Bounds/size validation shared by implementations.
   void check_io(std::uint64_t index, std::size_t len) const;
 
@@ -230,6 +266,21 @@ void submit_read_segments(BlockDevice& dev, std::uint64_t first,
 /// Write-side twin of submit_read_segments.
 void submit_write_segments(BlockDevice& dev, std::uint64_t first,
                            util::ByteSpan buf);
+
+/// Per-segment variant of submit_read_segments: returns one SubmitResult
+/// per submitted segment, in submission order, so callers scheduling
+/// dependent work — the background cache flusher riding poll_completions()
+/// and the sharded-clock sync wrappers — know each segment's modelled
+/// completion time without a drain(). Segments may start no earlier than
+/// `available_ns` (0 = immediately).
+std::vector<SubmitResult> submit_read_segments_timed(
+    BlockDevice& dev, std::uint64_t first, util::MutByteSpan buf,
+    std::uint64_t available_ns = 0);
+
+/// Write-side twin of submit_read_segments_timed.
+std::vector<SubmitResult> submit_write_segments_timed(
+    BlockDevice& dev, std::uint64_t first, util::ByteSpan buf,
+    std::uint64_t available_ns = 0);
 
 /// Fills blocks [first, first+count) with random noise, streamed through
 /// the vectored write path in multi-block batches — the "fill the disk

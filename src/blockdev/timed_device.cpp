@@ -46,7 +46,15 @@ TimingModel TimingModel::nand_sim() {
 
 TimedDevice::TimedDevice(std::shared_ptr<BlockDevice> inner, TimingModel model,
                          std::shared_ptr<util::SimClock> clock)
-    : inner_(std::move(inner)), model_(model), clock_(std::move(clock)) {}
+    : inner_(std::move(inner)), model_(model), clock_(std::move(clock)) {
+  reset_hook_ = clock_->add_reset_hook([this] {
+    ctrl_free_ns_ = 0;
+    for (std::uint64_t& s : slot_free_ns_) s = 0;
+    outstanding_ns_.clear();
+  });
+}
+
+TimedDevice::~TimedDevice() { clock_->remove_reset_hook(reset_hook_); }
 
 std::uint64_t TimedDevice::command_ns(std::uint64_t first,
                                       std::uint64_t count, bool is_write) {
@@ -154,6 +162,12 @@ std::uint64_t TimedDevice::completion_cutoff() const noexcept {
 }
 
 void TimedDevice::do_drain() { advance_to_idle(); }
+
+void TimedDevice::do_wait_until(std::uint64_t cutoff) {
+  // Outstanding queue tags deliberately stay put: entries at or before the
+  // new "now" are released lazily by the next submission's admission check.
+  if (cutoff > clock_->now()) clock_->advance(cutoff - clock_->now());
+}
 
 void TimedDevice::read_block(std::uint64_t index, util::MutByteSpan out) {
   advance_to_idle();

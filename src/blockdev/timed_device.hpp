@@ -64,6 +64,10 @@ class TimedDevice final : public BlockDevice {
  public:
   TimedDevice(std::shared_ptr<BlockDevice> inner, TimingModel model,
               std::shared_ptr<util::SimClock> clock);
+  ~TimedDevice() override;
+
+  TimedDevice(const TimedDevice&) = delete;
+  TimedDevice& operator=(const TimedDevice&) = delete;
 
   std::size_t block_size() const noexcept override {
     return inner_->block_size();
@@ -106,6 +110,10 @@ class TimedDevice final : public BlockDevice {
 
   /// Advances the clock past every in-flight request.
   void do_drain() override;
+  /// Advances the clock to at most `cutoff` (never clears outstanding
+  /// queue tags — requests completing after the cutoff stay in flight and
+  /// are reaped by admission control or a later barrier).
+  void do_wait_until(std::uint64_t cutoff) override;
   /// Vectored I/O is costed as ONE command (per-IO overhead + at most one
   /// locality penalty) plus `count` sequential block transfers — the reason
   /// batched paths win virtual time over per-block loops.
@@ -146,6 +154,9 @@ class TimedDevice final : public BlockDevice {
   /// the earliest completion when the queue is full. Makes depth-1 async
   /// bit-identical in time to the synchronous path.
   std::vector<std::uint64_t> outstanding_ns_;
+  /// Clock reset hook: ctrl/slot/outstanding times are absolute virtual
+  /// nanoseconds and must zero with the clock between bench repetitions.
+  util::SimClock::ResetHookId reset_hook_ = 0;
 };
 
 /// Pure counting wrapper (no timing) for unit tests and I/O-amplification
@@ -199,6 +210,9 @@ class StatsDevice final : public BlockDevice {
     return inner_->submit(req).complete_ns;
   }
   void do_drain() override { inner_->drain(); }
+  void do_wait_until(std::uint64_t cutoff) override {
+    inner_->wait_until(cutoff);
+  }
 
  private:
   std::shared_ptr<BlockDevice> inner_;

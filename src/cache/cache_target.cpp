@@ -16,6 +16,18 @@ CacheTarget::CacheTarget(std::shared_ptr<blockdev::BlockDevice> lower,
                             "for an optional cache)");
   }
   entries_.reserve(static_cast<std::size_t>(config_.capacity_blocks));
+  if (config_.flusher.enabled) {
+    if (clock_) {
+      // A bench-repetition clock reset must forget the pending deadline or
+      // the first dirty block of the next repetition inherits ghost age.
+      reset_hook_ = clock_->add_reset_hook([this] {
+        have_first_dirty_ = false;
+        first_dirty_ns_ = 0;
+      });
+      have_reset_hook_ = true;
+    }
+    flusher_thread_ = std::thread([this] { flusher_main(); });
+  }
 }
 
 CacheTarget::~CacheTarget() {
@@ -25,6 +37,66 @@ CacheTarget::~CacheTarget() {
     flush_dirty();
   } catch (...) {  // NOLINT(bugprone-empty-catch)
   }
+  if (flusher_thread_.joinable()) {
+    {
+      util::MutexLock lock(flusher_mu_);
+      flusher_exit_ = true;
+      flusher_cv_.notify_all();
+    }
+    flusher_thread_.join();
+  }
+  if (have_reset_hook_ && clock_) clock_->remove_reset_hook(reset_hook_);
+}
+
+void CacheTarget::flusher_main() {
+  for (;;) {
+    {
+      util::MutexLock lock(flusher_mu_);
+      while (!flusher_busy_ && !flusher_exit_) flusher_cv_.wait(flusher_mu_);
+      if (!flusher_busy_) return;  // exit requested, nothing handed off
+    }
+    // The foreground handed us the whole stack: it will not touch cache or
+    // lower-device state until join_flusher() observes !flusher_busy_, so
+    // the writeback below needs no further locking.
+    std::exception_ptr err;
+    try {
+      write_back_dirty(/*background=*/true);
+    } catch (...) {
+      err = std::current_exception();
+    }
+    util::MutexLock lock(flusher_mu_);
+    if (err && !flusher_error_) flusher_error_ = err;
+    flusher_busy_ = false;
+    flusher_cv_.notify_all();
+    if (flusher_exit_) return;
+  }
+}
+
+void CacheTarget::join_flusher() {
+  if (!flusher_thread_.joinable()) return;
+  std::exception_ptr err;
+  {
+    util::MutexLock lock(flusher_mu_);
+    while (flusher_busy_) flusher_cv_.wait(flusher_mu_);
+    err = flusher_error_;
+    flusher_error_ = nullptr;
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+void CacheTarget::maybe_kick_flusher() {
+  if (!config_.flusher.enabled || dirty_fifo_.empty()) return;
+  const bool ratio_hit =
+      dirty_fifo_.size() * 100 >=
+      config_.capacity_blocks * config_.flusher.dirty_ratio_pct;
+  const bool deadline_hit =
+      clock_ && have_first_dirty_ &&
+      clock_->now() >= first_dirty_ns_ + config_.flusher.deadline_ns;
+  if (!ratio_hit && !deadline_hit) return;
+  ++counters_.flusher_batches;
+  util::MutexLock lock(flusher_mu_);
+  flusher_busy_ = true;
+  flusher_cv_.notify_all();
 }
 
 void CacheTarget::charge_copy(std::uint64_t blocks) {
@@ -74,6 +146,11 @@ CacheTarget::ensure_entry(std::uint64_t block, bool* inserted) {
 }
 
 void CacheTarget::flush_dirty() {
+  join_flusher();
+  write_back_dirty(/*background=*/false);
+}
+
+void CacheTarget::write_back_dirty(bool background) {
   if (dirty_fifo_.empty()) return;
   const std::size_t bs = block_size();
   stage_.resize(dirty_fifo_.size() * bs);
@@ -91,7 +168,13 @@ void CacheTarget::flush_dirty() {
     ++counters_.writeback_runs;
     const util::ByteSpan run{stage_.data() + buf_offset,
                              static_cast<std::size_t>(blocks) * bs};
-    if (async) {
+    if (background) {
+      // Deadline-driven writeback never barriers the queue: timed segment
+      // submission tells us each segment's modelled completion without a
+      // drain, and the foreground traffic issued after the join overlaps
+      // the tail of this batch on the virtual timeline.
+      blockdev::submit_write_segments_timed(*lower_, run_first, run);
+    } else if (async) {
       blockdev::submit_write_segments(*lower_, run_first, run);
     } else {
       lower_->write_blocks(run_first, run);
@@ -104,7 +187,13 @@ void CacheTarget::flush_dirty() {
     off += bs;
   }
   runs.flush();
-  if (async) lower_->drain();
+  if (background) {
+    // Reap whatever already finished; the rest stays in flight until the
+    // next barrier (fs sync / drain).
+    lower_->poll_completions();
+  } else if (async) {
+    lower_->drain();
+  }
   // Bookkeeping only clears after every run landed: if a lower layer threw
   // mid-flush (say NoSpaceError from the thin pool), the set stays dirty
   // and the next flush retries instead of silently serving RAM-only data.
@@ -113,6 +202,7 @@ void CacheTarget::flush_dirty() {
     entries_.at(block).dirty = false;
   }
   dirty_fifo_.clear();
+  have_first_dirty_ = false;
 }
 
 void CacheTarget::read_block(std::uint64_t index, util::MutByteSpan out) {
@@ -127,6 +217,7 @@ void CacheTarget::write_block(std::uint64_t index, util::ByteSpan data) {
 
 void CacheTarget::do_read_blocks(std::uint64_t first, std::uint64_t count,
                                  util::MutByteSpan out) {
+  join_flusher();
   const std::size_t bs = block_size();
   // Miss runs are fetched read-through: one vectored async submission per
   // contiguous missing range, directly into the caller's buffer, then the
@@ -179,6 +270,7 @@ void CacheTarget::do_read_blocks(std::uint64_t first, std::uint64_t count,
 }
 
 void CacheTarget::do_write_blocks(std::uint64_t first, util::ByteSpan data) {
+  join_flusher();
   const std::size_t bs = block_size();
   const std::uint64_t count = data.size() / bs;
 
@@ -204,10 +296,15 @@ void CacheTarget::do_write_blocks(std::uint64_t first, util::ByteSpan data) {
     std::memcpy(it->second.data.data(), data.data() + i * bs, bs);
     if (!it->second.dirty) {
       it->second.dirty = true;
+      if (dirty_fifo_.empty()) {
+        first_dirty_ns_ = clock_ ? clock_->now() : 0;
+        have_first_dirty_ = true;
+      }
       dirty_fifo_.push_back(block);
     }
     charge_copy(1);
   }
+  maybe_kick_flusher();
 }
 
 void CacheTarget::flush() {
@@ -218,6 +315,11 @@ void CacheTarget::flush() {
 void CacheTarget::do_drain() {
   flush_dirty();
   lower_->drain();
+}
+
+void CacheTarget::do_wait_until(std::uint64_t cutoff) {
+  join_flusher();
+  lower_->wait_until(cutoff);
 }
 
 std::shared_ptr<blockdev::BlockDevice> wrap(

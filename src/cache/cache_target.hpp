@@ -40,13 +40,17 @@
 #pragma once
 
 #include <cstdint>
+#include <exception>
 #include <list>
 #include <memory>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "blockdev/block_device.hpp"
 #include "util/sim_clock.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace mobiceal::cache {
 
@@ -59,6 +63,23 @@ enum class WritePolicy : std::uint8_t {
   kWriteback,
 };
 
+/// Background-writeback policy (the kupdate/dirty-ratio analogue). When
+/// enabled, a real worker thread writes the dirty set back whenever the
+/// dirty ratio or the age of the oldest dirty block crosses a threshold,
+/// riding poll_completions()/wait-free submission instead of a full
+/// drain() barrier. The worker only ever runs while the foreground is
+/// *outside* the cache (every entry point joins it first), so the flushed
+/// image stays bit-identical to the synchronous first-dirty writeback —
+/// batches are staged in the same global FIFO order.
+struct FlusherPolicy {
+  bool enabled = false;
+  /// Kick the worker once dirty blocks reach this percentage of capacity.
+  std::uint32_t dirty_ratio_pct = 50;
+  /// ... or once the oldest dirty block is this old on the virtual clock
+  /// (needs a clock; ignored on untimed stacks).
+  std::uint64_t deadline_ns = 10'000'000;
+};
+
 struct CacheConfig {
   /// Cache capacity in blocks. 0 disables the cache (wrap() returns the
   /// lower device unchanged).
@@ -69,6 +90,9 @@ struct CacheConfig {
   /// SimClock so cache hits are fast but never free on the virtual
   /// timeline.
   std::uint64_t copy_ns_per_block = 200;
+  /// Background flusher; disabled by default (bit- and time-identical to
+  /// the historical synchronous writeback).
+  FlusherPolicy flusher;
 };
 
 /// Running counters, exposed for tests and bench_cache.
@@ -80,6 +104,7 @@ struct CacheCounters {
   std::uint64_t writeback_runs = 0;   ///< vectored runs those coalesced into
   std::uint64_t evictions = 0;        ///< entries dropped for capacity
   std::uint64_t epochs = 0;           ///< dirty-set flushes forced by eviction
+  std::uint64_t flusher_batches = 0;  ///< writebacks handed to the worker
 };
 
 class CacheTarget final : public blockdev::BlockDevice {
@@ -129,6 +154,7 @@ class CacheTarget final : public blockdev::BlockDevice {
   /// Drain is the async barrier: dirty set flushes first, then the lower
   /// device drains.
   void do_drain() override;
+  void do_wait_until(std::uint64_t cutoff) override;
 
  private:
   struct Entry {
@@ -154,8 +180,29 @@ class CacheTarget final : public blockdev::BlockDevice {
   /// Writes back all dirty blocks in first-dirty order, coalescing
   /// physically contiguous neighbours into vectored submit() runs, then
   /// drains the lower device so the batch completes as one overlapped
-  /// flight. Clears the dirty set.
+  /// flight. Clears the dirty set. Joins the background worker first.
   void flush_dirty();
+
+  /// The shared writeback body. Foreground (`background == false`) keeps
+  /// the historical semantics: submit runs, then a full lower drain().
+  /// Background keeps the lower queue open: timed segment submission plus
+  /// a poll_completions() reap, so traffic issued after the handoff
+  /// overlaps the writeback on the virtual timeline.
+  void write_back_dirty(bool background);
+
+  /// Blocks until the worker is idle and rethrows any stored worker error.
+  /// Every foreground entry point calls this before touching cache state —
+  /// the join discipline that gives the worker exclusive access to the
+  /// whole lower stack while it runs.
+  void join_flusher() EXCLUDES(flusher_mu_);
+
+  /// Hands the (frozen) dirty set to the worker when the dirty-ratio or
+  /// oldest-dirty deadline trips. Caller must not touch cache or lower
+  /// state again before join_flusher().
+  void maybe_kick_flusher() EXCLUDES(flusher_mu_);
+
+  /// Worker thread main loop.
+  void flusher_main() EXCLUDES(flusher_mu_);
 
   void charge_copy(std::uint64_t blocks);
 
@@ -170,6 +217,22 @@ class CacheTarget final : public blockdev::BlockDevice {
   CacheCounters counters_;
   /// Staging buffer reused by flush_dirty (no per-flush allocation churn).
   util::Bytes stage_;
+
+  // -- background flusher ------------------------------------------------------
+  util::Mutex flusher_mu_;
+  util::CondVar flusher_cv_;
+  /// Worker owns the cache + lower stack while true; foreground waits.
+  bool flusher_busy_ GUARDED_BY(flusher_mu_) = false;
+  bool flusher_exit_ GUARDED_BY(flusher_mu_) = false;
+  /// First error thrown by a background writeback, rethrown at the next
+  /// join (the foreground write that would have seen it synchronously).
+  std::exception_ptr flusher_error_ GUARDED_BY(flusher_mu_);
+  std::thread flusher_thread_;
+  /// Virtual timestamp of the oldest dirty block (deadline trigger).
+  std::uint64_t first_dirty_ns_ = 0;
+  bool have_first_dirty_ = false;
+  util::SimClock::ResetHookId reset_hook_ = 0;
+  bool have_reset_hook_ = false;
 };
 
 /// Wraps `lower` in a CacheTarget when the config enables one

@@ -67,6 +67,7 @@ void MobiCealDevice::setup_lvm_and_pool(bool format) {
   } else {
     pool_ = thin::ThinPool::open(meta_lv, data_lv, clock_);
   }
+  if (config_.clock_domain) pool_->set_clock_domain(config_.clock_domain);
 }
 
 void MobiCealDevice::wire_dummy_engine() {
@@ -282,6 +283,7 @@ std::shared_ptr<blockdev::BlockDevice> MobiCealDevice::make_crypt_device(
   }
   auto crypt = std::make_shared<dm::CryptTarget>(
       lower, config_.cipher_spec, key, clock_, config_.crypt_cpu);
+  if (config_.clock_domain) crypt->set_clock_domain(config_.clock_domain);
   // Per-mount block cache between the filesystem and dm-crypt. Each
   // make_crypt_device call produces a fresh cache, so a mode switch never
   // carries cached plaintext (or a stale view) across volumes.

@@ -34,6 +34,7 @@
 #include "fs/ext_fs.hpp"
 #include "lvm/lvm.hpp"
 #include "thin/thin_pool.hpp"
+#include "util/clock_domain.hpp"
 
 namespace mobiceal::core {
 
@@ -72,6 +73,13 @@ class MobiCealDevice {
     /// (capacity_blocks == 0 keeps the historical uncached stack). Dummy
     /// writes are issued below the mount, so they always bypass it.
     cache::CacheConfig cache;
+    /// Sharded virtual-clock domain (util::ClockDomain). The `clock`
+    /// argument of initialize()/attach() must be shard 0 of this domain.
+    /// Null or 1-shard keeps the single shared timeline; with >1 shards
+    /// the thin pool's CPU-lane model and the crypt layer's partial
+    /// barriers (wait_until instead of drain) switch on, overlapping
+    /// stripe service across the domain.
+    std::shared_ptr<util::ClockDomain> clock_domain;
   };
 
   /// "vdc cryptfs pde wipe <pub_pwd> <num_vol> <hid_pwds>" (Sec. V-B).

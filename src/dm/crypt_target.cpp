@@ -23,7 +23,17 @@ CryptTarget::CryptTarget(std::shared_ptr<blockdev::BlockDevice> lower,
       cpu_(cpu),
       pool_(pool ? std::move(pool) : crypto::CryptoWorkerPool::shared()),
       sectors_per_block_(lower_->block_size() / blockdev::kSectorSize),
-      lane_free_ns_(std::max<std::uint32_t>(1, cpu.lanes), 0) {}
+      lane_free_ns_(std::max<std::uint32_t>(1, cpu.lanes), 0) {
+  if (clock_) {
+    reset_hook_ = clock_->add_reset_hook([this] {
+      for (std::uint64_t& lane : lane_free_ns_) lane = 0;
+    });
+  }
+}
+
+CryptTarget::~CryptTarget() {
+  if (clock_) clock_->remove_reset_hook(reset_hook_);
+}
 
 void CryptTarget::set_crypto_pool(
     std::shared_ptr<crypto::CryptoWorkerPool> pool) {
@@ -161,7 +171,13 @@ void CryptTarget::read_pipelined(std::uint64_t first, std::uint64_t count,
     last_done =
         lane_charge(s.done_ns, cpu_.decrypt_ns_per_block * s.blocks);
   }
-  lower_->drain();
+  if (overlapped()) {
+    // Close only this read's timeline: stripes advance to at most the last
+    // decrypt-ready instant, and unrelated in-flight traffic keeps flying.
+    lower_->wait_until(last_done);
+  } else {
+    lower_->drain();
+  }
   if (clock_ && last_done > clock_->now()) {
     clock_->advance(last_done - clock_->now());
   }
@@ -219,7 +235,11 @@ void CryptTarget::write_pipelined(std::uint64_t first, util::ByteSpan data) {
     }
     if (i + 1 < n_segs) next_ready.get();
   }
-  lower_->drain();
+  // Sharded mode leaves the segments in flight — per-stripe admission
+  // control orders them against later traffic, and the next flush barrier
+  // re-merges the shard timelines. Single-timeline mode keeps the
+  // historical full barrier.
+  if (!overlapped()) lower_->drain();
 }
 
 std::uint64_t CryptTarget::do_submit(const blockdev::IoRequest& req) {
@@ -260,6 +280,13 @@ void CryptTarget::do_drain() {
       *std::max_element(lane_free_ns_.begin(), lane_free_ns_.end());
   if (clock_ && busy > clock_->now()) {
     clock_->advance(busy - clock_->now());
+  }
+}
+
+void CryptTarget::do_wait_until(std::uint64_t cutoff) {
+  lower_->wait_until(cutoff);
+  if (clock_ && cutoff > clock_->now()) {
+    clock_->advance(cutoff - clock_->now());
   }
 }
 

@@ -22,6 +22,7 @@
 #include "blockdev/block_device.hpp"
 #include "crypto/crypto_pool.hpp"
 #include "crypto/modes.hpp"
+#include "util/clock_domain.hpp"
 #include "util/sim_clock.hpp"
 
 namespace mobiceal::dm {
@@ -60,6 +61,10 @@ class CryptTarget final : public blockdev::BlockDevice {
               std::shared_ptr<util::SimClock> clock = nullptr,
               CryptCpuModel cpu = CryptCpuModel::snapdragon_s4(),
               std::shared_ptr<crypto::CryptoWorkerPool> pool = nullptr);
+  ~CryptTarget() override;
+
+  CryptTarget(const CryptTarget&) = delete;
+  CryptTarget& operator=(const CryptTarget&) = delete;
 
   std::size_t block_size() const noexcept override {
     return lower_->block_size();
@@ -86,6 +91,16 @@ class CryptTarget final : public blockdev::BlockDevice {
   /// Replaces the crypto worker pool (tests/benches; null = inline).
   void set_crypto_pool(std::shared_ptr<crypto::CryptoWorkerPool> pool);
 
+  /// Attaches the stack's ClockDomain. `clock` stays the CPU anchor (shard
+  /// 0); with > 1 shard the pipelined paths stop issuing full lower-device
+  /// drains — writes leave their segments in flight until the next flush
+  /// barrier and reads close only their own timeline via wait_until() — so
+  /// the per-stripe shards below advance independently. A 1-shard domain
+  /// changes nothing.
+  void set_clock_domain(std::shared_ptr<util::ClockDomain> domain) {
+    domain_ = std::move(domain);
+  }
+
   /// Blocks per pipeline segment on the vectored paths when the lower
   /// device keeps multiple requests in flight (128 KiB at 4 KiB blocks).
   static constexpr std::uint64_t kPipelineBlocks = 32;
@@ -103,8 +118,14 @@ class CryptTarget final : public blockdev::BlockDevice {
   /// carries the ciphertext-ready time), submit-then-decrypt for reads.
   std::uint64_t do_submit(const blockdev::IoRequest& req) override;
   void do_drain() override;
+  void do_wait_until(std::uint64_t cutoff) override;
 
  private:
+  /// Sharded-clock mode: pipelined paths overlap across stripes instead of
+  /// draining the whole lower stack.
+  bool overlapped() const noexcept {
+    return domain_ && domain_->shard_count() > 1;
+  }
   /// Sharded range transform on the worker pool (bytes identical to the
   /// serial call for any thread count).
   void xform_range(bool encrypt, std::uint64_t first_sector,
@@ -126,6 +147,8 @@ class CryptTarget final : public blockdev::BlockDevice {
   std::shared_ptr<blockdev::BlockDevice> lower_;
   std::unique_ptr<crypto::SectorCipher> cipher_;
   std::shared_ptr<util::SimClock> clock_;
+  std::shared_ptr<util::ClockDomain> domain_;
+  util::SimClock::ResetHookId reset_hook_ = 0;
   CryptCpuModel cpu_;
   std::shared_ptr<crypto::CryptoWorkerPool> pool_;
   std::size_t sectors_per_block_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "crypto/crypto_pool.hpp"
 #include "util/error.hpp"
 
 namespace mobiceal::dm {
@@ -9,7 +10,16 @@ namespace mobiceal::dm {
 StripedTarget::StripedTarget(
     std::vector<std::shared_ptr<blockdev::BlockDevice>> stripes,
     std::uint32_t chunk_blocks)
-    : stripes_(std::move(stripes)), chunk_blocks_(chunk_blocks) {
+    : StripedTarget(std::move(stripes), chunk_blocks, nullptr, nullptr) {}
+
+StripedTarget::StripedTarget(
+    std::vector<std::shared_ptr<blockdev::BlockDevice>> stripes,
+    std::uint32_t chunk_blocks, std::shared_ptr<util::ClockDomain> domain,
+    std::shared_ptr<crypto::CryptoWorkerPool> submit_pool)
+    : stripes_(std::move(stripes)),
+      domain_(std::move(domain)),
+      submit_pool_(std::move(submit_pool)),
+      chunk_blocks_(chunk_blocks) {
   if (stripes_.empty()) {
     throw util::PolicyError("striped: need at least one backing device");
   }
@@ -77,6 +87,11 @@ std::vector<StripedTarget::StripeRun> StripedTarget::split_range(
   return runs;
 }
 
+bool StripedTarget::parallel_submit() const noexcept {
+  return submit_pool_ && submit_pool_->threads() > 1 && domain_ &&
+         domain_->shard_count() > 1;
+}
+
 std::uint64_t StripedTarget::fan_out(const blockdev::IoRequest& req,
                                      std::vector<std::uint32_t>* involved) {
   const std::size_t bs = block_size();
@@ -87,6 +102,70 @@ std::uint64_t StripedTarget::fan_out(const blockdev::IoRequest& req,
   const auto runs = split_range(req.first, req.count);
   if (runs.size() > 1) split_requests_.fetch_add(1, std::memory_order_relaxed);
   sub_requests_.fetch_add(runs.size(), std::memory_order_relaxed);
+
+  if (parallel_submit() && runs.size() > 1) {
+    // True multi-threaded submitters, one worker per stripe run. Gather
+    // (for writes) happens up front and scatter (for reads) after the join,
+    // so workers only touch their own stripe device — split_range yields at
+    // most one run per stripe, member state is disjoint, and TimedDevice
+    // submission reads but never advances its clock shard. Each member's
+    // virtual timeline is a pure function of its own request sequence, so
+    // the result is bit-identical to the serial loop below.
+    struct SubRun {
+      blockdev::IoRequest sub;
+      util::Bytes staging;
+      const StripeRun* run = nullptr;
+    };
+    std::vector<SubRun> subs(runs.size());
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      const StripeRun& run = runs[i];
+      if (involved) involved->push_back(run.stripe);
+      SubRun& sr = subs[i];
+      sr.run = &run;
+      sr.sub.op = req.op;
+      sr.sub.first = run.inner_first;
+      sr.sub.count = run.blocks;
+      sr.sub.user_data = req.user_data;
+      sr.sub.available_ns = req.available_ns;
+      const std::size_t run_bytes = static_cast<std::size_t>(run.blocks) * bs;
+      if (run.pieces.size() == 1) {
+        if (is_write) {
+          sr.sub.write_buf = {buf + run.pieces.front().buf_off, run_bytes};
+        } else {
+          sr.sub.read_buf = {buf + run.pieces.front().buf_off, run_bytes};
+        }
+        continue;
+      }
+      sr.staging.resize(run_bytes);
+      if (is_write) {
+        std::size_t off = 0;
+        for (const Piece& p : run.pieces) {
+          std::copy_n(buf + p.buf_off, p.len, sr.staging.data() + off);
+          off += p.len;
+        }
+        sr.sub.write_buf = sr.staging;
+      } else {
+        sr.sub.read_buf = sr.staging;
+      }
+    }
+    std::vector<std::uint64_t> dones(runs.size(), 0);
+    submit_pool_->parallel(runs.size(), [&](std::size_t i) {
+      dones[i] = stripes_[subs[i].run->stripe]->submit(subs[i].sub).complete_ns;
+    });
+    std::uint64_t done = 0;
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      done = std::max(done, dones[i]);
+      const StripeRun& run = *subs[i].run;
+      if (!is_write && run.pieces.size() > 1) {
+        std::size_t off = 0;
+        for (const Piece& p : run.pieces) {
+          std::copy_n(subs[i].staging.data() + off, p.len, buf + p.buf_off);
+          off += p.len;
+        }
+      }
+    }
+    return done;
+  }
 
   std::uint64_t done = 0;
   util::Bytes staging;  // local: concurrent submitters never share it
@@ -207,15 +286,23 @@ void StripedTarget::do_drain() {
   for (const auto& s : stripes_) s->drain();
 }
 
+void StripedTarget::do_wait_until(std::uint64_t cutoff) {
+  for (const auto& s : stripes_) s->wait_until(cutoff);
+}
+
 void StripedTarget::flush() {
   if (stripe_count() == 1) {
     stripes_.front()->flush();
+    if (domain_) domain_->sync();
     return;
   }
   blockdev::IoRequest req;
   req.op = blockdev::IoOp::kFlush;
   for (const auto& s : stripes_) s->submit(req);
   for (const auto& s : stripes_) s->drain();
+  // Flush is where the shards re-merge: after the member barriers, pin
+  // every shard to the max so the layers above observe one timeline.
+  if (domain_) domain_->sync();
 }
 
 void StripedTarget::set_queue_depth(std::uint32_t depth) {

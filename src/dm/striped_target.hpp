@@ -17,11 +17,17 @@
 // to the unstriped stack by construction.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <memory>
 #include <vector>
 
 #include "blockdev/block_device.hpp"
+#include "util/clock_domain.hpp"
+
+namespace mobiceal::crypto {
+class CryptoWorkerPool;
+}  // namespace mobiceal::crypto
 
 namespace mobiceal::dm {
 
@@ -32,6 +38,21 @@ class StripedTarget final : public blockdev::BlockDevice {
   /// util::PolicyError on any geometry violation.
   StripedTarget(std::vector<std::shared_ptr<blockdev::BlockDevice>> stripes,
                 std::uint32_t chunk_blocks);
+
+  /// Sharded-clock variant: `domain` holds one SimClock shard per stripe
+  /// (stripe i advances shard_for(i)); flush() re-merges the shards with a
+  /// domain sync after the member barriers. When `submit_pool` has worker
+  /// threads and the domain has > 1 shard, multi-stripe fan-outs are
+  /// submitted by concurrent workers — safe because split_range yields at
+  /// most one run per stripe (disjoint member state) and TimedDevice
+  /// submission never advances its clock shard, and deterministic because
+  /// each member timeline is a pure function of its own request sequence.
+  /// A 1-shard domain (or null pool) behaves exactly like the first ctor.
+  StripedTarget(std::vector<std::shared_ptr<blockdev::BlockDevice>> stripes,
+                std::uint32_t chunk_blocks,
+                std::shared_ptr<util::ClockDomain> domain,
+                std::shared_ptr<crypto::CryptoWorkerPool> submit_pool =
+                    nullptr);
 
   std::size_t block_size() const noexcept override {
     return stripes_.front()->block_size();
@@ -49,10 +70,16 @@ class StripedTarget final : public blockdev::BlockDevice {
     return stripes_.front()->queue_depth();
   }
   void set_queue_depth(std::uint32_t depth) override;
-  /// Completion cutoff of the first stripe — the backing devices share one
-  /// SimClock, so any member reports the common timeline.
+  /// Minimum cutoff over the members: a completion is poll-ready only once
+  /// every member timeline has reached it. With a shared clock (or a
+  /// 1-shard domain) all members report the same instant, preserving the
+  /// historical behaviour bit-for-bit.
   std::uint64_t completion_cutoff() const noexcept override {
-    return stripes_.front()->completion_cutoff();
+    std::uint64_t cutoff = stripes_.front()->completion_cutoff();
+    for (std::size_t i = 1; i < stripes_.size(); ++i) {
+      cutoff = std::min(cutoff, stripes_[i]->completion_cutoff());
+    }
+    return cutoff;
   }
 
   // -- geometry (tests, image reconstruction) ---------------------------------
@@ -93,6 +120,7 @@ class StripedTarget final : public blockdev::BlockDevice {
   /// engine); returns the latest modelled completion time.
   std::uint64_t do_submit(const blockdev::IoRequest& req) override;
   void do_drain() override;
+  void do_wait_until(std::uint64_t cutoff) override;
 
  private:
   /// One logically ordered buffer piece of a per-stripe sub-run.
@@ -121,7 +149,13 @@ class StripedTarget final : public blockdev::BlockDevice {
   std::uint64_t fan_out(const blockdev::IoRequest& req,
                         std::vector<std::uint32_t>* involved);
 
+  /// True when fan-outs may be submitted from pool workers (sharded domain
+  /// + threaded pool).
+  bool parallel_submit() const noexcept;
+
   std::vector<std::shared_ptr<blockdev::BlockDevice>> stripes_;
+  std::shared_ptr<util::ClockDomain> domain_;
+  std::shared_ptr<crypto::CryptoWorkerPool> submit_pool_;
   std::uint32_t chunk_blocks_;
   std::uint64_t per_stripe_blocks_ = 0;
   std::uint64_t num_blocks_ = 0;

@@ -1,5 +1,6 @@
 #include "thin/thin_pool.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cstring>
 
@@ -17,6 +18,40 @@ ThinPool::ThinPool(std::shared_ptr<blockdev::BlockDevice> metadata_dev,
     : metadata_dev_(std::move(metadata_dev)),
       data_dev_(std::move(data_dev)),
       clock_(std::move(clock)) {}
+
+ThinPool::~ThinPool() {
+  if (have_reset_hook_ && clock_) clock_->remove_reset_hook(reset_hook_);
+}
+
+void ThinPool::set_clock_domain(std::shared_ptr<util::ClockDomain> domain) {
+  if (have_reset_hook_ && clock_) {
+    clock_->remove_reset_hook(reset_hook_);
+    have_reset_hook_ = false;
+  }
+  domain_ = std::move(domain);
+  {
+    util::MutexLock lock(cpu_mutex_);
+    cpu_lane_free_.assign(domain_ ? domain_->shard_count() : 0, 0);
+  }
+  if (domain_ && clock_) {
+    // Lane busy-times are virtual timestamps: a bench-repetition clock
+    // reset must zero them or the first chunk of the next repetition
+    // inherits ghost CPU time.
+    reset_hook_ = clock_->add_reset_hook([this] {
+      util::MutexLock lock(cpu_mutex_);
+      std::fill(cpu_lane_free_.begin(), cpu_lane_free_.end(), 0);
+    });
+    have_reset_hook_ = true;
+  }
+}
+
+std::uint64_t ThinPool::cpu_lane_charge(std::uint64_t ns) {
+  const std::uint64_t now = clock_ ? clock_->now() : 0;
+  util::MutexLock lock(cpu_mutex_);
+  auto lane = std::min_element(cpu_lane_free_.begin(), cpu_lane_free_.end());
+  *lane = std::max(*lane, now) + ns;
+  return *lane;
+}
 
 std::shared_ptr<ThinPool> ThinPool::format(
     std::shared_ptr<blockdev::BlockDevice> metadata_dev,
@@ -283,7 +318,9 @@ std::uint64_t ThinPool::allocate_chunk() {
   if (free_chunks_ == 0) {
     throw util::NoSpaceError("thin pool exhausted");
   }
-  charge(cpu_.alloc_ns);
+  // CPU cost (cpu_.alloc_ns) is charged by the caller outside the metadata
+  // mutex — either as a serial clock advance or onto a CPU lane in overlap
+  // mode — so the lock never nests a lane charge.
   const std::uint64_t chunk = sb_.policy == AllocPolicy::kRandom
                                   ? pick_random()
                                   : pick_sequential();
@@ -450,6 +487,10 @@ std::optional<std::uint64_t> ThinPool::write_noise_chunk(
     vol.map[vchunk] = phys;
     ++vol.mapped;
   }
+  // Allocation CPU cost: serial advance, or a lane finish time that floors
+  // the dummy write's availability in overlap mode (dummy traffic competes
+  // for the same pool CPUs as client bookkeeping).
+  const std::uint64_t cpu_ready = chunk_cpu_charge(cpu_.alloc_ns);
   // Serialise against client I/O on the same logical range (the observer
   // only ever reaches here for a *different* volume than the one whose
   // write triggered it, so lock order is acyclic).
@@ -471,6 +512,7 @@ std::optional<std::uint64_t> ThinPool::write_noise_chunk(
     req.first = phys * sb_.chunk_blocks;
     req.count = noise_blocks;
     req.write_buf = noise;
+    req.available_ns = cpu_ready;
     data_dev_->submit(req);
   } else {
     data_dev_->write_blocks(phys * sb_.chunk_blocks, noise);
@@ -622,8 +664,17 @@ void ThinPool::notify_fresh_provision(std::uint32_t id, std::uint64_t phys) {
 void ThinPool::volume_read_range(std::uint32_t id, std::uint64_t lblock,
                                  util::MutByteSpan out) {
   if (async_io()) {
-    submit_read_range(id, lblock, out, /*available_ns=*/0);
-    data_dev_->drain();
+    const std::uint64_t done =
+        submit_read_range(id, lblock, out, /*available_ns=*/0);
+    if (overlapped()) {
+      // Close only this read's timeline: the caller observed its data at
+      // `done`, so pinning every shard to that instant is causally exact,
+      // while requests queued behind it (other stripes, dummy writes) stay
+      // in flight.
+      data_dev_->wait_until(done);
+    } else {
+      data_dev_->drain();
+    }
     return;
   }
   const auto guard =
@@ -654,7 +705,10 @@ std::uint64_t ThinPool::submit_read_range(std::uint32_t id,
   const auto runs = resolve_extents(id, lblock, out.size() / bs);
   std::uint64_t done = available_ns;
   for (const ExtentRun& run : runs) {
-    charge(cpu_.lookup_read_ns);
+    // Mapping-lookup CPU: serial advance historically; in overlap mode an
+    // earliest-free CPU lane whose finish time floors this run's
+    // availability, so lookups for different runs overlap device service.
+    const std::uint64_t cpu_ready = chunk_cpu_charge(cpu_.lookup_read_ns);
     const std::size_t off = (run.lblock - lblock) * bs;
     const util::MutByteSpan dst{out.data() + off,
                                 static_cast<std::size_t>(run.blocks) * bs};
@@ -666,7 +720,7 @@ std::uint64_t ThinPool::submit_read_range(std::uint32_t id,
       req.first = run.phys_block;
       req.count = run.blocks;
       req.read_buf = dst;
-      req.available_ns = available_ns;
+      req.available_ns = std::max(available_ns, cpu_ready);
       done = std::max(done, data_dev_->submit(req).complete_ns);
     } else {
       std::memset(dst.data(), 0, dst.size());
@@ -679,7 +733,11 @@ void ThinPool::volume_write_range(std::uint32_t id, std::uint64_t lblock,
                                   util::ByteSpan data) {
   if (async_io()) {
     submit_write_range(id, lblock, data, /*available_ns=*/0);
-    data_dev_->drain();
+    // Overlap mode pipelines across calls: the data moved at submit, so
+    // the write is durable-enough for read-back, and the next flush
+    // barrier (fs sync) closes the timeline. Single-timeline mode keeps
+    // the historical full barrier.
+    if (!overlapped()) data_dev_->drain();
     return;
   }
   const auto guard =
@@ -698,7 +756,6 @@ void ThinPool::volume_write_range(std::uint32_t id, std::uint64_t lblock,
     const std::uint64_t off = pos % sb_.chunk_blocks;
     const std::uint64_t n = std::min<std::uint64_t>(
         sb_.chunk_blocks - off, (data.size() - done) / bs);
-    charge(cpu_.lookup_write_ns);
 
     bool fresh = false;
     std::uint64_t phys;
@@ -712,6 +769,10 @@ void ThinPool::volume_write_range(std::uint32_t id, std::uint64_t lblock,
         fresh = true;
       }
     }
+    // Same total CPU advance as the historical split (lookup before the
+    // metadata section, allocation inside it): no device op intervenes, so
+    // charging both after the section is time-identical.
+    charge(cpu_.lookup_write_ns + (fresh ? cpu_.alloc_ns : 0));
     data_dev_->write_blocks(phys * sb_.chunk_blocks + off,
                             {data.data() + done,
                              static_cast<std::size_t>(n) * bs});
@@ -740,7 +801,6 @@ std::uint64_t ThinPool::submit_write_range(std::uint32_t id,
     const std::uint64_t off = pos % sb_.chunk_blocks;
     const std::uint64_t n = std::min<std::uint64_t>(
         sb_.chunk_blocks - off, (data.size() - off_bytes) / bs);
-    charge(cpu_.lookup_write_ns);
 
     bool fresh = false;
     std::uint64_t phys;
@@ -754,12 +814,18 @@ std::uint64_t ThinPool::submit_write_range(std::uint32_t id,
         fresh = true;
       }
     }
+    // Per-chunk bookkeeping CPU (lookup + fresh-chunk allocation): a
+    // serial advance historically; in overlap mode a CPU-lane finish time
+    // that floors this segment's availability, so chunk N+1's bookkeeping
+    // overlaps chunk N's device service across stripes.
+    const std::uint64_t cpu_ready =
+        chunk_cpu_charge(cpu_.lookup_write_ns + (fresh ? cpu_.alloc_ns : 0));
     blockdev::IoRequest req;
     req.op = blockdev::IoOp::kWrite;
     req.first = phys * sb_.chunk_blocks + off;
     req.count = n;
     req.write_buf = {data.data() + off_bytes, static_cast<std::size_t>(n) * bs};
-    req.available_ns = available_ns;
+    req.available_ns = std::max(available_ns, cpu_ready);
     done = std::max(done, data_dev_->submit(req).complete_ns);
     if (fresh) notify_fresh_provision(id, phys);
     pos += n;
@@ -817,6 +883,10 @@ std::uint64_t ThinVolume::do_submit(const blockdev::IoRequest& req) {
 }
 
 void ThinVolume::do_drain() { pool_->drain_data(); }
+
+void ThinVolume::do_wait_until(std::uint64_t cutoff) {
+  pool_->data_dev_->wait_until(cutoff);
+}
 
 std::uint32_t ThinVolume::queue_depth() const noexcept {
   return pool_->data_dev_->queue_depth();

@@ -22,6 +22,7 @@
 #include "blockdev/block_device.hpp"
 #include "thin/metadata_format.hpp"
 #include "thin/range_lock.hpp"
+#include "util/clock_domain.hpp"
 #include "util/rng.hpp"
 #include "util/sim_clock.hpp"
 #include "util/sync.hpp"
@@ -192,6 +193,18 @@ class ThinPool : public std::enable_shared_from_this<ThinPool> {
   /// xoshiro seeded with 0; MobiCeal wires the CSPRNG here).
   void set_alloc_rng(util::Rng* rng) noexcept { alloc_rng_ = rng; }
 
+  /// Attaches the stack's ClockDomain — the pool-CPU overlap model. With
+  /// > 1 shard the submit paths route per-chunk CPU charges (mapping
+  /// lookups, fresh-chunk allocation) onto earliest-free CPU lanes, one
+  /// per shard, so CPU cost becomes each submission's available_ns instead
+  /// of a serial advance of the anchor clock, and the sync wrappers close
+  /// only their own request's timeline (wait_until) instead of draining
+  /// every stripe. A 1-shard domain changes nothing. Call before I/O.
+  void set_clock_domain(std::shared_ptr<util::ClockDomain> domain)
+      EXCLUDES(cpu_mutex_);
+
+  ~ThinPool();
+
  private:
   friend class ThinVolume;
 
@@ -287,9 +300,38 @@ class ThinPool : public std::enable_shared_from_this<ThinPool> {
     if (clock_) clock_->advance(ns);
   }
 
+  /// Pool-CPU overlap mode: active once a multi-shard domain is attached.
+  bool overlapped() const noexcept {
+    return domain_ && domain_->shard_count() > 1;
+  }
+
+  /// Earliest-free CPU lane runs `ns` of chunk bookkeeping starting no
+  /// earlier than the anchor clock's now; returns the lane finish time
+  /// (the submission's available_ns floor).
+  std::uint64_t cpu_lane_charge(std::uint64_t ns) EXCLUDES(cpu_mutex_);
+
+  /// Chunk CPU cost routing: overlap mode returns a lane finish time for
+  /// available_ns chaining; single-timeline mode advances the clock (the
+  /// historical model) and returns 0 so the caller's available_ns floor is
+  /// unchanged.
+  std::uint64_t chunk_cpu_charge(std::uint64_t ns) EXCLUDES(cpu_mutex_) {
+    if (!overlapped()) {
+      charge(ns);
+      return 0;
+    }
+    return cpu_lane_charge(ns);
+  }
+
   std::shared_ptr<blockdev::BlockDevice> metadata_dev_;
   std::shared_ptr<blockdev::BlockDevice> data_dev_;
   std::shared_ptr<util::SimClock> clock_;
+  std::shared_ptr<util::ClockDomain> domain_;
+  util::SimClock::ResetHookId reset_hook_ = 0;
+  bool have_reset_hook_ = false;
+  /// Guards the CPU-lane free times (overlap mode); leaf lock, never held
+  /// while acquiring any other mutex.
+  mutable util::Mutex cpu_mutex_;
+  std::vector<std::uint64_t> cpu_lane_free_ GUARDED_BY(cpu_mutex_);
   Superblock sb_;
   MetadataGeometry geom_{};
   ThinCpuModel cpu_;
@@ -346,6 +388,7 @@ class ThinVolume final : public blockdev::BlockDevice {
   /// to the synchronous metadata commit).
   std::uint64_t do_submit(const blockdev::IoRequest& req) override;
   void do_drain() override;
+  void do_wait_until(std::uint64_t cutoff) override;
 
  private:
   std::shared_ptr<ThinPool> pool_;

@@ -1,0 +1,78 @@
+#include "util/clock_domain.hpp"
+
+#include <stdexcept>
+
+namespace mobiceal::util {
+
+ClockDomain::ClockDomain(std::uint32_t shard_count) {
+  if (shard_count == 0) shard_count = 1;
+  shards_.reserve(shard_count);
+  for (std::uint32_t i = 0; i < shard_count; ++i) {
+    shards_.push_back(std::make_shared<SimClock>());
+  }
+  attach_hooks();
+}
+
+ClockDomain::ClockDomain(std::vector<std::shared_ptr<SimClock>> shards)
+    : shards_(std::move(shards)) {
+  if (shards_.empty()) {
+    throw std::invalid_argument("ClockDomain: shard list must be non-empty");
+  }
+  for (const auto& s : shards_) {
+    if (!s) throw std::invalid_argument("ClockDomain: null shard");
+  }
+  attach_hooks();
+}
+
+ClockDomain::~ClockDomain() {
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    shards_[i]->remove_reset_hook(hook_ids_[i]);
+  }
+}
+
+void ClockDomain::attach_hooks() {
+  hook_ids_.reserve(shards_.size());
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    hook_ids_.push_back(
+        shards_[i]->add_reset_hook([this, i] { on_shard_reset(i); }));
+  }
+}
+
+ClockDomain::Nanos ClockDomain::now() const noexcept {
+  Nanos merged = 0;
+  for (const auto& s : shards_) {
+    const Nanos t = s->now();
+    if (t > merged) merged = t;
+  }
+  return merged;
+}
+
+void ClockDomain::sync() noexcept {
+  const Nanos merged = now();
+  for (const auto& s : shards_) {
+    const Nanos t = s->now();
+    if (t < merged) s->advance(merged - t);
+  }
+}
+
+void ClockDomain::reset() {
+  // Resetting shard 0 propagates to the rest via on_shard_reset(); going
+  // through a shard (rather than looping here) keeps the one-hook-firing
+  // guarantee identical whether callers reset the domain or a member clock.
+  shards_.front()->reset();
+}
+
+void ClockDomain::on_shard_reset(std::size_t initiator) {
+  if (in_reset_) return;
+  in_reset_ = true;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    // The initiating shard's own reset() loop is already firing its hooks
+    // (that is how we got here); every sibling gets a full reset() so its
+    // device/lane/flusher hooks fire too, even if it already reads zero —
+    // TimedDevice slot state can be non-zero while its shard still reads 0.
+    if (i != initiator) shards_[i]->reset();
+  }
+  in_reset_ = false;
+}
+
+}  // namespace mobiceal::util

@@ -1,0 +1,79 @@
+// Sharded virtual time: the ClockDomain API.
+//
+// PR 5 gave every stripe its own submit queue, but all queues still advanced
+// ONE SimClock, so any drain on any stripe serialised the whole array onto
+// the busiest member's timeline. A ClockDomain splits the timeline into
+// shards — one per stripe / CPU lane — that advance independently between
+// barriers and merge deterministically (max over shards, scanned in pinned
+// shard-index order) at drain/sync/flush points. Shard 0 is the anchor: the
+// filesystem, benches, and CPU-charge models read and advance shard 0, so a
+// 1-shard domain is byte- and time-identical to the historical global clock.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/sim_clock.hpp"
+
+namespace mobiceal::util {
+
+/// A deterministic group of SimClock shards. Not copyable: each shard holds
+/// a reset hook pointing back at the domain so that resetting ANY shard
+/// (benches reset shard 0 between repetitions) zeroes the whole domain.
+class ClockDomain {
+ public:
+  using Nanos = SimClock::Nanos;
+
+  /// Creates `shard_count` fresh shards at time zero (0 clamps to 1).
+  explicit ClockDomain(std::uint32_t shard_count = 1);
+
+  /// Adopts existing clocks as shards (must be non-empty, no nulls). Used
+  /// by stacks that already own a SimClock and want it to become shard 0.
+  explicit ClockDomain(std::vector<std::shared_ptr<SimClock>> shards);
+
+  ~ClockDomain();
+  ClockDomain(const ClockDomain&) = delete;
+  ClockDomain& operator=(const ClockDomain&) = delete;
+
+  std::uint32_t shard_count() const noexcept {
+    return static_cast<std::uint32_t>(shards_.size());
+  }
+
+  const std::shared_ptr<SimClock>& shard(std::uint32_t i) const {
+    return shards_.at(i);
+  }
+
+  /// Shard serving stripe / lane `lane`: lanes beyond the shard count wrap
+  /// (lane % shard_count), pinning the lane→shard map independently of how
+  /// many workers actually run.
+  const std::shared_ptr<SimClock>& shard_for(std::uint32_t lane) const noexcept {
+    return shards_[lane % shards_.size()];
+  }
+
+  /// Merged "now": max over shards, scanned in pinned shard-index order so
+  /// ties always resolve identically regardless of worker interleaving.
+  Nanos now() const noexcept;
+
+  double now_seconds() const noexcept {
+    return static_cast<double>(now()) * 1e-9;
+  }
+
+  /// Barrier: pins every shard to the merged max. Called at flush/sync
+  /// points where the layers above observe a single coherent timeline.
+  void sync() noexcept;
+
+  /// Resets every shard to zero (fires each shard's reset hooks exactly
+  /// once; the cross-shard propagation hook guards against recursion).
+  void reset();
+
+ private:
+  void attach_hooks();
+  void on_shard_reset(std::size_t initiator);
+
+  std::vector<std::shared_ptr<SimClock>> shards_;
+  std::vector<SimClock::ResetHookId> hook_ids_;
+  bool in_reset_ = false;
+};
+
+}  // namespace mobiceal::util

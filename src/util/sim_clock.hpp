@@ -8,6 +8,9 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
 
 namespace mobiceal::util {
 
@@ -16,6 +19,7 @@ namespace mobiceal::util {
 class SimClock {
  public:
   using Nanos = std::uint64_t;
+  using ResetHookId = std::uint64_t;
 
   /// Current virtual time in nanoseconds since simulation start.
   Nanos now() const noexcept { return now_ns_; }
@@ -23,8 +27,36 @@ class SimClock {
   /// Advance the clock by `ns` nanoseconds.
   void advance(Nanos ns) noexcept { now_ns_ += ns; }
 
-  /// Reset to time zero (used between benchmark repetitions).
-  void reset() noexcept { now_ns_ = 0; }
+  /// Reset to time zero (used between benchmark repetitions), then fires
+  /// every registered reset hook. Hooks exist because virtual time leaks
+  /// through more state than the counter itself: sibling shards of a
+  /// util::ClockDomain, device controller/transfer-slot free times, crypto
+  /// and CPU lane free times, and pending cache-flusher deadlines all hold
+  /// absolute nanosecond values that must drop to zero with the clock —
+  /// otherwise interleaved bench repetitions inherit ghost time. Hooks must
+  /// not throw and must not call reset() on this clock again (ClockDomain
+  /// guards its own cross-shard propagation).
+  void reset() {
+    now_ns_ = 0;
+    for (const auto& [id, fn] : reset_hooks_) fn();
+  }
+
+  /// Registers a hook fired after every reset(); returns an id for
+  /// remove_reset_hook. Owners deregister before they are destroyed.
+  ResetHookId add_reset_hook(std::function<void()> fn) {
+    const ResetHookId id = next_hook_id_++;
+    reset_hooks_.emplace_back(id, std::move(fn));
+    return id;
+  }
+
+  void remove_reset_hook(ResetHookId id) {
+    for (auto it = reset_hooks_.begin(); it != reset_hooks_.end(); ++it) {
+      if (it->first == id) {
+        reset_hooks_.erase(it);
+        return;
+      }
+    }
+  }
 
   double now_seconds() const noexcept {
     return static_cast<double>(now_ns_) * 1e-9;
@@ -40,6 +72,8 @@ class SimClock {
 
  private:
   Nanos now_ns_ = 0;
+  ResetHookId next_hook_id_ = 1;
+  std::vector<std::pair<ResetHookId, std::function<void()>>> reset_hooks_;
 };
 
 }  // namespace mobiceal::util

@@ -327,8 +327,8 @@ util::Bytes scheme_final_image(const std::string& name,
   }
   opts.rng_seed = 99;
   opts.skip_random_fill = true;
-  opts.cache_blocks = cache_blocks;
-  opts.cache_writeback = true;  // demoted per scheme capability
+  opts.stack.cache_blocks = cache_blocks;
+  opts.stack.cache_writeback = true;  // demoted per scheme capability
 
   auto scheme = api::SchemeRegistry::create(name, opts);
   EXPECT_TRUE(scheme->unlock("pub").ok) << name;
@@ -380,7 +380,7 @@ TEST(CacheParity, MobiCealHiddenModeWithNoiseWritesStaysBitIdentical) {
     opts.hidden_passwords = {"hid"};
     opts.rng_seed = 1234;
     opts.lambda = 0.25;  // bigger bursts
-    opts.cache_blocks = cache_blocks;
+    opts.stack.cache_blocks = cache_blocks;
 
     auto scheme = api::SchemeRegistry::create("mobiceal", opts);
     EXPECT_TRUE(scheme->unlock("pub").ok);

@@ -1,0 +1,166 @@
+// util::ClockDomain — sharded virtual time.
+//
+// The domain's contract is deterministic merging: shards advance
+// independently between barriers, now() is the max over shards scanned in
+// pinned shard-index order, sync() pins every shard to that max, and
+// resetting ANY shard (benches reset shard 0 between repetitions) zeroes
+// the whole domain with each shard's reset hooks firing exactly once.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "util/clock_domain.hpp"
+#include "util/sim_clock.hpp"
+
+namespace mobiceal {
+namespace {
+
+TEST(ClockDomainTest, SingleShardIsTheAnchorClock) {
+  util::ClockDomain d(1);
+  ASSERT_EQ(d.shard_count(), 1u);
+  d.shard(0)->advance(123);
+  EXPECT_EQ(d.now(), 123u);
+  // A 1-shard sync is a no-op on the timeline — the identity guarantee the
+  // committed baselines rely on.
+  d.sync();
+  EXPECT_EQ(d.shard(0)->now(), 123u);
+}
+
+TEST(ClockDomainTest, ZeroShardsClampsToOne) {
+  util::ClockDomain d(0);
+  EXPECT_EQ(d.shard_count(), 1u);
+}
+
+TEST(ClockDomainTest, NowIsMaxOverShards) {
+  util::ClockDomain d(4);
+  d.shard(0)->advance(10);
+  d.shard(1)->advance(400);
+  d.shard(2)->advance(30);
+  EXPECT_EQ(d.now(), 400u);
+  EXPECT_DOUBLE_EQ(d.now_seconds(), 400e-9);
+  // Shards stay independent until a barrier.
+  EXPECT_EQ(d.shard(0)->now(), 10u);
+  EXPECT_EQ(d.shard(3)->now(), 0u);
+}
+
+TEST(ClockDomainTest, SyncPinsEveryShardToTheMerge) {
+  util::ClockDomain d(3);
+  d.shard(0)->advance(5);
+  d.shard(2)->advance(777);
+  d.sync();
+  for (std::uint32_t i = 0; i < d.shard_count(); ++i) {
+    EXPECT_EQ(d.shard(i)->now(), 777u) << "shard " << i;
+  }
+  // Idempotent: a second barrier moves nothing.
+  d.sync();
+  EXPECT_EQ(d.now(), 777u);
+}
+
+TEST(ClockDomainTest, ShardForWrapsLanesDeterministically) {
+  util::ClockDomain d(3);
+  EXPECT_EQ(d.shard_for(0), d.shard(0));
+  EXPECT_EQ(d.shard_for(1), d.shard(1));
+  EXPECT_EQ(d.shard_for(2), d.shard(2));
+  EXPECT_EQ(d.shard_for(3), d.shard(0));
+  EXPECT_EQ(d.shard_for(7), d.shard(1));
+}
+
+TEST(ClockDomainTest, ResetZeroesEveryShard) {
+  util::ClockDomain d(4);
+  for (std::uint32_t i = 0; i < 4; ++i) d.shard(i)->advance(100 * (i + 1));
+  d.reset();
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(d.shard(i)->now(), 0u) << "shard " << i;
+  }
+}
+
+TEST(ClockDomainTest, ResettingAnyMemberShardResetsTheDomain) {
+  // Benches reset shard 0; layer teardown paths may reset others. Either
+  // way the whole domain must drop to zero or the next repetition starts
+  // with ghost time on the untouched shards.
+  for (std::uint32_t initiator = 0; initiator < 3; ++initiator) {
+    util::ClockDomain d(3);
+    for (std::uint32_t i = 0; i < 3; ++i) d.shard(i)->advance(50 + i);
+    d.shard(initiator)->reset();
+    for (std::uint32_t i = 0; i < 3; ++i) {
+      EXPECT_EQ(d.shard(i)->now(), 0u)
+          << "initiator " << initiator << " shard " << i;
+    }
+  }
+}
+
+TEST(ClockDomainTest, ResetFiresEachShardsHooksExactlyOnce) {
+  util::ClockDomain d(3);
+  std::vector<int> fired(3, 0);
+  std::vector<util::SimClock::ResetHookId> ids;
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    ids.push_back(d.shard(i)->add_reset_hook([&fired, i] { ++fired[i]; }));
+  }
+  d.shard(1)->advance(9);
+  d.reset();
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(fired[i], 1) << "shard " << i;
+    d.shard(i)->remove_reset_hook(ids[i]);
+  }
+}
+
+TEST(ClockDomainTest, AdoptingCtorKeepsTheAnchorIdentity) {
+  auto anchor = std::make_shared<util::SimClock>();
+  anchor->advance(42);
+  std::vector<std::shared_ptr<util::SimClock>> shards = {
+      anchor, std::make_shared<util::SimClock>()};
+  util::ClockDomain d(std::move(shards));
+  ASSERT_EQ(d.shard_count(), 2u);
+  EXPECT_EQ(d.shard(0), anchor);
+  EXPECT_EQ(d.now(), 42u);
+  anchor->reset();
+  EXPECT_EQ(d.now(), 0u);
+}
+
+TEST(ClockDomainTest, AdoptingCtorRejectsBadShardLists) {
+  EXPECT_THROW(
+      util::ClockDomain(std::vector<std::shared_ptr<util::SimClock>>{}),
+      std::invalid_argument);
+  std::vector<std::shared_ptr<util::SimClock>> with_null = {
+      std::make_shared<util::SimClock>(), nullptr};
+  EXPECT_THROW(util::ClockDomain(std::move(with_null)),
+               std::invalid_argument);
+}
+
+TEST(ClockDomainTest, DestructionDetachesHooksFromAdoptedClocks) {
+  auto anchor = std::make_shared<util::SimClock>();
+  {
+    util::ClockDomain d(
+        std::vector<std::shared_ptr<util::SimClock>>{anchor});
+    anchor->advance(7);
+  }
+  // The domain is gone; resetting the survivor must not touch freed state.
+  anchor->reset();
+  EXPECT_EQ(anchor->now(), 0u);
+}
+
+TEST(ClockDomainTest, MergeIsIndependentOfAdvanceOrder) {
+  // Two domains reach the same per-shard times via different interleavings;
+  // the merged timeline and post-sync state must be bit-identical.
+  util::ClockDomain a(3), b(3);
+  a.shard(0)->advance(100);
+  a.shard(1)->advance(250);
+  a.shard(2)->advance(250);
+
+  b.shard(2)->advance(125);
+  b.shard(1)->advance(250);
+  b.shard(2)->advance(125);
+  b.shard(0)->advance(100);
+
+  EXPECT_EQ(a.now(), b.now());
+  a.sync();
+  b.sync();
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(a.shard(i)->now(), b.shard(i)->now()) << "shard " << i;
+  }
+}
+
+}  // namespace
+}  // namespace mobiceal

@@ -388,8 +388,8 @@ ParityRig make_parity_rig(std::uint32_t stripes, std::uint32_t qd) {
     d->set_queue_depth(qd);
     devs.push_back(std::move(d));
   }
-  r.opts.stripe_count = stripes;
-  r.opts.stripe_chunk_blocks = kParityChunk;
+  r.opts.stack.stripe_count = stripes;
+  r.opts.stack.stripe_chunk_blocks = kParityChunk;
   r.opts.stripe_devices = devs;
   r.logical = std::make_shared<dm::StripedTarget>(devs, kParityChunk);
   return r;
@@ -497,8 +497,8 @@ TEST(StripingParity, TimedStripedRunsReplayIdentically) {
       t->set_queue_depth(8);
       devs.push_back(std::move(t));
     }
-    opts.stripe_count = 4;
-    opts.stripe_chunk_blocks = kParityChunk;
+    opts.stack.stripe_count = 4;
+    opts.stack.stripe_chunk_blocks = kParityChunk;
     opts.stripe_devices = devs;
     opts.clock = clock;
     opts.public_password = "pub";

@@ -47,11 +47,13 @@ LOWER_BETTER = ("_s", "_ns")
 CANARY = ("_adv",)
 
 # Run-configuration metrics: a mismatch means the two files are not
-# comparable at all (different workload, device queue model, cache, or
-# stripe geometry). Only enforced when both files record the key, so
-# baselines from before a knob existed keep comparing.
+# comparable at all (different workload, device queue model, cache,
+# stripe geometry, clock sharding, or flusher policy). Only enforced when
+# both files record the key, so baselines from before a knob existed keep
+# comparing.
 CONFIG_KEYS = ("workload_mb", "queue_depth", "cache_blocks", "stripes",
-               "stripe_chunk_blocks", "crypto_lanes")
+               "stripe_chunk_blocks", "crypto_lanes", "clock_shards",
+               "flusher_dirty_pct", "flusher_deadline_ns")
 
 STATUS_OK = "ok"
 STATUS_REGRESSION = "REGRESSION"

@@ -37,6 +37,15 @@ Rules (see README "Static analysis" for the policy):
                  numeric values for every knob key bench_compare.py guards
                  (the CONFIG_KEYS list is read out of bench_compare.py so
                  the two can never drift apart).
+  knob-registry  Stack tuning knobs are declared exactly once, in the
+                 api::StackConfig registry (src/api/stack_config.cpp).
+                 Ad-hoc getenv() reads or bench_knob_* helpers anywhere in
+                 src/bench/examples/tests fork the knob surface: the flag,
+                 the env var and the struct field drift apart. Bench-run
+                 controls (JSON output path, workload size/reps) in
+                 bench/harness.cpp and the wall-clock crypto worker count
+                 in src/crypto/crypto_pool.cpp are exempt — they tune the
+                 run, not the simulated stack.
 
 Stdlib-only; runs from ctest and CI:  python3 tools/lint/check_invariants.py
 Exit status is the number of findings (0 = clean).
@@ -85,6 +94,16 @@ SYNC_TYPE_EXEMPT_FILES = {
 }
 
 ADAPTER_IO_PATTERNS = [r"(->|\.)\s*(read_blocks|write_blocks)\s*\("]
+
+KNOB_REGISTRY_PATTERNS = [r"\bgetenv\s*\(", r"\bbench_knob\w*\s*\("]
+# The registry itself, plus the two legitimate non-stack getenv sites (see
+# the knob-registry rule text above).
+KNOB_REGISTRY_EXEMPT_FILES = {
+    os.path.join("src", "api", "stack_config.cpp"),
+    os.path.join("src", "crypto", "crypto_pool.cpp"),
+    os.path.join("bench", "harness.cpp"),
+}
+KNOB_REGISTRY_TREES = ("src", "bench", "examples", "tests")
 
 UNORDERED_DECL_RE = re.compile(
     r"std::unordered_(?:map|set|multimap|multiset)\s*<[^;]*?>\s*&?\s*"
@@ -247,6 +266,29 @@ def check_adapters(root, findings):
                 "silently skip it"))
 
 
+# ---- knob registry -----------------------------------------------------------
+
+def check_knob_registry(root, findings):
+    for tree in KNOB_REGISTRY_TREES:
+        for path in iter_source_files(root, tree):
+            relpath = rel(root, path)
+            if relpath in KNOB_REGISTRY_EXEMPT_FILES:
+                continue
+            with open(path, encoding="utf-8") as f:
+                raw_lines = f.read().splitlines()
+            for lineno, raw in enumerate(raw_lines, 1):
+                code = strip_comments_and_strings(raw)
+                for pat in KNOB_REGISTRY_PATTERNS:
+                    if re.search(pat, code) and not allowed("knob-registry",
+                                                           raw):
+                        findings.append(Finding(
+                            relpath, lineno, "knob-registry",
+                            "ad-hoc knob plumbing: stack knobs are declared "
+                            "once in the api::StackConfig registry "
+                            "(src/api/stack_config.cpp) — use "
+                            "StackConfig::apply_knobs / is_knob_flag"))
+
+
 # ---- bench baseline schema ---------------------------------------------------
 
 def read_config_keys(root):
@@ -331,6 +373,7 @@ def run(root):
     for path in iter_source_files(root, "src"):
         check_src_file(root, path, findings)
     check_adapters(root, findings)
+    check_knob_registry(root, findings)
     check_baselines(root, findings)
     return findings
 

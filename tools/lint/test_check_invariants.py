@@ -244,6 +244,48 @@ class AdapterRules(LintTestCase):
         self.assert_clean()
 
 
+class KnobRegistryRule(LintTestCase):
+    def test_getenv_in_bench_flagged(self):
+        self.tree.write(
+            "bench/bench_foo.cpp",
+            'if (const char* v = std::getenv("MOBICEAL_FOO")) use(v);\n')
+        self.assert_rule("knob-registry")
+
+    def test_getenv_in_src_flagged(self):
+        self.tree.write("src/cache/cache_target.cpp",
+                        'const char* v = getenv("MOBICEAL_CACHE_BLOCKS");\n')
+        self.assert_rule("knob-registry")
+
+    def test_bench_knob_helper_flagged(self):
+        self.tree.write(
+            "bench/harness.hpp",
+            "o.queue_depth = bench_knob_u64(argc, argv, \"--qd\", 1);\n")
+        self.assert_rule("knob-registry")
+
+    def test_registry_itself_exempt(self):
+        self.tree.write("src/api/stack_config.cpp",
+                        "if (const char* e = std::getenv(k.env)) parse(e);\n")
+        self.assert_clean()
+
+    def test_bench_run_controls_in_harness_exempt(self):
+        self.tree.write(
+            "bench/harness.cpp",
+            'if (const char* v = std::getenv("MOBICEAL_BENCH_MB")) mb(v);\n')
+        self.assert_clean()
+
+    def test_allow_marker_suppresses(self):
+        self.tree.write(
+            "tests/env_test.cpp",
+            'setup(getenv("HOME"));'
+            "  // lint:allow knob-registry test fixture path, not a knob\n")
+        self.assert_clean()
+
+    def test_mention_in_comment_ignored(self):
+        self.tree.write("src/a.cpp",
+                        "// knobs resolve CLI > getenv(env) > default\n")
+        self.assert_clean()
+
+
 class BaselineSchemaRule(LintTestCase):
     def good(self):
         return ('{"bench": "io", "metrics": {"workload_mb": 4, '

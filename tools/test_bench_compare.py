@@ -155,6 +155,22 @@ class ConfigGuard(GateHarness):
                           {"stripes": 1, "a.dd_write_kbps": 100.0})
         self.assertEqual(rc, 0)
 
+    def test_clock_shard_mismatch_is_a_hard_error(self):
+        rc, _ = self.pair({"clock_shards": 1, "a.dd_write_kbps": 100.0},
+                          {"clock_shards": 4, "a.dd_write_kbps": 280.0})
+        self.assertNotEqual(rc, 0)
+
+    def test_flusher_policy_mismatch_is_a_hard_error(self):
+        # Benches record the flusher policy (bench_flusher); runs at a
+        # different dirty-ratio or deadline are not comparable.
+        rc, _ = self.pair({"flusher_dirty_pct": 50, "a.rewrite_kbps": 10.0},
+                          {"flusher_dirty_pct": 10, "a.rewrite_kbps": 30.0})
+        self.assertNotEqual(rc, 0)
+        rc, _ = self.pair(
+            {"flusher_deadline_ns": 2e6, "a.rewrite_kbps": 10.0},
+            {"flusher_deadline_ns": 1e6, "a.rewrite_kbps": 10.0})
+        self.assertNotEqual(rc, 0)
+
     def test_different_bench_names_are_a_hard_error(self):
         write_bench(self.path("base.json"), "alpha", {"x_kbps": 1.0})
         write_bench(self.path("cur.json"), "beta", {"x_kbps": 1.0})
