@@ -47,6 +47,10 @@ ThinMetadataReader::ThinMetadataReader(const Snapshot& snap,
   sb_.txn_id = util::load_le<std::uint64_t>(sbb.data() + 40);
   sb_.alloc_cursor = util::load_le<std::uint64_t>(sbb.data() + 48);
   sb_.active_area = util::load_le<std::uint32_t>(sbb.data() + 56);
+  // v4: allocator shard count — public like the rest of the metadata (the
+  // paper's adversary reads everything); zero on pre-sharding superblocks,
+  // whose checksum term is then also zero.
+  sb_.alloc_shards = util::load_le<std::uint32_t>(sbb.data() + 60);
   sb_.checksum = util::load_le<std::uint64_t>(sbb.data() + 64);
   if (sb_.checksum != sb_.compute_checksum()) {
     throw util::MetadataError("forensics: superblock checksum mismatch");

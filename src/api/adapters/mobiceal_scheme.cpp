@@ -34,6 +34,8 @@ core::MobiCealDevice::Config device_config(const SchemeOptions& opts) {
     cfg.crypt_cpu = dm::CryptCpuModel::zero();
   }
   cfg.crypt_cpu.lanes = opts.stack.crypto_lanes;
+  cfg.alloc_shards = opts.stack.alloc_shards;
+  cfg.meta_shard_lanes = opts.meta_shard_lanes;
   return cfg;
 }
 

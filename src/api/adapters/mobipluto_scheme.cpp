@@ -28,6 +28,7 @@ class MobiPlutoScheme final : public PdeScheme {
       cfg.crypt_cpu = dm::CryptCpuModel::zero();
     }
     cfg.crypt_cpu.lanes = opts.stack.crypto_lanes;
+    cfg.alloc_shards = opts.stack.alloc_shards;
     const auto userdata = stack_device_for(opts);
     if (opts.format) {
       if (opts.hidden_passwords.size() != 1) {

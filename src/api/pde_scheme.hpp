@@ -149,6 +149,12 @@ struct SchemeOptions {
   /// Zero out the thin/crypt CPU service-time models (adversary runs and
   /// unit tests that only care about on-disk behaviour).
   bool zero_cpu_models = false;
+  /// Fleet contention model (MobiCeal only): serialise per-chunk metadata
+  /// bookkeeping on one virtual CPU lane per allocator shard, so
+  /// concurrent tenants sharing a shard queue on its lock's timeline. Off
+  /// by default — all single-mount baselines stay time-identical; only
+  /// bench_fleet sets it.
+  bool meta_shard_lanes = false;
 };
 
 /// Effective cache configuration for a scheme: the caller's cache knobs

@@ -48,6 +48,10 @@ constexpr Knob kKnobs[] = {
      offsetof(StackConfig, crypto_lanes)},
     {"--clock-shards", "MOBICEAL_CLOCK_SHARDS", Knob::kU32MinOne,
      offsetof(StackConfig, clock_shards)},
+    {"--alloc-shards", "MOBICEAL_ALLOC_SHARDS", Knob::kU32MinOne,
+     offsetof(StackConfig, alloc_shards)},
+    {"--fleet-tenants", "MOBICEAL_FLEET_TENANTS", Knob::kU32MinOne,
+     offsetof(StackConfig, fleet_tenants)},
     {"--flusher", "MOBICEAL_FLUSHER", Knob::kBool,
      offsetof(StackConfig, flusher) + offsetof(cache::FlusherPolicy,
                                                enabled)},

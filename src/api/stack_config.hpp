@@ -55,6 +55,20 @@ struct StackConfig {
   /// Flag --clock-shards, env MOBICEAL_CLOCK_SHARDS.
   std::uint32_t clock_shards = 1;
 
+  /// Thin-pool allocator shard regions (thin::ShardedBitmap). 1 (the
+  /// default) keeps the historical single-lock allocator bit-for-bit; >1
+  /// splits the allocation bitmap into that many word-aligned regions with
+  /// independent locks — the allocation *distribution* and the on-disk
+  /// image are identical at any value.
+  /// Flag --alloc-shards, env MOBICEAL_ALLOC_SHARDS.
+  std::uint32_t alloc_shards = 1;
+
+  /// Tenants for the multi-mount fleet bench (bench_fleet): public/hidden
+  /// volume pairs sharing one pool, each driven over its own clock shard.
+  /// Ignored by single-mount stacks.
+  /// Flag --fleet-tenants, env MOBICEAL_FLEET_TENANTS.
+  std::uint32_t fleet_tenants = 4;
+
   /// Background cache flusher (cache::FlusherPolicy). Disabled by default.
   /// Flags --flusher 0|1, --flusher-dirty-pct, --flusher-deadline-ns;
   /// envs MOBICEAL_FLUSHER, MOBICEAL_FLUSHER_DIRTY_PCT,

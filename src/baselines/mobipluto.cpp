@@ -36,6 +36,7 @@ void MobiPlutoDevice::setup_pool(bool format) {
     pc.max_volumes = 2;
     pc.policy = thin::AllocPolicy::kSequential;  // stock dm-thin
     pc.cpu = config_.thin_cpu;
+    pc.alloc_shards = config_.alloc_shards;
     pool_ = thin::ThinPool::format(meta_region_, data_region_, pc, clock_);
   } else {
     pool_ = thin::ThinPool::open(meta_region_, data_region_, clock_);

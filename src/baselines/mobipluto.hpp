@@ -43,6 +43,8 @@ class MobiPlutoDevice {
     bool skip_random_fill = false;
     /// Block cache over each mounted volume's crypt device (0 = off).
     cache::CacheConfig cache;
+    /// Thin-pool allocator shard regions; 1 = historical single lock.
+    std::uint32_t alloc_shards = 1;
   };
 
   enum class Mode { kLocked, kPublic, kHidden };

@@ -63,6 +63,8 @@ void MobiCealDevice::setup_lvm_and_pool(bool format) {
     pc.policy = config_.random_allocation ? thin::AllocPolicy::kRandom
                                           : thin::AllocPolicy::kSequential;
     pc.cpu = config_.thin_cpu;
+    pc.alloc_shards = config_.alloc_shards;
+    pc.meta_shard_lanes = config_.meta_shard_lanes;
     pool_ = thin::ThinPool::format(meta_lv, data_lv, pc, clock_);
   } else {
     pool_ = thin::ThinPool::open(meta_lv, data_lv, clock_);

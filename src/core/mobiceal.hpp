@@ -80,6 +80,14 @@ class MobiCealDevice {
     /// barriers (wait_until instead of drain) switch on, overlapping
     /// stripe service across the domain.
     std::shared_ptr<util::ClockDomain> clock_domain;
+    /// Thin-pool allocator shard regions (thin::ThinPool::Config); 1 keeps
+    /// the historical single-lock allocator bit-for-bit.
+    std::uint32_t alloc_shards = 1;
+    /// Fleet contention model (thin::ThinPool::Config::meta_shard_lanes):
+    /// charge per-chunk metadata bookkeeping to one virtual CPU lane per
+    /// allocator shard. Off by default — only the multi-tenant fleet bench
+    /// turns it on.
+    bool meta_shard_lanes = false;
   };
 
   /// "vdc cryptfs pde wipe <pub_pwd> <num_vol> <hid_pwds>" (Sec. V-B).

@@ -1,0 +1,459 @@
+// Sharded allocation bitmap for the thin pool.
+//
+// The pool's chunk space is split into N contiguous, word-aligned shard
+// regions, each with its own annotated util::Mutex, its own free-chunk
+// count, and its own slice of the open transaction's allocation ledger
+// (merged in shard order at commit). N = 1 reproduces the historical
+// single-bitmap allocator bit-for-bit; the on-disk format is unchanged at
+// any N — sharding is purely an in-memory concurrency structure, and
+// copy_out() reassembles the exact contiguous word array the metadata
+// format serialises.
+//
+// Distribution invariance (the deniability argument, Sec. V-A): random
+// allocation draws ONE uniform value in [0, total_free) — the same single
+// draw as the unsharded allocator — and resolves it by walking shards in
+// region order, subtracting per-shard free counts until the draw lands.
+// Because the regions are an ordered partition of the same word array, the
+// chunk selected is *identical* to the unsharded popcount scan for the
+// same RNG stream, at any shard count. The weighting by per-shard free
+// space is therefore not approximately uniform, it is exactly the
+// unsharded distribution (pinned by the chi-square and exact-parity tests
+// in tests/alloc_sharding_test.cpp).
+//
+// Lock order: a shard mutex may be held while taking draw_mu_ (the
+// same-shard run optimisation in alloc_random_batch), never the reverse;
+// no path holds two shard mutexes at once. The pool's metadata mutex is
+// always acquired before any shard mutex.
+//
+// This header is the ONLY place allowed to touch the raw bitmap words and
+// free counters (tools/lint/check_invariants.py enforces it): everything
+// else goes through ShardedBitmap, so the old global-lock idiom cannot
+// creep back.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace mobiceal::thin {
+
+/// One contiguous, word-aligned region of the allocation bitmap with its
+/// own lock, free count, and transaction ledger slice. All methods are
+/// self-locking unless suffixed _locked (used by ShardedBitmap's batch
+/// paths to hold one shard lock across a run of allocations).
+class AllocShard {
+ public:
+  /// (Re)initialises the shard to cover chunks [begin, end), all free.
+  /// `begin` must be a multiple of 64. Single-threaded setup path.
+  void reset(std::uint64_t begin, std::uint64_t end) EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
+    begin_ = begin;
+    end_ = end;
+    const std::uint64_t words = (end - begin + 63) / 64;
+    bitmap_.assign(words, 0);
+    // Padding bits past end_ are marked allocated so no scan picks them —
+    // for the last shard these are exactly the global padding bits the
+    // on-disk format stores as allocated.
+    for (std::uint64_t c = end - begin; c < words * 64; ++c) {
+      bitmap_[c / 64] |= std::uint64_t{1} << (c % 64);
+    }
+    free_chunks_ = end - begin;
+    free_count_.store(free_chunks_, std::memory_order_relaxed);
+    txn_allocated_.clear();
+    txn_freed_.clear();
+  }
+
+  std::uint64_t begin_chunk() const noexcept { return begin_; }
+  std::uint64_t end_chunk() const noexcept { return end_; }
+
+  /// Lock-free free-count snapshot: exact when quiescent (every mutation
+  /// updates it under mu_), approximate under concurrent allocation —
+  /// which only shifts *which* shard a draw lands in, never the
+  /// distribution observed at quiescence.
+  std::uint64_t free_count() const noexcept {
+    return free_count_.load(std::memory_order_relaxed);
+  }
+
+  util::Mutex& mu() RETURN_CAPABILITY(mu_) { return mu_; }
+
+  std::uint64_t free_locked() const REQUIRES(mu_) { return free_chunks_; }
+
+  /// Allocates the n-th free chunk of this shard (region-relative order),
+  /// clamping n to the current free count - 1 (the clamp never fires
+  /// single-threaded: the caller derived n from an exact count). Requires
+  /// free_locked() > 0. Returns the absolute chunk index.
+  std::uint64_t alloc_nth_free_locked(std::uint64_t n) REQUIRES(mu_) {
+    if (n >= free_chunks_) n = free_chunks_ - 1;
+    for (std::uint64_t w = 0; w < bitmap_.size(); ++w) {
+      const auto free_here =
+          64 - static_cast<std::uint64_t>(std::popcount(bitmap_[w]));
+      if (n >= free_here) {
+        n -= free_here;
+        continue;
+      }
+      for (std::uint64_t b = 0; b < 64; ++b) {
+        if ((bitmap_[w] >> b) & 1) continue;
+        if (n == 0) {
+          const std::uint64_t chunk = begin_ + w * 64 + b;
+          mark_allocated_locked(chunk);
+          return chunk;
+        }
+        --n;
+      }
+    }
+    // Unreachable: n < free_chunks_ guarantees the scan lands.
+    return begin_;
+  }
+
+  /// First-fit batch: scans [max(from, begin), min(limit, end)) and takes
+  /// up to `want` free chunks under ONE lock hold, appending them to
+  /// `out`. Returns the number taken.
+  std::uint64_t take_first_fit(std::uint64_t from, std::uint64_t limit,
+                               std::uint64_t want,
+                               std::vector<std::uint64_t>& out)
+      EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
+    from = std::max(from, begin_);
+    limit = std::min(limit, end_);
+    std::uint64_t taken = 0;
+    for (std::uint64_t c = from; c < limit && taken < want; ++c) {
+      const std::uint64_t bit = c - begin_;
+      if ((bitmap_[bit / 64] >> (bit % 64)) & 1) continue;
+      mark_allocated_locked(c);
+      out.push_back(c);
+      ++taken;
+    }
+    return taken;
+  }
+
+  /// True if the chunk's bitmap bit is set (committed or in-txn).
+  bool test(std::uint64_t chunk) const EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
+    const std::uint64_t bit = chunk - begin_;
+    return (bitmap_[bit / 64] >> (bit % 64)) & 1;
+  }
+
+  /// Clears the chunk's bit and records it in the txn freed ledger.
+  void free_chunk(std::uint64_t chunk) EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
+    const std::uint64_t bit = chunk - begin_;
+    bitmap_[bit / 64] &= ~(std::uint64_t{1} << (bit % 64));
+    ++free_chunks_;
+    free_count_.store(free_chunks_, std::memory_order_relaxed);
+    txn_freed_.push_back(chunk);
+  }
+
+  /// Copies this region's words into the contiguous pool-wide word array
+  /// (the exact bytes the metadata format serialises).
+  void copy_out(std::vector<std::uint64_t>& words) const EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
+    const std::uint64_t first_word = begin_ / 64;
+    for (std::uint64_t w = 0; w < bitmap_.size(); ++w) {
+      words[first_word + w] = bitmap_[w];
+    }
+  }
+
+  /// Loads this region's words from the contiguous pool-wide array and
+  /// recounts free chunks (padding bits arrive already set).
+  void copy_in(const std::vector<std::uint64_t>& words) EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
+    const std::uint64_t first_word = begin_ / 64;
+    for (std::uint64_t w = 0; w < bitmap_.size(); ++w) {
+      bitmap_[w] = words[first_word + w];
+    }
+    std::uint64_t free = 0;
+    for (std::uint64_t c = 0; c < end_ - begin_; ++c) {
+      if (!((bitmap_[c / 64] >> (c % 64)) & 1)) ++free;
+    }
+    free_chunks_ = free;
+    free_count_.store(free, std::memory_order_relaxed);
+    txn_allocated_.clear();
+    txn_freed_.clear();
+  }
+
+  void clear_txn() EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
+    txn_allocated_.clear();
+    txn_freed_.clear();
+  }
+
+  /// Visits this shard's in-txn allocations in allocation order — the
+  /// O(allocations)-copy-free replacement for returning the ledger by
+  /// value.
+  void visit_txn_allocated(
+      const std::function<void(std::uint64_t)>& visit) const EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
+    for (const std::uint64_t c : txn_allocated_) visit(c);
+  }
+
+  std::uint64_t txn_allocated_count() const EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
+    return txn_allocated_.size();
+  }
+
+  std::uint64_t txn_freed_count() const EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
+    return txn_freed_.size();
+  }
+
+ private:
+  void mark_allocated_locked(std::uint64_t chunk) REQUIRES(mu_) {
+    const std::uint64_t bit = chunk - begin_;
+    bitmap_[bit / 64] |= std::uint64_t{1} << (bit % 64);
+    --free_chunks_;
+    free_count_.store(free_chunks_, std::memory_order_relaxed);
+    txn_allocated_.push_back(chunk);
+  }
+
+  mutable util::Mutex mu_;
+  std::uint64_t begin_ = 0;  // immutable outside single-threaded reset()
+  std::uint64_t end_ = 0;
+  std::vector<std::uint64_t> bitmap_ GUARDED_BY(mu_);
+  std::uint64_t free_chunks_ GUARDED_BY(mu_) = 0;
+  std::vector<std::uint64_t> txn_allocated_ GUARDED_BY(mu_);
+  std::vector<std::uint64_t> txn_freed_ GUARDED_BY(mu_);
+  std::atomic<std::uint64_t> free_count_{0};
+};
+
+/// The pool-wide sharded allocator: partition management, the
+/// draw-weighted random policy, the cursor-driven sequential policy, and
+/// deterministic (shard-order) transaction-ledger merging.
+class ShardedBitmap {
+ public:
+  /// Partitions [0, nr_chunks) into at most `shards` word-aligned regions
+  /// (clamped so every shard is non-empty), all chunks free. Call once
+  /// from the pool's format/open paths; shard_count() reports the
+  /// effective count.
+  void init(std::uint64_t nr_chunks, std::uint32_t shards) {
+    nr_chunks_ = nr_chunks;
+    const std::uint64_t words = (nr_chunks + 63) / 64;
+    const std::uint64_t eff = std::clamp<std::uint64_t>(
+        shards, 1, std::max<std::uint64_t>(words, 1));
+    const std::uint64_t wps = (std::max<std::uint64_t>(words, 1) + eff - 1) / eff;
+    chunks_per_shard_ = wps * 64;
+    const std::uint64_t count = std::max<std::uint64_t>((words + wps - 1) / wps, 1);
+    shards_.clear();
+    for (std::uint64_t i = 0; i < count; ++i) {
+      auto shard = std::make_unique<AllocShard>();
+      const std::uint64_t begin = i * chunks_per_shard_;
+      shard->reset(begin, std::min(begin + chunks_per_shard_, nr_chunks));
+      shards_.push_back(std::move(shard));
+    }
+    cursor_.store(0, std::memory_order_relaxed);
+  }
+
+  std::uint32_t shard_count() const noexcept {
+    return static_cast<std::uint32_t>(shards_.size());
+  }
+  std::uint64_t nr_chunks() const noexcept { return nr_chunks_; }
+
+  std::uint32_t shard_of(std::uint64_t chunk) const noexcept {
+    return static_cast<std::uint32_t>(chunk / chunks_per_shard_);
+  }
+
+  std::uint64_t shard_free(std::uint32_t shard) const noexcept {
+    return shards_[shard]->free_count();
+  }
+
+  /// Sum of the per-shard free counts (exact at quiescence).
+  std::uint64_t total_free() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& s : shards_) total += s->free_count();
+    return total;
+  }
+
+  bool test(std::uint64_t chunk) const {
+    return shards_[shard_of(chunk)]->test(chunk);
+  }
+
+  void free_chunk(std::uint64_t chunk) {
+    shards_[shard_of(chunk)]->free_chunk(chunk);
+  }
+
+  /// MobiCeal random allocation (Sec. V-A): one uniform draw in
+  /// [0, total_free) resolved in shard-region order — exactly the
+  /// unsharded i-th-free-chunk scan. Returns nullopt when the pool is
+  /// exhausted.
+  std::optional<std::uint64_t> try_alloc_random(util::Rng& rng)
+      EXCLUDES(draw_mu_) {
+    while (true) {
+      std::uint32_t s = 0;
+      std::uint64_t n = 0;
+      if (!draw_target(rng, s, n)) return std::nullopt;
+      util::MutexLock lock(shards_[s]->mu());
+      // A concurrent allocator may have emptied the shard between the
+      // draw and the lock; redraw (never fires single-threaded).
+      if (shards_[s]->free_locked() == 0) continue;
+      return shards_[s]->alloc_nth_free_locked(n);
+    }
+  }
+
+  /// Batched random allocation: `want` consecutive draws, with runs of
+  /// draws landing in the same shard serviced under ONE shard lock hold.
+  /// The draw sequence is identical to `want` calls of try_alloc_random.
+  /// Appends to `out`; returns the number allocated (< want only when the
+  /// pool runs dry).
+  std::size_t alloc_random_batch(util::Rng& rng, std::size_t want,
+                                 std::vector<std::uint64_t>& out)
+      EXCLUDES(draw_mu_) {
+    std::size_t taken = 0;
+    bool have_carry = false;
+    std::uint32_t carry_s = 0;
+    std::uint64_t carry_n = 0;
+    while (taken < want) {
+      std::uint32_t s = 0;
+      std::uint64_t n = 0;
+      if (have_carry) {
+        s = carry_s;
+        n = carry_n;
+        have_carry = false;
+      } else if (!draw_target(rng, s, n)) {
+        break;
+      }
+      util::MutexLock lock(shards_[s]->mu());
+      while (true) {
+        if (shards_[s]->free_locked() == 0) break;  // raced empty: redraw
+        out.push_back(shards_[s]->alloc_nth_free_locked(n));
+        if (++taken == want) break;
+        std::uint32_t next_s = 0;
+        if (!draw_target(rng, next_s, n)) return taken;
+        if (next_s != s) {
+          have_carry = true;
+          carry_s = next_s;
+          carry_n = n;
+          break;
+        }
+      }
+    }
+    return taken;
+  }
+
+  /// Stock dm-thin sequential first-fit from the persistent cursor.
+  std::optional<std::uint64_t> try_alloc_sequential() {
+    std::vector<std::uint64_t> out;
+    if (alloc_sequential_batch(1, out) == 0) return std::nullopt;
+    return out.back();
+  }
+
+  /// Batched first-fit: one ring pass over the shards starting at the
+  /// cursor's shard, each visited shard scanned under one lock hold.
+  /// Identical chunk sequence to repeated single first-fit allocations.
+  std::size_t alloc_sequential_batch(std::size_t want,
+                                     std::vector<std::uint64_t>& out) {
+    if (want == 0 || nr_chunks_ == 0) return 0;
+    std::uint64_t start = cursor_.load(std::memory_order_relaxed);
+    if (start >= nr_chunks_) start = 0;
+    const std::uint32_t nshards = shard_count();
+    const std::uint32_t s0 = shard_of(start);
+    std::size_t taken = 0;
+    for (std::uint32_t i = 0; i <= nshards && taken < want; ++i) {
+      const std::uint32_t s = (s0 + i) % nshards;
+      auto& shard = *shards_[s];
+      std::uint64_t from = shard.begin_chunk();
+      std::uint64_t limit = shard.end_chunk();
+      if (i == 0) {
+        from = start;
+      } else if (i == nshards) {
+        limit = std::min(limit, start);  // wrap: tail of the cursor shard
+      }
+      taken += shard.take_first_fit(from, limit, want - taken, out);
+    }
+    if (taken > 0) {
+      cursor_.store((out.back() + 1) % nr_chunks_, std::memory_order_relaxed);
+    }
+    return taken;
+  }
+
+  std::uint64_t cursor() const noexcept {
+    return cursor_.load(std::memory_order_relaxed);
+  }
+  void set_cursor(std::uint64_t c) noexcept {
+    cursor_.store(c, std::memory_order_relaxed);
+  }
+
+  /// Reassembles the contiguous bitmap word array ((nr_chunks+63)/64
+  /// words, padding bits set) — byte-identical to the historical single
+  /// bitmap at any shard count.
+  void copy_out(std::vector<std::uint64_t>& words) const {
+    words.assign((nr_chunks_ + 63) / 64, 0);
+    for (const auto& s : shards_) s->copy_out(words);
+  }
+
+  void copy_in(const std::vector<std::uint64_t>& words) {
+    for (const auto& s : shards_) s->copy_in(words);
+  }
+
+  void clear_txn() {
+    for (const auto& s : shards_) s->clear_txn();
+  }
+
+  /// Merged in-transaction allocation record: shards visited in region
+  /// order, allocations within a shard in allocation order — a
+  /// deterministic merge independent of submitter interleaving (after the
+  /// submitters quiesce).
+  void visit_txn_allocated(
+      const std::function<void(std::uint64_t)>& visit) const {
+    for (const auto& s : shards_) s->visit_txn_allocated(visit);
+  }
+
+  std::uint64_t txn_allocated_count() const {
+    std::uint64_t total = 0;
+    for (const auto& s : shards_) total += s->txn_allocated_count();
+    return total;
+  }
+
+  std::uint64_t txn_freed_count() const {
+    std::uint64_t total = 0;
+    for (const auto& s : shards_) total += s->txn_freed_count();
+    return total;
+  }
+
+ private:
+  /// One uniform draw resolved against a consistent snapshot of the
+  /// per-shard free counts. Serialised on draw_mu_ so concurrent
+  /// allocators consume the shared RNG stream one draw at a time (the
+  /// stream order is what the determinism tests replay). Returns false
+  /// when the pool is exhausted.
+  bool draw_target(util::Rng& rng, std::uint32_t& s, std::uint64_t& n)
+      EXCLUDES(draw_mu_) {
+    util::MutexLock lock(draw_mu_);
+    counts_scratch_.clear();
+    std::uint64_t total = 0;
+    for (const auto& shard : shards_) {
+      const std::uint64_t f = shard->free_count();
+      counts_scratch_.push_back(f);
+      total += f;
+    }
+    if (total == 0) return false;
+    std::uint64_t t = rng.next_below(total);
+    for (std::uint32_t i = 0; i < counts_scratch_.size(); ++i) {
+      if (t < counts_scratch_[i]) {
+        s = i;
+        n = t;
+        return true;
+      }
+      t -= counts_scratch_[i];
+    }
+    s = shard_count() - 1;  // unreachable: t < total by construction
+    n = 0;
+    return true;
+  }
+
+  std::uint64_t nr_chunks_ = 0;
+  std::uint64_t chunks_per_shard_ = 0;  // multiple of 64
+  std::vector<std::unique_ptr<AllocShard>> shards_;
+  mutable util::Mutex draw_mu_;
+  std::vector<std::uint64_t> counts_scratch_ GUARDED_BY(draw_mu_);
+  std::atomic<std::uint64_t> cursor_{0};
+};
+
+}  // namespace mobiceal::thin

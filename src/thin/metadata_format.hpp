@@ -36,7 +36,7 @@ namespace mobiceal::thin {
 
 /// "THINPOOL" interpreted little-endian.
 inline constexpr std::uint64_t kThinMagic = 0x4C4F4F504E494854ULL;
-inline constexpr std::uint32_t kThinVersion = 3;
+inline constexpr std::uint32_t kThinVersion = 4;
 
 /// Sentinel: virtual chunk not mapped to any physical chunk.
 inline constexpr std::uint64_t kUnmapped = ~std::uint64_t{0};
@@ -63,6 +63,12 @@ struct Superblock {
   std::uint64_t txn_id = 0;
   std::uint64_t alloc_cursor = 0;    // sequential policy resume point
   std::uint32_t active_area = 0;     // 0 or 1: which metadata copy is live
+  /// v4: effective allocator shard-region count. Purely an in-memory
+  /// concurrency partition — the bitmap bytes are identical at any count —
+  /// persisted so a reopened pool rebuilds the same shard-lock layout (and
+  /// the adversary can see it: sharding is public, like everything else
+  /// here, and must not weaken deniability).
+  std::uint32_t alloc_shards = 1;
   std::uint64_t checksum = 0;        // xor-fold of all fields above
 
   std::uint64_t compute_checksum() const noexcept {
@@ -70,7 +76,8 @@ struct Superblock {
            (std::uint64_t{static_cast<std::uint32_t>(policy)} << 16) ^
            (std::uint64_t{chunk_blocks} << 8) ^ max_volumes ^ nr_chunks ^
            (max_chunks_per_volume << 1) ^ (txn_id << 2) ^
-           (alloc_cursor << 3) ^ (std::uint64_t{active_area} << 40);
+           (alloc_cursor << 3) ^ (std::uint64_t{active_area} << 40) ^
+           (std::uint64_t{alloc_shards} << 24);
   }
 };
 

@@ -14,7 +14,9 @@
 // under it.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -91,6 +93,66 @@ class RangeLock {
   util::CondVar cv_;
   std::vector<std::pair<std::uint64_t, std::uint64_t>> held_
       GUARDED_BY(mutex_);
+};
+
+/// Fixed-size table of lazily created RangeLocks, indexed by volume id.
+///
+/// The hot path — looking up a lock that already exists — is a single
+/// acquire-load, entirely off the pool's metadata mutex (which the
+/// historical double-checked creation took on EVERY I/O). Creation misses
+/// funnel through a small striped set of mutexes so concurrent first users
+/// of one volume agree on a single lock without serialising unrelated
+/// volumes against each other.
+///
+/// reset() (volume deletion) requires the caller to guarantee no
+/// concurrent I/O on that volume — the same contract delete_thin always
+/// had.
+class RangeLockTable {
+ public:
+  RangeLockTable() = default;
+  ~RangeLockTable() {
+    for (std::size_t i = 0; i < size_; ++i) delete slots_[i].load();
+  }
+  RangeLockTable(const RangeLockTable&) = delete;
+  RangeLockTable& operator=(const RangeLockTable&) = delete;
+
+  /// Sets the slot count. Single-threaded setup path (pool format/open);
+  /// existing locks are dropped.
+  void resize(std::size_t slots) {
+    for (std::size_t i = 0; i < size_; ++i) delete slots_[i].load();
+    slots_ = std::make_unique<std::atomic<RangeLock*>[]>(slots);
+    size_ = slots;
+  }
+
+  std::size_t size() const noexcept { return size_; }
+
+  /// Lock-free on the hit path; misses create under the slot's stripe
+  /// mutex (double-checked, so exactly one lock wins).
+  RangeLock& get(std::size_t i) {
+    RangeLock* lock = slots_[i].load(std::memory_order_acquire);
+    if (lock == nullptr) {
+      util::MutexLock stripe(create_mu_[i % kStripes]);
+      lock = slots_[i].load(std::memory_order_relaxed);
+      if (lock == nullptr) {
+        lock = new RangeLock();
+        slots_[i].store(lock, std::memory_order_release);
+      }
+    }
+    return *lock;
+  }
+
+  /// Drops slot i's lock. Caller guarantees no concurrent I/O holds or
+  /// acquires it (volume-deletion contract).
+  void reset(std::size_t i) {
+    util::MutexLock stripe(create_mu_[i % kStripes]);
+    delete slots_[i].exchange(nullptr);
+  }
+
+ private:
+  static constexpr std::size_t kStripes = 8;
+  std::unique_ptr<std::atomic<RangeLock*>[]> slots_;
+  std::size_t size_ = 0;
+  util::Mutex create_mu_[kStripes];
 };
 
 }  // namespace mobiceal::thin

@@ -1,16 +1,11 @@
 #include "thin/thin_pool.hpp"
 
 #include <algorithm>
-#include <bit>
 #include <cstring>
 
 #include "util/error.hpp"
 
 namespace mobiceal::thin {
-
-namespace {
-constexpr std::uint64_t kAllOnes = ~std::uint64_t{0};
-}
 
 ThinPool::ThinPool(std::shared_ptr<blockdev::BlockDevice> metadata_dev,
                    std::shared_ptr<blockdev::BlockDevice> data_dev,
@@ -32,14 +27,16 @@ void ThinPool::set_clock_domain(std::shared_ptr<util::ClockDomain> domain) {
   {
     util::MutexLock lock(cpu_mutex_);
     cpu_lane_free_.assign(domain_ ? domain_->shard_count() : 0, 0);
+    shard_lane_free_.assign(meta_shard_lanes_ ? alloc_.shard_count() : 0, 0);
   }
-  if (domain_ && clock_) {
+  if ((domain_ || meta_shard_lanes_) && clock_) {
     // Lane busy-times are virtual timestamps: a bench-repetition clock
     // reset must zero them or the first chunk of the next repetition
     // inherits ghost CPU time.
     reset_hook_ = clock_->add_reset_hook([this] {
       util::MutexLock lock(cpu_mutex_);
       std::fill(cpu_lane_free_.begin(), cpu_lane_free_.end(), 0);
+      std::fill(shard_lane_free_.begin(), shard_lane_free_.end(), 0);
     });
     have_reset_hook_ = true;
   }
@@ -51,6 +48,21 @@ std::uint64_t ThinPool::cpu_lane_charge(std::uint64_t ns) {
   auto lane = std::min_element(cpu_lane_free_.begin(), cpu_lane_free_.end());
   *lane = std::max(*lane, now) + ns;
   return *lane;
+}
+
+std::uint64_t ThinPool::shard_lane_charge(std::uint32_t shard,
+                                          std::uint64_t ns,
+                                          std::uint64_t floor_ns) {
+  const std::uint64_t now = clock_ ? clock_->now() : 0;
+  util::MutexLock lock(cpu_mutex_);
+  if (shard_lane_free_.size() != alloc_.shard_count()) {
+    shard_lane_free_.assign(alloc_.shard_count(), 0);
+  }
+  // The shard's lock serialises its bookkeeping: this chunk's work starts
+  // once the lane is free AND its data is ready, never before now.
+  std::uint64_t& lane = shard_lane_free_[shard];
+  lane = std::max(lane, std::max(now, floor_ns)) + ns;
+  return lane;
 }
 
 std::shared_ptr<ThinPool> ThinPool::format(
@@ -76,6 +88,7 @@ std::shared_ptr<ThinPool> ThinPool::format(
   sb.txn_id = 0;
   pool->sb_ = sb;
   pool->cpu_ = config.cpu;
+  pool->meta_shard_lanes_ = config.meta_shard_lanes;
   pool->geom_ =
       MetadataGeometry::compute(sb, pool->metadata_dev_->block_size());
   if (pool->geom_.total_blocks > pool->metadata_dev_->num_blocks()) {
@@ -86,16 +99,14 @@ std::shared_ptr<ThinPool> ThinPool::format(
   }
 
   pool->volumes_ = std::vector<VolumeState>(sb.max_volumes);
+  pool->io_locks_.resize(sb.max_volumes);
+  // Sharded allocator setup (all chunks free, padding bits handled inside);
+  // the superblock records the *effective* shard count — init clamps so
+  // every shard region is non-empty.
+  pool->alloc_.init(sb.nr_chunks, config.alloc_shards);
+  pool->sb_.alloc_shards = pool->alloc_.shard_count();
   {
     util::MutexLock meta(pool->meta_mutex_);
-    const std::uint64_t words = (sb.nr_chunks + 63) / 64;
-    pool->bitmap_.assign(words, 0);
-    // Mark the padding bits past nr_chunks as allocated so no scan picks
-    // them.
-    for (std::uint64_t c = sb.nr_chunks; c < words * 64; ++c) {
-      bit_set(pool->bitmap_, c);
-    }
-    pool->free_chunks_ = sb.nr_chunks;
     pool->store_metadata();
   }
   return pool;
@@ -117,6 +128,14 @@ void ThinPool::store_metadata() {
   const std::size_t bs = metadata_dev_->block_size();
   util::Bytes block(bs);
 
+  // Snapshot the allocator state first: the contiguous word array is
+  // byte-identical to the historical single bitmap at any shard count, and
+  // the cursor lives in the allocator between commits.
+  std::vector<std::uint64_t> words;
+  alloc_.copy_out(words);
+  sb_.alloc_cursor = alloc_.cursor();
+  sb_.alloc_shards = alloc_.shard_count();
+
   // Shadow-paging: stage the entire new state into the INACTIVE area, then
   // flip the superblock pointer with one atomic block write. A crash at any
   // point leaves a parseable old-or-new state, never a mix.
@@ -124,15 +143,15 @@ void ThinPool::store_metadata() {
   const std::uint64_t base = geom_.area_start(target_area);
 
   // 1. Bitmap blocks.
-  const std::uint64_t words = bitmap_.size();
+  const std::uint64_t nwords = words.size();
   for (std::uint64_t b = 0; b < geom_.bitmap_blocks; ++b) {
     std::memset(block.data(), 0, bs);
     const std::uint64_t first_word = b * (bs / 8);
-    const std::uint64_t n_words =
-        std::min<std::uint64_t>(bs / 8, words - std::min(words, first_word));
+    const std::uint64_t n_words = std::min<std::uint64_t>(
+        bs / 8, nwords - std::min(nwords, first_word));
     for (std::uint64_t w = 0; w < n_words; ++w) {
       util::store_le<std::uint64_t>(block.data() + w * 8,
-                                    bitmap_[first_word + w]);
+                                    words[first_word + w]);
     }
     metadata_dev_->write_block(base + b, block);
   }
@@ -188,6 +207,7 @@ void ThinPool::store_metadata() {
   util::store_le<std::uint64_t>(block.data() + 40, sb_.txn_id);
   util::store_le<std::uint64_t>(block.data() + 48, sb_.alloc_cursor);
   util::store_le<std::uint32_t>(block.data() + 56, sb_.active_area);
+  util::store_le<std::uint32_t>(block.data() + 60, sb_.alloc_shards);
   util::store_le<std::uint64_t>(block.data() + 64, sb_.checksum);
   metadata_dev_->write_block(0, block);
   metadata_dev_->flush();
@@ -217,6 +237,9 @@ void ThinPool::load_metadata() {
   sb_.txn_id = util::load_le<std::uint64_t>(block.data() + 40);
   sb_.alloc_cursor = util::load_le<std::uint64_t>(block.data() + 48);
   sb_.active_area = util::load_le<std::uint32_t>(block.data() + 56);
+  // v4 field; v3 superblocks carry zeros here, and the checksum term is
+  // zero for a zero count, so pre-sharding metadata still verifies.
+  sb_.alloc_shards = util::load_le<std::uint32_t>(block.data() + 60);
   sb_.checksum = util::load_le<std::uint64_t>(block.data() + 64);
   if (sb_.active_area > 1) {
     throw util::MetadataError("thin superblock: bad active area");
@@ -227,27 +250,29 @@ void ThinPool::load_metadata() {
   geom_ = MetadataGeometry::compute(sb_, bs);
   const std::uint64_t base = geom_.area_start(sb_.active_area);
 
-  // Bitmap.
-  const std::uint64_t words = (sb_.nr_chunks + 63) / 64;
-  bitmap_.assign(words, 0);
+  // Bitmap: load the contiguous word array, then hand it to the sharded
+  // allocator (which recounts free chunks per region).
+  const std::uint64_t words_n = (sb_.nr_chunks + 63) / 64;
+  std::vector<std::uint64_t> words(words_n, 0);
   for (std::uint64_t b = 0; b < geom_.bitmap_blocks; ++b) {
     metadata_dev_->read_block(base + b, block);
     const std::uint64_t first_word = b * (bs / 8);
     for (std::uint64_t w = 0; w < bs / 8; ++w) {
-      if (first_word + w >= words) break;
-      bitmap_[first_word + w] = util::load_le<std::uint64_t>(block.data() + w * 8);
+      if (first_word + w >= words_n) break;
+      words[first_word + w] = util::load_le<std::uint64_t>(block.data() + w * 8);
     }
   }
-  for (std::uint64_t c = sb_.nr_chunks; c < words * 64; ++c) {
-    bit_set(bitmap_, c);
+  for (std::uint64_t c = sb_.nr_chunks; c < words_n * 64; ++c) {
+    words[c / 64] |= std::uint64_t{1} << (c % 64);
   }
-  free_chunks_ = 0;
-  for (std::uint64_t c = 0; c < sb_.nr_chunks; ++c) {
-    if (!bit_test(bitmap_, c)) ++free_chunks_;
-  }
+  alloc_.init(sb_.nr_chunks, sb_.alloc_shards ? sb_.alloc_shards : 1);
+  alloc_.copy_in(words);
+  alloc_.set_cursor(sb_.alloc_cursor);
+  sb_.alloc_shards = alloc_.shard_count();
 
   // Volume table.
   volumes_ = std::vector<VolumeState>(sb_.max_volumes);
+  io_locks_.resize(sb_.max_volumes);
   const std::uint64_t descs_per_block = bs / kVolumeDescSize;
   for (std::uint64_t b = 0; b < geom_.volume_table_blocks; ++b) {
     metadata_dev_->read_block(base + geom_.volume_table_offset + b, block);
@@ -266,7 +291,6 @@ void ThinPool::load_metadata() {
   for (std::uint32_t vol = 0; vol < volumes_.size(); ++vol) {
     auto& v = volumes_[vol];
     if (!v.active) continue;
-    v.io_lock = std::make_unique<RangeLock>();
     v.map.assign(v.virtual_chunks, kUnmapped);
     const std::uint64_t map_blocks =
         (v.map.size() + entries_per_block - 1) / entries_per_block;
@@ -281,85 +305,20 @@ void ThinPool::load_metadata() {
       }
     }
   }
-  txn_allocated_.clear();
-  txn_freed_.clear();
-}
-
-// ---- bitmap helpers ----------------------------------------------------------
-
-bool ThinPool::bit_test(const std::vector<std::uint64_t>& bm,
-                        std::uint64_t chunk) const {
-  return (bm[chunk / 64] >> (chunk % 64)) & 1;
-}
-
-void ThinPool::bit_set(std::vector<std::uint64_t>& bm, std::uint64_t chunk) {
-  bm[chunk / 64] |= std::uint64_t{1} << (chunk % 64);
-}
-
-void ThinPool::bit_clear(std::vector<std::uint64_t>& bm, std::uint64_t chunk) {
-  bm[chunk / 64] &= ~(std::uint64_t{1} << (chunk % 64));
-}
-
-void ThinPool::mark_allocated(std::uint64_t chunk) {
-  bit_set(bitmap_, chunk);
-  --free_chunks_;
-  txn_allocated_.push_back(chunk);
-}
-
-void ThinPool::mark_free(std::uint64_t chunk) {
-  bit_clear(bitmap_, chunk);
-  ++free_chunks_;
-  txn_freed_.push_back(chunk);
 }
 
 // ---- allocation ---------------------------------------------------------------
 
 std::uint64_t ThinPool::allocate_chunk() {
-  if (free_chunks_ == 0) {
-    throw util::NoSpaceError("thin pool exhausted");
-  }
-  // CPU cost (cpu_.alloc_ns) is charged by the caller outside the metadata
-  // mutex — either as a serial clock advance or onto a CPU lane in overlap
-  // mode — so the lock never nests a lane charge.
-  const std::uint64_t chunk = sb_.policy == AllocPolicy::kRandom
-                                  ? pick_random()
-                                  : pick_sequential();
-  mark_allocated(chunk);
-  return chunk;
-}
-
-std::uint64_t ThinPool::pick_sequential() {
-  // Stock dm-thin: first-fit from the persistent cursor.
-  for (std::uint64_t i = 0; i < sb_.nr_chunks; ++i) {
-    const std::uint64_t c = (sb_.alloc_cursor + i) % sb_.nr_chunks;
-    if (!bit_test(bitmap_, c)) {
-      sb_.alloc_cursor = (c + 1) % sb_.nr_chunks;
-      return c;
-    }
-  }
-  throw util::NoSpaceError("thin pool exhausted (sequential scan)");
-}
-
-std::uint64_t ThinPool::pick_random() {
-  // MobiCeal random allocation (Sec. V-A): draw i uniformly in [0, free)
-  // and take the i-th free chunk. The scan is word-wise via popcount.
+  // CPU cost (cpu_.alloc_ns) is charged by the caller outside the shard
+  // lock — either as a serial clock advance or onto a CPU lane — so the
+  // lock never nests a lane charge.
   util::Rng& rng = alloc_rng_ ? *alloc_rng_ : default_rng_;
-  std::uint64_t target = rng.next_below(free_chunks_);
-  for (std::uint64_t w = 0; w < bitmap_.size(); ++w) {
-    const std::uint64_t free_here =
-        64 - static_cast<std::uint64_t>(std::popcount(bitmap_[w]));
-    if (target >= free_here) {
-      target -= free_here;
-      continue;
-    }
-    for (std::uint64_t b = 0; b < 64; ++b) {
-      if (!((bitmap_[w] >> b) & 1)) {
-        if (target == 0) return w * 64 + b;
-        --target;
-      }
-    }
-  }
-  throw util::NoSpaceError("thin pool exhausted (random scan)");
+  const std::optional<std::uint64_t> chunk =
+      sb_.policy == AllocPolicy::kRandom ? alloc_.try_alloc_random(rng)
+                                         : alloc_.try_alloc_sequential();
+  if (!chunk) throw util::NoSpaceError("thin pool exhausted");
+  return *chunk;
 }
 
 // ---- volume lifecycle -----------------------------------------------------------
@@ -388,35 +347,24 @@ void ThinPool::create_thin(std::uint32_t id, std::uint64_t virtual_chunks) {
   volumes_[id].virtual_chunks = virtual_chunks;
   volumes_[id].mapped = 0;
   volumes_[id].map.assign(virtual_chunks, kUnmapped);
-  volumes_[id].io_lock = std::make_unique<RangeLock>();
 }
 
 void ThinPool::delete_thin(std::uint32_t id) {
   check_volume(id);
   {
-    // Returning the volume's chunks mutates the shared bitmap: without the
-    // metadata mutex a concurrent allocator could double-allocate a chunk
-    // freed mid-scan (lock-discipline gap surfaced by -Wthread-safety).
+    // Unmapping mutates the shared mapping table; the chunk frees go
+    // through the self-locking allocator shard by shard.
     util::MutexLock meta(meta_mutex_);
     for (std::uint64_t v = 0; v < volumes_[id].map.size(); ++v) {
       if (volumes_[id].map[v] != kUnmapped) {
-        mark_free(volumes_[id].map[v]);
+        alloc_.free_chunk(volumes_[id].map[v]);
       }
     }
+    volumes_[id] = VolumeState{};
   }
-  volumes_[id] = VolumeState{};
-}
-
-RangeLock& ThinPool::io_lock(std::uint32_t id) {
-  auto& vol = volumes_[id];
-  if (!vol.io_lock) {
-    // First use races with other submitters: create under the metadata
-    // mutex (double-checked — the pointer is only ever set here or in the
-    // single-threaded lifecycle paths) so exactly one lock wins.
-    util::MutexLock meta(meta_mutex_);
-    if (!vol.io_lock) vol.io_lock = std::make_unique<RangeLock>();
-  }
-  return *vol.io_lock;
+  // Volume-deletion contract: no concurrent I/O on this id, so dropping
+  // its range lock cannot race an acquire.
+  io_locks_.reset(id);
 }
 
 RangeLock::Guard ThinPool::lock_range(std::uint32_t id, std::uint64_t first,
@@ -448,8 +396,7 @@ void ThinPool::commit() {
     sb_ = saved;
     throw;
   }
-  txn_allocated_.clear();
-  txn_freed_.clear();
+  alloc_.clear_txn();
 }
 
 // ---- PDE support --------------------------------------------------------------------
@@ -468,7 +415,7 @@ std::optional<std::uint64_t> ThinPool::write_noise_chunk(
   {
     util::MutexLock meta(meta_mutex_);
     const std::uint64_t unmapped = vol.virtual_chunks - vol.mapped;
-    if (unmapped == 0 || free_chunks_ == 0) return std::nullopt;
+    if (unmapped == 0 || alloc_.total_free() == 0) return std::nullopt;
 
     // Pick the target virtual chunk uniformly among unmapped positions so
     // the volume's own mapping table shows no growth pattern.
@@ -488,9 +435,10 @@ std::optional<std::uint64_t> ThinPool::write_noise_chunk(
     ++vol.mapped;
   }
   // Allocation CPU cost: serial advance, or a lane finish time that floors
-  // the dummy write's availability in overlap mode (dummy traffic competes
-  // for the same pool CPUs as client bookkeeping).
-  const std::uint64_t cpu_ready = chunk_cpu_charge(cpu_.alloc_ns);
+  // the dummy write's availability — dummy traffic competes for the same
+  // pool CPUs (and, in the fleet model, the same shard lane) as client
+  // bookkeeping.
+  const std::uint64_t cpu_ready = chunk_meta_charge(phys, cpu_.alloc_ns, 0);
   // Serialise against client I/O on the same logical range (the observer
   // only ever reaches here for a *different* volume than the one whose
   // write triggered it, so lock order is acyclic).
@@ -524,13 +472,13 @@ void ThinPool::discard(std::uint32_t id, std::uint64_t vchunk) {
   check_volume(id);
   auto& vol = volumes_[id];
   // GC runs concurrently with client I/O once submitters are threaded:
-  // freeing the chunk and unmapping it must be atomic against the
-  // allocator (lock-discipline gap surfaced by -Wthread-safety).
+  // unmapping must be atomic against concurrent map readers; the bitmap
+  // clear itself is shard-locked inside the allocator.
   util::MutexLock meta(meta_mutex_);
   if (vchunk >= vol.map.size() || vol.map[vchunk] == kUnmapped) {
     throw util::IoError("thin discard: chunk not mapped");
   }
-  mark_free(vol.map[vchunk]);
+  alloc_.free_chunk(vol.map[vchunk]);
   vol.map[vchunk] = kUnmapped;
   --vol.mapped;
 }
@@ -556,12 +504,18 @@ bool ThinPool::chunk_allocated(std::uint64_t phys_chunk) const {
   if (phys_chunk >= sb_.nr_chunks) {
     throw util::IoError("chunk_allocated: out of range");
   }
-  util::MutexLock meta(meta_mutex_);
-  return bit_test(bitmap_, phys_chunk);
+  return alloc_.test(phys_chunk);
 }
 
 bool ThinPool::check_consistency() const {
   util::MutexLock meta(meta_mutex_);
+  // Bitmap snapshot: the same contiguous word array the metadata format
+  // serialises, reassembled from the shards.
+  std::vector<std::uint64_t> words;
+  alloc_.copy_out(words);
+  const auto bit = [&words](std::uint64_t c) {
+    return (words[c / 64] >> (c % 64)) & 1;
+  };
   std::vector<std::uint8_t> refs(sb_.nr_chunks, 0);
   std::uint64_t mapped_total = 0;
   for (std::uint32_t v = 0; v < volumes_.size(); ++v) {
@@ -571,7 +525,7 @@ bool ThinPool::check_consistency() const {
     for (std::uint64_t phys : vol.map) {
       if (phys == kUnmapped) continue;
       if (phys >= sb_.nr_chunks) return false;      // out-of-range mapping
-      if (!bit_test(bitmap_, phys)) return false;   // mapped but free
+      if (!bit(phys)) return false;                 // mapped but free
       if (refs[phys]++) return false;               // cross-volume share
       ++mapped;
     }
@@ -580,13 +534,13 @@ bool ThinPool::check_consistency() const {
   }
   // Bitmap population must equal the mapped total (plus any chunks
   // allocated in the open transaction that are already mapped — both are
-  // reflected in bitmap_ here, so the counts must agree exactly).
+  // reflected in the bitmap here, so the counts must agree exactly).
   std::uint64_t allocated = 0;
   for (std::uint64_t c = 0; c < sb_.nr_chunks; ++c) {
-    if (bit_test(bitmap_, c)) ++allocated;
+    if (bit(c)) ++allocated;
   }
   if (allocated != mapped_total) return false;      // leaked chunk
-  return free_chunks_ == sb_.nr_chunks - allocated;
+  return alloc_.total_free() == sb_.nr_chunks - allocated;
 }
 
 // ---- extent resolution -------------------------------------------------------
@@ -650,15 +604,20 @@ void ThinPool::volume_write(std::uint32_t id, std::uint64_t lblock,
 }
 
 void ThinPool::notify_fresh_provision(std::uint32_t id, std::uint64_t phys) {
-  if (!volumes_[id].observed || !observer_ || in_observer_) return;
-  in_observer_ = true;
+  // Re-entrancy guard: a dummy write's own allocations must not trigger
+  // more dummy writes. thread_local so concurrent submitter threads each
+  // carry their own observer depth (one thread's dummy write must not
+  // silence another thread's client allocation).
+  thread_local bool in_observer = false;
+  if (!volumes_[id].observed || !observer_ || in_observer) return;
+  in_observer = true;
   try {
     observer_(id, phys);
   } catch (...) {
-    in_observer_ = false;
+    in_observer = false;
     throw;
   }
-  in_observer_ = false;
+  in_observer = false;
 }
 
 void ThinPool::volume_read_range(std::uint32_t id, std::uint64_t lblock,
@@ -705,14 +664,18 @@ std::uint64_t ThinPool::submit_read_range(std::uint32_t id,
   const auto runs = resolve_extents(id, lblock, out.size() / bs);
   std::uint64_t done = available_ns;
   for (const ExtentRun& run : runs) {
-    // Mapping-lookup CPU: serial advance historically; in overlap mode an
-    // earliest-free CPU lane whose finish time floors this run's
-    // availability, so lookups for different runs overlap device service.
-    const std::uint64_t cpu_ready = chunk_cpu_charge(cpu_.lookup_read_ns);
     const std::size_t off = (run.lblock - lblock) * bs;
     const util::MutByteSpan dst{out.data() + off,
                                 static_cast<std::size_t>(run.blocks) * bs};
     if (run.mapped) {
+      // Mapping-lookup CPU: serial advance historically; an earliest-free
+      // CPU lane in overlap mode; in the fleet model, the lane of the
+      // allocator shard owning the run's first chunk — concurrent tenants
+      // walking mappings in different shard regions proceed in parallel,
+      // same-shard walks queue.
+      const std::uint64_t cpu_ready = chunk_meta_charge(
+          run.phys_block / sb_.chunk_blocks, cpu_.lookup_read_ns,
+          available_ns);
       // Independent runs go into the device queue together — at queue
       // depth d, up to d fragmented extents overlap their transfers.
       blockdev::IoRequest req;
@@ -723,10 +686,66 @@ std::uint64_t ThinPool::submit_read_range(std::uint32_t id,
       req.available_ns = std::max(available_ns, cpu_ready);
       done = std::max(done, data_dev_->submit(req).complete_ns);
     } else {
+      // Zero-fill still walks the mapping tree (to learn the hole), but
+      // touches no allocator shard.
+      chunk_cpu_charge(cpu_.lookup_read_ns);
       std::memset(dst.data(), 0, dst.size());
     }
   }
   return done;
+}
+
+std::vector<ThinPool::ChunkSeg> ThinPool::plan_write_range(
+    std::uint32_t id, std::uint64_t lblock, std::uint64_t nblocks) {
+  // Chunk split first (pure arithmetic, no lock).
+  std::vector<ChunkSeg> segs;
+  std::uint64_t pos = lblock;
+  std::uint64_t remaining = nblocks;
+  while (remaining > 0) {
+    const std::uint64_t vchunk = pos / sb_.chunk_blocks;
+    const std::uint64_t off = pos % sb_.chunk_blocks;
+    const std::uint64_t n =
+        std::min<std::uint64_t>(sb_.chunk_blocks - off, remaining);
+    segs.push_back({vchunk, off, n, kUnmapped, false});
+    pos += n;
+    remaining -= n;
+  }
+
+  util::MutexLock meta(meta_mutex_);
+  auto& vol = volumes_[id];
+  std::size_t missing = 0;
+  for (ChunkSeg& s : segs) {
+    s.phys = vol.map[s.vchunk];
+    if (s.phys == kUnmapped) ++missing;
+  }
+  if (missing == 0) return segs;
+
+  // Batch-provision every missing chunk: the allocator services runs of
+  // same-shard draws under one shard-lock hold, and the draw sequence is
+  // identical to `missing` single allocations — so assigning the fresh
+  // chunks in vchunk order reproduces the per-chunk path's mapping
+  // exactly. A short batch (pool ran dry) leaves trailing segments
+  // unassigned; the write loop throws NoSpace on reaching the first one,
+  // after exactly the same draws, assignments, and device writes as the
+  // per-chunk path's partial failure.
+  std::vector<std::uint64_t> fresh;
+  fresh.reserve(missing);
+  util::Rng& rng = alloc_rng_ ? *alloc_rng_ : default_rng_;
+  if (sb_.policy == AllocPolicy::kRandom) {
+    alloc_.alloc_random_batch(rng, missing, fresh);
+  } else {
+    alloc_.alloc_sequential_batch(missing, fresh);
+  }
+  std::size_t next = 0;
+  for (ChunkSeg& s : segs) {
+    if (s.phys != kUnmapped) continue;
+    if (next == fresh.size()) break;
+    s.phys = fresh[next++];
+    s.fresh = true;
+    vol.map[s.vchunk] = s.phys;
+    ++vol.mapped;
+  }
+  return segs;
 }
 
 void ThinPool::volume_write_range(std::uint32_t id, std::uint64_t lblock,
@@ -740,17 +759,38 @@ void ThinPool::volume_write_range(std::uint32_t id, std::uint64_t lblock,
     if (!overlapped()) data_dev_->drain();
     return;
   }
-  const auto guard =
-      lock_range(id, lblock, data.size() / data_dev_->block_size());
-  auto& vol = volumes_[id];
   const std::size_t bs = data_dev_->block_size();
+  const auto guard = lock_range(id, lblock, data.size() / bs);
+  auto& vol = volumes_[id];
+
+  if (!vol.observed) {
+    // Batched fast path: one metadata hold plans the whole range and
+    // provisions missing chunks with one shard-lock hold per run. Valid
+    // precisely because no observer interleaves RNG draws between chunks
+    // on this volume; charges and device writes stay per-chunk below, so
+    // the modelled time and device state are identical to the per-chunk
+    // path.
+    const auto segs = plan_write_range(id, lblock, data.size() / bs);
+    std::size_t done = 0;
+    for (const ChunkSeg& s : segs) {
+      if (s.phys == kUnmapped) {
+        throw util::NoSpaceError("thin pool exhausted");
+      }
+      charge(cpu_.lookup_write_ns + (s.fresh ? cpu_.alloc_ns : 0));
+      data_dev_->write_blocks(
+          s.phys * sb_.chunk_blocks + s.off,
+          {data.data() + done, static_cast<std::size_t>(s.blocks) * bs});
+      done += static_cast<std::size_t>(s.blocks) * bs;
+    }
+    return;
+  }
+
   std::uint64_t pos = lblock;
   std::size_t done = 0;
-  // Chunk-by-chunk, exactly as dm-thin splits bios at chunk boundaries:
-  // each segment is one mapping lookup (or fresh provision) plus one
-  // vectored write, and the allocation observer fires after each fresh
-  // chunk's data lands — the same order of RNG draws and allocations as
-  // the per-block path, so final device state is bit-identical.
+  // Observed volume: chunk-by-chunk, exactly as dm-thin splits bios at
+  // chunk boundaries — the allocation observer fires after each fresh
+  // chunk's data lands, so the dummy-write engine's RNG draws interleave
+  // with the client's allocations in the historical order.
   while (done < data.size()) {
     const std::uint64_t vchunk = pos / sb_.chunk_blocks;
     const std::uint64_t off = pos % sb_.chunk_blocks;
@@ -789,13 +829,40 @@ std::uint64_t ThinPool::submit_write_range(std::uint32_t id,
   const std::size_t bs = data_dev_->block_size();
   const auto guard = lock_range(id, lblock, data.size() / bs);
   auto& vol = volumes_[id];
+
+  if (!vol.observed) {
+    // Batched fast path (see volume_write_range): plan + provision under
+    // one metadata hold, then submit per chunk segment.
+    const auto segs = plan_write_range(id, lblock, data.size() / bs);
+    std::size_t off_bytes = 0;
+    std::uint64_t done = available_ns;
+    for (const ChunkSeg& s : segs) {
+      if (s.phys == kUnmapped) {
+        throw util::NoSpaceError("thin pool exhausted");
+      }
+      const std::uint64_t cpu_ready = chunk_meta_charge(
+          s.phys, cpu_.lookup_write_ns + (s.fresh ? cpu_.alloc_ns : 0),
+          available_ns);
+      blockdev::IoRequest req;
+      req.op = blockdev::IoOp::kWrite;
+      req.first = s.phys * sb_.chunk_blocks + s.off;
+      req.count = s.blocks;
+      req.write_buf = {data.data() + off_bytes,
+                       static_cast<std::size_t>(s.blocks) * bs};
+      req.available_ns = std::max(available_ns, cpu_ready);
+      done = std::max(done, data_dev_->submit(req).complete_ns);
+      off_bytes += static_cast<std::size_t>(s.blocks) * bs;
+    }
+    return done;
+  }
+
   std::uint64_t pos = lblock;
   std::size_t off_bytes = 0;
   std::uint64_t done = available_ns;
-  // Same chunk split, same allocation and observer order as the
-  // synchronous path — only the device service overlaps. Each segment is
-  // submitted without awaiting; dummy writes fired by the observer join
-  // the same queue.
+  // Observed volume: same chunk split, same allocation and observer order
+  // as the synchronous path — only the device service overlaps. Each
+  // segment is submitted without awaiting; dummy writes fired by the
+  // observer join the same queue.
   while (off_bytes < data.size()) {
     const std::uint64_t vchunk = pos / sb_.chunk_blocks;
     const std::uint64_t off = pos % sb_.chunk_blocks;
@@ -815,11 +882,12 @@ std::uint64_t ThinPool::submit_write_range(std::uint32_t id,
       }
     }
     // Per-chunk bookkeeping CPU (lookup + fresh-chunk allocation): a
-    // serial advance historically; in overlap mode a CPU-lane finish time
-    // that floors this segment's availability, so chunk N+1's bookkeeping
-    // overlaps chunk N's device service across stripes.
-    const std::uint64_t cpu_ready =
-        chunk_cpu_charge(cpu_.lookup_write_ns + (fresh ? cpu_.alloc_ns : 0));
+    // serial advance historically; a CPU-lane finish time in overlap mode;
+    // in the fleet model, the owning allocator shard's lane — the modelled
+    // serialisation concurrent tenants suffer on a shared shard.
+    const std::uint64_t cpu_ready = chunk_meta_charge(
+        phys, cpu_.lookup_write_ns + (fresh ? cpu_.alloc_ns : 0),
+        available_ns);
     blockdev::IoRequest req;
     req.op = blockdev::IoOp::kWrite;
     req.first = phys * sb_.chunk_blocks + off;

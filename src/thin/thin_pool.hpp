@@ -12,6 +12,15 @@
 // allocated within the open transaction, exactly the fix the paper
 // describes ("the block numbers allocated within a transaction are
 // recorded", Sec. V-A Random Allocation Implementation).
+//
+// Concurrency layout (post allocator sharding): the allocation bitmap,
+// free counts and txn ledgers live in ShardedBitmap (alloc_shard.hpp) —
+// N word-aligned regions, each behind its own mutex, with the random
+// policy's single uniform draw weighted by per-shard free space so the
+// allocation distribution is exactly the unsharded one. meta_mutex_ now
+// guards only the volume mapping tables and the metadata serialisation;
+// the per-volume RangeLock lookup is a lock-free table read. Lock order:
+// RangeLock -> meta_mutex_ -> shard mutex -> draw mutex (each optional).
 #pragma once
 
 #include <functional>
@@ -20,6 +29,7 @@
 #include <vector>
 
 #include "blockdev/block_device.hpp"
+#include "thin/alloc_shard.hpp"
 #include "thin/metadata_format.hpp"
 #include "thin/range_lock.hpp"
 #include "util/clock_domain.hpp"
@@ -63,6 +73,20 @@ class ThinPool : public std::enable_shared_from_this<ThinPool> {
     std::uint64_t max_chunks_per_volume = 0;
     AllocPolicy policy = AllocPolicy::kSequential;
     ThinCpuModel cpu = ThinCpuModel::nexus4();
+    /// Allocator shard-region count (--alloc-shards). 1 = the historical
+    /// single-lock allocator, bit-for-bit; >1 splits the bitmap into
+    /// word-aligned regions with independent locks. The allocation
+    /// *distribution* is identical at any value (see alloc_shard.hpp).
+    std::uint32_t alloc_shards = 1;
+    /// Fleet contention model: when true (and a clock is attached), the
+    /// per-chunk metadata bookkeeping CPU cost on the async submit paths
+    /// is charged to one virtual lane PER ALLOCATOR SHARD — the lane is
+    /// the serialisation a shard's lock imposes on concurrent submitters,
+    /// so with alloc_shards=1 every tenant's bookkeeping queues on one
+    /// timeline while the data transfers still overlap. Off by default:
+    /// single-submitter stacks keep the historical uncontended CPU model
+    /// (and all committed baselines) unchanged.
+    bool meta_shard_lanes = false;
   };
 
   /// Observer invoked after a *client* write provisions a fresh chunk on an
@@ -79,7 +103,9 @@ class ThinPool : public std::enable_shared_from_this<ThinPool> {
       std::shared_ptr<util::SimClock> clock = nullptr);
 
   /// Opens an existing pool from committed metadata. State written after the
-  /// last commit is discarded — this is the crash-recovery path.
+  /// last commit is discarded — this is the crash-recovery path. The
+  /// allocator shard count is restored from the superblock (pre-sharding
+  /// metadata reopens with one shard).
   static std::shared_ptr<ThinPool> open(
       std::shared_ptr<blockdev::BlockDevice> metadata_dev,
       std::shared_ptr<blockdev::BlockDevice> data_dev,
@@ -103,18 +129,35 @@ class ThinPool : public std::enable_shared_from_this<ThinPool> {
 
   /// Persists all metadata; the superblock (with a new txn id) is written
   /// last as the commit point. Holds the metadata mutex for the duration:
-  /// concurrent allocators stall rather than race the transaction record.
+  /// concurrent map updates stall rather than race the transaction record.
+  /// Chunks a concurrent allocator grabs mid-store may persist as
+  /// allocated-but-unmapped — legal mid-transaction state (resolved by the
+  /// next commit), exactly as on dm-thin.
   void commit() EXCLUDES(meta_mutex_);
 
   std::uint64_t txn_id() const noexcept { return sb_.txn_id; }
 
-  /// Chunks allocated since the last commit (the paper's in-transaction
-  /// record; exposed for the transaction-safety property tests). Returned
-  /// by value: the backing record is guarded by the metadata mutex, and a
-  /// reference would escape the lock.
-  std::vector<std::uint64_t> txn_allocations() const EXCLUDES(meta_mutex_) {
-    util::MutexLock lock(meta_mutex_);
-    return txn_allocated_;
+  /// Visits every chunk allocated since the last commit (the paper's
+  /// in-transaction record) without copying the ledger: shards in region
+  /// order, allocations within a shard in allocation order.
+  void visit_txn_allocations(
+      const std::function<void(std::uint64_t)>& visit) const {
+    alloc_.visit_txn_allocated(visit);
+  }
+
+  std::uint64_t txn_allocation_count() const {
+    return alloc_.txn_allocated_count();
+  }
+
+  /// Compatibility wrapper for callers that want the record as a vector;
+  /// prefer visit_txn_allocations — this one pays the O(allocations) copy
+  /// the visitor exists to avoid.
+  std::vector<std::uint64_t> txn_allocations() const {
+    std::vector<std::uint64_t> out;
+    out.reserve(alloc_.txn_allocated_count());
+    alloc_.visit_txn_allocated(
+        [&out](std::uint64_t c) { out.push_back(c); });
+    return out;
   }
 
   // -- PDE support (used by core::MobiCeal) -----------------------------------
@@ -144,11 +187,12 @@ class ThinPool : public std::enable_shared_from_this<ThinPool> {
 
   const Superblock& superblock() const noexcept { return sb_; }
   std::uint64_t nr_chunks() const noexcept { return sb_.nr_chunks; }
-  std::uint64_t free_chunks() const EXCLUDES(meta_mutex_) {
-    util::MutexLock lock(meta_mutex_);
-    return free_chunks_;
-  }
+  /// Free-chunk total: the sum of the per-shard counts — no lock on the
+  /// metadata path (exact once in-flight allocators quiesce).
+  std::uint64_t free_chunks() const noexcept { return alloc_.total_free(); }
   std::uint32_t chunk_blocks() const noexcept { return sb_.chunk_blocks; }
+  /// Effective allocator shard count.
+  std::uint32_t alloc_shards() const noexcept { return alloc_.shard_count(); }
   std::uint64_t mapped_chunks(std::uint32_t id) const;
   std::uint64_t virtual_chunks(std::uint32_t id) const;
 
@@ -166,7 +210,7 @@ class ThinPool : public std::enable_shared_from_this<ThinPool> {
       EXCLUDES(meta_mutex_);
 
   /// True if the physical chunk is allocated (committed or in-txn).
-  bool chunk_allocated(std::uint64_t phys_chunk) const EXCLUDES(meta_mutex_);
+  bool chunk_allocated(std::uint64_t phys_chunk) const;
 
   /// Full consistency check (thin_check equivalent): every mapped chunk is
   /// in range, marked in the bitmap, and mapped by exactly one volume;
@@ -218,9 +262,16 @@ class ThinPool : public std::enable_shared_from_this<ThinPool> {
     std::uint64_t virtual_chunks = 0;
     std::uint64_t mapped = 0;
     std::vector<std::uint64_t> map;  // vchunk -> phys chunk / kUnmapped
-    /// Exclusive logical-range lock serialising I/O on this volume — the
-    /// allocation-observer order guarantee under concurrent submitters.
-    std::unique_ptr<RangeLock> io_lock;
+  };
+
+  /// One chunk-aligned segment of a write range, produced by
+  /// plan_write_range: the batched-allocation fast path's unit of work.
+  struct ChunkSeg {
+    std::uint64_t vchunk = 0;
+    std::uint64_t off = 0;     ///< block offset within the chunk
+    std::uint64_t blocks = 0;  ///< segment length in blocks
+    std::uint64_t phys = 0;    ///< kUnmapped: allocation ran dry here
+    bool fresh = false;
   };
 
   void load_metadata() EXCLUDES(meta_mutex_);
@@ -228,8 +279,23 @@ class ThinPool : public std::enable_shared_from_this<ThinPool> {
   void check_volume(std::uint32_t id) const;
 
   /// Allocates a free physical chunk per policy; records it in the open
-  /// transaction. Throws util::NoSpaceError when the pool is exhausted.
-  std::uint64_t allocate_chunk() REQUIRES(meta_mutex_);
+  /// transaction. Shard locks are taken internally (callable with or
+  /// without meta_mutex_). Throws util::NoSpaceError when exhausted.
+  std::uint64_t allocate_chunk();
+
+  /// Batched-allocation write plan: splits [lblock, lblock+nblocks) at
+  /// chunk boundaries and provisions every missing chunk under ONE
+  /// metadata hold, with the allocator taking one shard lock per run of
+  /// same-shard draws instead of one global lock per chunk. Only valid
+  /// for unobserved volumes — observed volumes interleave observer RNG
+  /// draws between chunks, so they keep the per-chunk path. Segments
+  /// whose allocation ran dry carry phys == kUnmapped; the write loop
+  /// throws NoSpace on reaching them (matching the per-chunk path's
+  /// partial-write state exactly).
+  std::vector<ChunkSeg> plan_write_range(std::uint32_t id,
+                                         std::uint64_t lblock,
+                                         std::uint64_t nblocks)
+      EXCLUDES(meta_mutex_);
 
   /// Fires the allocation observer for a fresh provision on an observed
   /// volume, with the re-entrancy guard (a dummy write's own allocations
@@ -240,15 +306,6 @@ class ThinPool : public std::enable_shared_from_this<ThinPool> {
   /// clang rejects any such call site at compile time.
   void notify_fresh_provision(std::uint32_t id, std::uint64_t phys)
       EXCLUDES(meta_mutex_);
-
-  std::uint64_t pick_sequential() REQUIRES(meta_mutex_);
-  std::uint64_t pick_random() REQUIRES(meta_mutex_);
-  void mark_allocated(std::uint64_t chunk) REQUIRES(meta_mutex_);
-  void mark_free(std::uint64_t chunk) REQUIRES(meta_mutex_);
-  bool bit_test(const std::vector<std::uint64_t>& bm,
-                std::uint64_t chunk) const;
-  static void bit_set(std::vector<std::uint64_t>& bm, std::uint64_t chunk);
-  static void bit_clear(std::vector<std::uint64_t>& bm, std::uint64_t chunk);
 
   /// I/O path used by ThinVolume.
   void volume_read(std::uint32_t id, std::uint64_t lblock,
@@ -283,9 +340,10 @@ class ThinPool : public std::enable_shared_from_this<ThinPool> {
                                    std::uint64_t available_ns)
       EXCLUDES(meta_mutex_);
 
-  /// The volume's range lock (created on first use, under the metadata
-  /// mutex so concurrent first users agree on one lock).
-  RangeLock& io_lock(std::uint32_t id) EXCLUDES(meta_mutex_);
+  /// The volume's range lock. Lock-free table read on the hit path (the
+  /// historical version double-checked under the metadata mutex on every
+  /// I/O).
+  RangeLock& io_lock(std::uint32_t id) { return io_locks_.get(id); }
 
   /// Blocks until [first, first+count) of volume `id` is exclusively held.
   /// All range acquisition funnels through here: EXCLUDES(meta_mutex_)
@@ -322,6 +380,24 @@ class ThinPool : public std::enable_shared_from_this<ThinPool> {
     return cpu_lane_charge(ns);
   }
 
+  /// Fleet contention model (Config::meta_shard_lanes): bookkeeping for a
+  /// chunk serialises on its allocator shard's virtual lane, starting no
+  /// earlier than the caller's data-ready floor. Returns the lane finish.
+  std::uint64_t shard_lane_charge(std::uint32_t shard, std::uint64_t ns,
+                                  std::uint64_t floor_ns)
+      EXCLUDES(cpu_mutex_);
+
+  /// Per-chunk metadata CPU routing for the submit paths: the shard-lane
+  /// model when enabled, else the historical serial/earliest-free model.
+  std::uint64_t chunk_meta_charge(std::uint64_t phys_chunk, std::uint64_t ns,
+                                  std::uint64_t floor_ns)
+      EXCLUDES(cpu_mutex_) {
+    if (meta_shard_lanes_ && clock_) {
+      return shard_lane_charge(alloc_.shard_of(phys_chunk), ns, floor_ns);
+    }
+    return chunk_cpu_charge(ns);
+  }
+
   std::shared_ptr<blockdev::BlockDevice> metadata_dev_;
   std::shared_ptr<blockdev::BlockDevice> data_dev_;
   std::shared_ptr<util::SimClock> clock_;
@@ -332,27 +408,30 @@ class ThinPool : public std::enable_shared_from_this<ThinPool> {
   /// while acquiring any other mutex.
   mutable util::Mutex cpu_mutex_;
   std::vector<std::uint64_t> cpu_lane_free_ GUARDED_BY(cpu_mutex_);
+  /// Fleet contention model: one virtual lane per allocator shard.
+  std::vector<std::uint64_t> shard_lane_free_ GUARDED_BY(cpu_mutex_);
   Superblock sb_;
   MetadataGeometry geom_{};
   ThinCpuModel cpu_;
+  bool meta_shard_lanes_ = false;
 
-  /// Guards allocator + mapping metadata (bitmap_, free_chunks_, txn
-  /// records, VolumeState::map) against concurrent submitters. Never held
-  /// across data-device I/O or the allocation observer (machine-checked:
-  /// notify_fresh_provision and lock_range are EXCLUDES(meta_mutex_)).
-  /// Commit does hold it across *metadata*-device writes, which take no
-  /// locks, so allocators simply stall until the transaction point passes.
+  /// Guards the volume mapping tables (VolumeState::map / mapped) and the
+  /// metadata (de)serialisation against concurrent submitters. The
+  /// allocator no longer lives under it — ShardedBitmap locks per shard —
+  /// and the mutex is never held across data-device I/O or the allocation
+  /// observer (machine-checked: notify_fresh_provision and lock_range are
+  /// EXCLUDES(meta_mutex_)). Commit does hold it across *metadata*-device
+  /// writes, which take no locks, so map updates simply stall until the
+  /// transaction point passes.
   mutable util::Mutex meta_mutex_;
 
-  /// Effective allocation bitmap (committed state + open transaction).
-  std::vector<std::uint64_t> bitmap_ GUARDED_BY(meta_mutex_);
-  std::uint64_t free_chunks_ GUARDED_BY(meta_mutex_) = 0;
-  std::vector<std::uint64_t> txn_allocated_ GUARDED_BY(meta_mutex_);
-  std::vector<std::uint64_t> txn_freed_ GUARDED_BY(meta_mutex_);
+  /// Sharded allocation state: bitmap regions, free counts, txn ledgers.
+  ShardedBitmap alloc_;
 
   std::vector<VolumeState> volumes_;
+  /// Per-volume range locks, created lazily off the metadata mutex.
+  RangeLockTable io_locks_;
   AllocationObserver observer_;
-  bool in_observer_ = false;
 
   util::Xoshiro256 default_rng_{0};
   util::Rng* alloc_rng_ = nullptr;

@@ -1,10 +1,62 @@
 #include "util/stats.hpp"
 
 #include <array>
+#include <bit>
 #include <cmath>
 #include <stdexcept>
 
 namespace mobiceal::util {
+
+void LatencyHistogram::record(std::uint64_t ns) noexcept {
+  ++buckets_[std::bit_width(ns)];
+  if (count_ == 0) {
+    min_ = max_ = ns;
+  } else {
+    if (ns < min_) min_ = ns;
+    if (ns > max_) max_ = ns;
+  }
+  ++count_;
+  total_ += ns;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) noexcept {
+  if (other.count_ == 0) return;
+  for (std::size_t b = 0; b < kBuckets; ++b) buckets_[b] += other.buckets_[b];
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+  count_ += other.count_;
+  total_ += other.total_;
+}
+
+double LatencyHistogram::mean_ns() const noexcept {
+  if (count_ == 0) return 0.0;
+  return static_cast<double>(total_) / static_cast<double>(count_);
+}
+
+std::uint64_t LatencyHistogram::percentile_ns(double p) const noexcept {
+  if (count_ == 0) return 0;
+  if (p < 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  // Rank of the p-quantile sample, 1-based; ceil keeps p=1.0 at count_.
+  const std::uint64_t rank = static_cast<std::uint64_t>(
+      std::ceil(p * static_cast<double>(count_)));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    seen += buckets_[b];
+    if (seen >= rank && seen > 0) {
+      // Bucket b holds ns with bit_width == b: upper edge 2^b - 1.
+      if (b == 0) return 0;
+      if (b >= 64) return ~std::uint64_t{0};
+      return (std::uint64_t{1} << b) - 1;
+    }
+  }
+  return max_;
+}
 
 void RunningStats::add(double x) noexcept {
   if (n_ == 0) {

@@ -2,6 +2,7 @@
 // adversary's randomness tests (entropy, chi-square, monobit, runs test).
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -27,6 +28,37 @@ class RunningStats {
   double m2_ = 0.0;
   double min_ = 0.0;
   double max_ = 0.0;
+};
+
+/// Fixed-size log2-bucketed latency histogram (ns). Bucket b counts samples
+/// with bit_width(ns) == b (bucket 0: ns == 0), so record() is O(1) with no
+/// allocation and two histograms merge by bucket-wise addition — the fleet
+/// bench records per tenant and merges in tenant order, which makes the
+/// aggregate independent of submission interleaving. Percentiles resolve to
+/// the upper edge of the owning bucket (a <= 2x overestimate), which is
+/// stable across runs — good enough for the order-of-magnitude latency
+/// gates; exact values stay in mean_ns()/max_ns().
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+
+  void record(std::uint64_t ns) noexcept;
+  /// Bucket-wise sum; min/max/total merge exactly.
+  void merge(const LatencyHistogram& other) noexcept;
+
+  std::uint64_t count() const noexcept { return count_; }
+  std::uint64_t max_ns() const noexcept { return max_; }
+  std::uint64_t min_ns() const noexcept { return count_ ? min_ : 0; }
+  double mean_ns() const noexcept;
+  /// Upper edge of the bucket holding the p-quantile sample (p in [0,1]).
+  std::uint64_t percentile_ns(double p) const noexcept;
+
+ private:
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t total_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
 };
 
 /// Shannon entropy of a byte buffer in bits per byte (max 8.0).

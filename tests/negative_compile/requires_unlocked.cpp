@@ -1,8 +1,9 @@
 // Negative-compile fixture: calling a REQUIRES(mu) function without holding
 // mu MUST be rejected by clang's -Wthread-safety (-Werror=thread-safety).
 //
-// This is the exact shape ThinPool relies on: allocate_chunk()/mark_free()
-// are REQUIRES(meta_mutex_) and every caller must hold the metadata mutex.
+// This is the exact shape the allocator shards rely on:
+// AllocShard::alloc_nth_free_locked() is REQUIRES(mu_) and every caller
+// must hold that shard's mutex.
 // See tests/CMakeLists.txt for the WILL_FAIL / control registration scheme.
 
 #include "util/sync.hpp"

@@ -169,6 +169,56 @@ TEST(Stats, ChiSquareValidatesInput) {
   EXPECT_THROW(util::chi_square({1.0}, {0.0}), std::invalid_argument);
 }
 
+TEST(Stats, LatencyHistogramBasics) {
+  util::LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min_ns(), 0u);
+  EXPECT_EQ(h.max_ns(), 0u);
+  EXPECT_EQ(h.mean_ns(), 0.0);
+  EXPECT_EQ(h.percentile_ns(0.5), 0u);
+
+  h.record(100);
+  h.record(1000);
+  h.record(10000);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.min_ns(), 100u);
+  EXPECT_EQ(h.max_ns(), 10000u);
+  EXPECT_DOUBLE_EQ(h.mean_ns(), (100.0 + 1000.0 + 10000.0) / 3.0);
+  // Log2 buckets report the upper edge of the sample's bucket.
+  EXPECT_EQ(h.percentile_ns(0.0), 127u);    // bit_width(100)=7 -> 2^7-1
+  EXPECT_EQ(h.percentile_ns(0.5), 1023u);   // bit_width(1000)=10
+  EXPECT_EQ(h.percentile_ns(1.0), 16383u);  // bit_width(10000)=14
+  EXPECT_GE(h.percentile_ns(1.0), h.max_ns() / 2);
+}
+
+TEST(Stats, LatencyHistogramMergeOrderIndependent) {
+  util::Xoshiro256 rng(77);
+  util::LatencyHistogram a, b, whole;
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t ns = rng.next_below(1u << 20);
+    whole.record(ns);
+    (i % 2 ? a : b).record(ns);
+  }
+  util::LatencyHistogram ab = a, ba = b;
+  ab.merge(b);
+  ba.merge(a);
+  for (const auto* m : {&ab, &ba}) {
+    EXPECT_EQ(m->count(), whole.count());
+    EXPECT_EQ(m->min_ns(), whole.min_ns());
+    EXPECT_EQ(m->max_ns(), whole.max_ns());
+    EXPECT_DOUBLE_EQ(m->mean_ns(), whole.mean_ns());
+    for (double p : {0.5, 0.9, 0.99, 1.0}) {
+      EXPECT_EQ(m->percentile_ns(p), whole.percentile_ns(p));
+    }
+  }
+  // Merging an empty histogram is a no-op.
+  util::LatencyHistogram empty;
+  util::LatencyHistogram copy = whole;
+  copy.merge(empty);
+  EXPECT_EQ(copy.count(), whole.count());
+  EXPECT_EQ(copy.percentile_ns(0.99), whole.percentile_ns(0.99));
+}
+
 // ---- SimClock -----------------------------------------------------------------------------
 
 TEST(SimClock, AdvancesAndConverts) {

@@ -53,7 +53,8 @@ CANARY = ("_adv",)
 # comparing.
 CONFIG_KEYS = ("workload_mb", "queue_depth", "cache_blocks", "stripes",
                "stripe_chunk_blocks", "crypto_lanes", "clock_shards",
-               "flusher_dirty_pct", "flusher_deadline_ns")
+               "flusher_dirty_pct", "flusher_deadline_ns", "alloc_shards",
+               "fleet_tenants")
 
 STATUS_OK = "ok"
 STATUS_REGRESSION = "REGRESSION"

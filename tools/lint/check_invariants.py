@@ -37,6 +37,12 @@ Rules (see README "Static analysis" for the policy):
                  numeric values for every knob key bench_compare.py guards
                  (the CONFIG_KEYS list is read out of bench_compare.py so
                  the two can never drift apart).
+  shard-encap    The thin-pool allocator's state (the bitmap words, the
+                 per-shard free counts, the txn ledgers) lives inside
+                 thin::ShardedBitmap (src/thin/alloc_shard.hpp) and is only
+                 coherent under the shard locks. Direct member access from
+                 the rest of src/thin/ reintroduces the unlocked bitmap
+                 walks the sharding refactor removed.
   knob-registry  Stack tuning knobs are declared exactly once, in the
                  api::StackConfig registry (src/api/stack_config.cpp).
                  Ad-hoc getenv() reads or bench_knob_* helpers anywhere in
@@ -94,6 +100,16 @@ SYNC_TYPE_EXEMPT_FILES = {
 }
 
 ADAPTER_IO_PATTERNS = [r"(->|\.)\s*(read_blocks|write_blocks)\s*\("]
+
+# Allocator-internal member names: the trailing lookahead keeps public
+# accessors (txn_allocated_count) and unrelated fields (geom_.bitmap_blocks)
+# out of scope — only the bare member token fires.
+SHARD_ENCAP_PATTERNS = [
+    r"\b(bitmap_|free_chunks_|txn_allocated_|txn_freed_)"
+    r"(?![A-Za-z0-9_])",
+]
+SHARD_ENCAP_TREE = os.path.join("src", "thin")
+SHARD_ENCAP_OWNER = os.path.join("src", "thin", "alloc_shard.hpp")
 
 KNOB_REGISTRY_PATTERNS = [r"\bgetenv\s*\(", r"\bbench_knob\w*\s*\("]
 # The registry itself, plus the two legitimate non-stack getenv sites (see
@@ -266,6 +282,30 @@ def check_adapters(root, findings):
                 "silently skip it"))
 
 
+# ---- allocator encapsulation -------------------------------------------------
+
+def check_shard_encapsulation(root, findings):
+    tree = os.path.join(root, SHARD_ENCAP_TREE)
+    if not os.path.isdir(tree):
+        return
+    for path in iter_source_files(root, SHARD_ENCAP_TREE):
+        relpath = rel(root, path)
+        if relpath == SHARD_ENCAP_OWNER:
+            continue
+        with open(path, encoding="utf-8") as f:
+            raw_lines = f.read().splitlines()
+        for lineno, raw in enumerate(raw_lines, 1):
+            code = strip_comments_and_strings(raw)
+            for pat in SHARD_ENCAP_PATTERNS:
+                if re.search(pat, code) and not allowed("shard-encap", raw):
+                    findings.append(Finding(
+                        relpath, lineno, "shard-encap",
+                        "direct access to allocator-internal state: the "
+                        "bitmap/free-count/txn-ledger members are only "
+                        "coherent under their shard lock — go through "
+                        "thin::ShardedBitmap's API (alloc_shard.hpp)"))
+
+
 # ---- knob registry -----------------------------------------------------------
 
 def check_knob_registry(root, findings):
@@ -373,6 +413,7 @@ def run(root):
     for path in iter_source_files(root, "src"):
         check_src_file(root, path, findings)
     check_adapters(root, findings)
+    check_shard_encapsulation(root, findings)
     check_knob_registry(root, findings)
     check_baselines(root, findings)
     return findings

@@ -244,6 +244,48 @@ class AdapterRules(LintTestCase):
         self.assert_clean()
 
 
+class ShardEncapRule(LintTestCase):
+    def test_direct_bitmap_member_flagged(self):
+        self.tree.write("src/thin/thin_pool.cpp",
+                        "bool t = (bitmap_[c / 64] >> (c % 64)) & 1;\n")
+        self.assert_rule("shard-encap")
+
+    def test_free_count_mutation_flagged(self):
+        self.tree.write("src/thin/thin_pool.cpp", "--free_chunks_;\n")
+        self.assert_rule("shard-encap")
+
+    def test_txn_ledger_member_flagged(self):
+        self.tree.write("src/thin/thin_pool.hpp",
+                        "return txn_allocated_;\n")
+        self.assert_rule("shard-encap")
+
+    def test_owner_header_exempt(self):
+        self.tree.write("src/thin/alloc_shard.hpp",
+                        "std::vector<uint64_t> bitmap_ GUARDED_BY(mu_);\n")
+        self.assert_clean()
+
+    def test_public_accessor_name_ok(self):
+        self.tree.write("src/thin/thin_pool.hpp",
+                        "return alloc_.txn_allocated_count();\n")
+        self.assert_clean()
+
+    def test_longer_identifier_ok(self):
+        self.tree.write("src/thin/thin_pool.cpp",
+                        "for (uint64_t b = 0; b < geom_.bitmap_blocks; ++b)\n")
+        self.assert_clean()
+
+    def test_outside_thin_tree_ignored(self):
+        self.tree.write("src/fs/ext_fs.cpp", "auto& w = bitmap_[i];\n")
+        self.assert_clean()
+
+    def test_allow_marker_suppresses(self):
+        self.tree.write(
+            "src/thin/recovery.cpp",
+            "dump(bitmap_);"
+            "  // lint:allow shard-encap read-only dump, pool quiesced\n")
+        self.assert_clean()
+
+
 class KnobRegistryRule(LintTestCase):
     def test_getenv_in_bench_flagged(self):
         self.tree.write(

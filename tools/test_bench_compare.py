@@ -171,6 +171,20 @@ class ConfigGuard(GateHarness):
             {"flusher_deadline_ns": 1e6, "a.rewrite_kbps": 10.0})
         self.assertNotEqual(rc, 0)
 
+    def test_alloc_shard_mismatch_is_a_hard_error(self):
+        # The sharded allocator keeps results identical across shard counts
+        # only in the single-threaded benches; the fleet bench's contention
+        # model makes alloc_shards part of the run configuration.
+        rc, _ = self.pair({"alloc_shards": 1, "a.dd_write_kbps": 100.0},
+                          {"alloc_shards": 4, "a.dd_write_kbps": 250.0})
+        self.assertNotEqual(rc, 0)
+
+    def test_fleet_tenant_mismatch_is_a_hard_error(self):
+        rc, _ = self.pair(
+            {"fleet_tenants": 4, "t4.s4.aggregate_write_kbps": 600.0},
+            {"fleet_tenants": 8, "t8.s4.aggregate_write_kbps": 900.0})
+        self.assertNotEqual(rc, 0)
+
     def test_different_bench_names_are_a_hard_error(self):
         write_bench(self.path("base.json"), "alpha", {"x_kbps": 1.0})
         write_bench(self.path("cur.json"), "beta", {"x_kbps": 1.0})
