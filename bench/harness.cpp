@@ -20,6 +20,10 @@ constexpr char kHid[] = "bench-hidden";
 /// With clock shards on a striped stack, the shared clock becomes shard 0
 /// of a fresh util::ClockDomain and stripe i's device advances shard
 /// i % shards — clock_shards is ignored (single timeline) without striping.
+/// With stack.mirror_legs > 1 every backing position becomes a
+/// dm::MirrorTarget of independently timed, fault-injected legs (legs of
+/// one position share that position's clock shard so mirrored writes
+/// overlap); leg 0's raw device stays the canonical logical image.
 void build_backing(BenchStack& s, const StackOptions& o,
                    api::SchemeOptions& opts) {
   opts.stack = o.stack;
@@ -29,12 +33,67 @@ void build_backing(BenchStack& s, const StackOptions& o,
     opts.clock_domain = s.domain;
   }
   opts.clock = s.clock;
+  const std::uint32_t legs = o.stack.mirror_legs;
+  if (legs > 1 && o.stack.fault_drop_member == 1) {
+    throw util::PolicyError(
+        "bench: mirror leg 1 is the canonical logical image; drop a leg "
+        ">= 2 (--fault-drop-member)");
+  }
+  // One deterministic seed stream for every leg injector, in construction
+  // order — replays bit-for-bit for a given --fault-seed.
+  util::SplitMix64 fault_seeds(o.stack.fault_seed);
+  // Builds one backing position: {device the stack sees, untimed raw
+  // logical image}. legs <= 1 reproduces the historical single-device
+  // position exactly (no mirror, no injector).
+  auto build_position = [&](std::uint64_t blocks,
+                            std::shared_ptr<util::SimClock> clock)
+      -> std::pair<std::shared_ptr<blockdev::BlockDevice>,
+                   std::shared_ptr<blockdev::BlockDevice>> {
+    if (legs <= 1) {
+      auto raw = std::make_shared<blockdev::MemBlockDevice>(blocks);
+      auto timed = std::make_shared<blockdev::TimedDevice>(
+          raw, o.device_model, clock);
+      timed->set_queue_depth(o.stack.queue_depth);
+      return {std::move(timed), std::move(raw)};
+    }
+    std::vector<std::shared_ptr<blockdev::BlockDevice>> leg_devs;
+    std::vector<std::shared_ptr<blockdev::BlockDevice>> leg_raws;
+    std::vector<std::shared_ptr<blockdev::FaultInjector>> leg_injs;
+    for (std::uint32_t l = 0; l < legs; ++l) {
+      auto raw = std::make_shared<blockdev::MemBlockDevice>(blocks);
+      const blockdev::TimingModel& model =
+          o.mirror_leg_models.empty()
+              ? o.device_model
+              : o.mirror_leg_models[l % o.mirror_leg_models.size()];
+      auto timed = std::make_shared<blockdev::TimedDevice>(raw, model,
+                                                           clock);
+      timed->set_queue_depth(o.stack.queue_depth);
+      blockdev::FaultPlan plan;
+      plan.seed = fault_seeds.next_u64();
+      plan.transient_read_ppm = o.stack.fault_read_ppm;
+      if (o.stack.fault_drop_member == l + 1) plan.drop_after_requests = 0;
+      auto inj = std::make_shared<blockdev::FaultInjector>(plan);
+      leg_devs.push_back(std::make_shared<blockdev::FaultInjectedDevice>(
+          std::move(timed), inj));
+      leg_raws.push_back(std::move(raw));
+      leg_injs.push_back(std::move(inj));
+    }
+    auto mirror = std::make_shared<dm::MirrorTarget>(leg_devs);
+    if (o.stack.fault_drop_member >= 2 &&
+        o.stack.fault_drop_member <= legs) {
+      mirror->fail_member(o.stack.fault_drop_member - 1);
+    }
+    auto raw0 = leg_raws.front();
+    s.mirrors.push_back(mirror);
+    s.mirror_leg_raw.push_back(std::move(leg_raws));
+    s.mirror_injectors.push_back(std::move(leg_injs));
+    return {std::move(mirror), std::move(raw0)};
+  };
   if (o.stack.stripe_count <= 1) {
-    s.raw = std::make_shared<blockdev::MemBlockDevice>(o.device_blocks);
-    s.timed = std::make_shared<blockdev::TimedDevice>(s.raw, o.device_model,
-                                                      s.clock);
-    s.timed->set_queue_depth(o.stack.queue_depth);
-    opts.device = s.timed;
+    auto [dev, raw] = build_position(o.device_blocks, s.clock);
+    s.raw = std::move(raw);
+    s.timed = dev;
+    opts.device = std::move(dev);
     return;
   }
   const std::uint64_t row =
@@ -46,12 +105,10 @@ void build_backing(BenchStack& s, const StackOptions& o,
   }
   const std::uint64_t per = o.device_blocks / o.stack.stripe_count;
   for (std::uint32_t i = 0; i < o.stack.stripe_count; ++i) {
-    auto raw = std::make_shared<blockdev::MemBlockDevice>(per);
-    auto timed = std::make_shared<blockdev::TimedDevice>(
-        raw, o.device_model, s.domain ? s.domain->shard_for(i) : s.clock);
-    timed->set_queue_depth(o.stack.queue_depth);
+    auto [dev, raw] = build_position(
+        per, s.domain ? s.domain->shard_for(i) : s.clock);
     s.stripe_raw.push_back(std::move(raw));
-    s.stripe_timed.push_back(std::move(timed));
+    s.stripe_timed.push_back(std::move(dev));
   }
   opts.stripe_devices = s.stripe_timed;
   s.raw = std::make_shared<dm::StripedTarget>(s.stripe_raw,

@@ -19,7 +19,9 @@
 
 #include "api/scheme_registry.hpp"
 #include "api/stack_config.hpp"
+#include "blockdev/fault_injector.hpp"
 #include "blockdev/timed_device.hpp"
+#include "dm/mirror_target.hpp"
 #include "fs/ext_fs.hpp"
 #include "util/clock_domain.hpp"
 #include "util/stats.hpp"
@@ -60,6 +62,18 @@ struct BenchStack {
   std::vector<std::shared_ptr<blockdev::BlockDevice>> stripe_timed;
   std::unique_ptr<api::PdeScheme> scheme;  // scheme-backed stacks
   std::unique_ptr<fs::FileSystem> owned_fs;  // kRawExt only
+
+  // Mirror layer (stack.mirror_legs > 1): one dm::MirrorTarget per backing
+  // position (1 unstriped, stripe_count striped) with per-leg handles for
+  // the degraded/rebuild benches' control plane — mirror_leg_raw[pos][leg]
+  // is the untimed leg image, mirror_injectors[pos][leg] the fault policy
+  // on that leg. `raw`/`stripe_raw` view leg 0, the canonical logical
+  // image (which is why --fault-drop-member never drops leg 1).
+  std::vector<std::shared_ptr<dm::MirrorTarget>> mirrors;
+  std::vector<std::vector<std::shared_ptr<blockdev::BlockDevice>>>
+      mirror_leg_raw;
+  std::vector<std::vector<std::shared_ptr<blockdev::FaultInjector>>>
+      mirror_injectors;
 };
 
 struct StackOptions {
@@ -74,6 +88,10 @@ struct StackOptions {
   /// Skip the one-time full random fill (the thin stacks always skip it —
   /// it is irrelevant to steady-state throughput).
   bool skip_random_fill = false;
+  /// Per-mirror-leg TimingModel overrides (the SSD+eMMC hybrid scenario):
+  /// leg l of every mirror uses mirror_leg_models[l % size]. Empty (the
+  /// default): every leg uses device_model. Ignored without --mirror > 1.
+  std::vector<blockdev::TimingModel> mirror_leg_models;
   /// Every stack tuning knob (queue depth, cache, striping, crypto lanes,
   /// clock shards, flusher) in one typed struct — see api/stack_config.hpp.
   /// All defaults keep the historical single-device, single-timeline stack

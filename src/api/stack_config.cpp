@@ -52,6 +52,16 @@ constexpr Knob kKnobs[] = {
      offsetof(StackConfig, alloc_shards)},
     {"--fleet-tenants", "MOBICEAL_FLEET_TENANTS", Knob::kU32MinOne,
      offsetof(StackConfig, fleet_tenants)},
+    {"--mirror", "MOBICEAL_MIRROR", Knob::kU32MinOne,
+     offsetof(StackConfig, mirror_legs)},
+    {"--fault-seed", "MOBICEAL_FAULT_SEED", Knob::kU64,
+     offsetof(StackConfig, fault_seed)},
+    {"--fault-read-ppm", "MOBICEAL_FAULT_READ_PPM", Knob::kU32,
+     offsetof(StackConfig, fault_read_ppm)},
+    {"--fault-drop-member", "MOBICEAL_FAULT_DROP_MEMBER", Knob::kU32,
+     offsetof(StackConfig, fault_drop_member)},
+    {"--rebuild-rate", "MOBICEAL_REBUILD_RATE", Knob::kU64,
+     offsetof(StackConfig, rebuild_rate_blocks)},
     {"--flusher", "MOBICEAL_FLUSHER", Knob::kBool,
      offsetof(StackConfig, flusher) + offsetof(cache::FlusherPolicy,
                                                enabled)},

@@ -69,6 +69,34 @@ struct StackConfig {
   /// Flag --fleet-tenants, env MOBICEAL_FLEET_TENANTS.
   std::uint32_t fleet_tenants = 4;
 
+  /// Mirror legs (dm::MirrorTarget) under each stripe: every backing
+  /// position becomes an N-way mirror of independently timed (and
+  /// fault-injectable) legs. 1 (the default) builds no mirror layer at all
+  /// — byte- and time-identical to every committed baseline.
+  /// Flag --mirror, env MOBICEAL_MIRROR.
+  std::uint32_t mirror_legs = 1;
+
+  /// Seed for the deterministic fault injector (blockdev::FaultInjector)
+  /// wired onto each mirror leg when any fault knob is non-default.
+  /// Flag --fault-seed, env MOBICEAL_FAULT_SEED.
+  std::uint64_t fault_seed = 1;
+
+  /// Transient read-fault probability per request, parts per million,
+  /// injected on every mirror leg. 0 (default): no faults.
+  /// Flag --fault-read-ppm, env MOBICEAL_FAULT_READ_PPM.
+  std::uint32_t fault_read_ppm = 0;
+
+  /// Drops one mirror leg dead at stack build time: 0 (default) drops
+  /// nothing; k >= 2 drops leg k (1-based) of every mirror. Leg 1 is the
+  /// canonical logical image and cannot be dropped.
+  /// Flag --fault-drop-member, env MOBICEAL_FAULT_DROP_MEMBER.
+  std::uint32_t fault_drop_member = 0;
+
+  /// Blocks copied per MirrorTarget::rebuild_step by the degraded bench's
+  /// online-rebuild driver (the rebuild rate limiter).
+  /// Flag --rebuild-rate, env MOBICEAL_REBUILD_RATE.
+  std::uint64_t rebuild_rate_blocks = 256;
+
   /// Background cache flusher (cache::FlusherPolicy). Disabled by default.
   /// Flags --flusher 0|1, --flusher-dirty-pct, --flusher-deadline-ns;
   /// envs MOBICEAL_FLUSHER, MOBICEAL_FLUSHER_DIRTY_PCT,

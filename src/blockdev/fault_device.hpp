@@ -6,6 +6,15 @@
 // FaultyDevice throws after a programmable number of writes — used to
 // verify that every layer fails closed and that reopening after a mid-
 // transaction crash recovers the last committed state.
+//
+// Both wrappers intercept EVERY entry point — single-block, vectored, and
+// the async submit path — and forward to the inner device's own hooks, so
+// a vectored call stays one vectored command on the inner device and a
+// submission reaches the inner queue-depth engine (historically the default
+// base-class shims looped per block and completed at time 0, letting async
+// workloads dodge recording and fault budgets). For richer fault policies
+// (transient read errors, latent sectors, member drop, power cuts) see
+// blockdev/fault_injector.hpp.
 #pragma once
 
 #include <cstdint>
@@ -47,10 +56,55 @@ class RecordingDevice final : public BlockDevice {
     inner_->flush();
   }
 
+  std::uint32_t queue_depth() const noexcept override {
+    return inner_->queue_depth();
+  }
+  void set_queue_depth(std::uint32_t depth) override {
+    inner_->set_queue_depth(depth);
+  }
+  std::uint64_t completion_cutoff() const noexcept override {
+    return inner_->completion_cutoff();
+  }
+
   const std::vector<DeviceOp>& ops() const noexcept { return ops_; }
   void clear() noexcept { ops_.clear(); }
 
+ protected:
+  // Vectored calls are recorded per block (the order invariant the tests
+  // check is block-granular) but forwarded as ONE vectored command.
+  void do_read_blocks(std::uint64_t first, std::uint64_t count,
+                      util::MutByteSpan out) override {
+    record_range(DeviceOp::Kind::kRead, first, count);
+    inner_->read_blocks(first, count, out);
+  }
+  void do_write_blocks(std::uint64_t first, util::ByteSpan data) override {
+    record_range(DeviceOp::Kind::kWrite, first,
+                 data.size() / inner_->block_size());
+    inner_->write_blocks(first, data);
+  }
+  std::uint64_t do_submit(const IoRequest& req) override {
+    switch (req.op) {
+      case IoOp::kRead: record_range(DeviceOp::Kind::kRead, req.first,
+                                     req.count); break;
+      case IoOp::kWrite: record_range(DeviceOp::Kind::kWrite, req.first,
+                                      req.count); break;
+      case IoOp::kFlush: ops_.push_back({DeviceOp::Kind::kFlush, 0}); break;
+    }
+    return inner_->submit(req).complete_ns;
+  }
+  void do_drain() override { inner_->drain(); }
+  void do_wait_until(std::uint64_t cutoff) override {
+    inner_->wait_until(cutoff);
+  }
+
  private:
+  void record_range(DeviceOp::Kind kind, std::uint64_t first,
+                    std::uint64_t count) {
+    for (std::uint64_t i = 0; i < count; ++i) {
+      ops_.push_back({kind, first + i});
+    }
+  }
+
   std::shared_ptr<BlockDevice> inner_;
   std::vector<DeviceOp> ops_;
 };
@@ -63,8 +117,10 @@ class InjectedFault : public util::IoError {
 
 class FaultyDevice final : public BlockDevice {
  public:
-  /// Fails (throws InjectedFault) on the (writes_until_fault+1)-th write.
-  /// A negative budget means "never fail".
+  /// Fails (throws InjectedFault) on the (writes_until_fault+1)-th written
+  /// block, whichever entry point carries it. A negative budget means
+  /// "never fail"; after the fault fires the device is disarmed (budget
+  /// < 0) until rearm()ed — one crash per arming, like a real power cut.
   FaultyDevice(std::shared_ptr<BlockDevice> inner,
                std::int64_t writes_until_fault)
       : inner_(std::move(inner)), budget_(writes_until_fault) {}
@@ -84,13 +140,72 @@ class FaultyDevice final : public BlockDevice {
   }
   void flush() override { inner_->flush(); }
 
+  std::uint32_t queue_depth() const noexcept override {
+    return inner_->queue_depth();
+  }
+  void set_queue_depth(std::uint32_t depth) override {
+    inner_->set_queue_depth(depth);
+  }
+  std::uint64_t completion_cutoff() const noexcept override {
+    return inner_->completion_cutoff();
+  }
+
   /// Writes remaining before the fault fires (negative: disarmed/overrun).
   std::int64_t budget() const noexcept { return budget_; }
   void rearm(std::int64_t writes_until_fault) noexcept {
     budget_ = writes_until_fault;
   }
 
+ protected:
+  void do_read_blocks(std::uint64_t first, std::uint64_t count,
+                      util::MutByteSpan out) override {
+    inner_->read_blocks(first, count, out);
+  }
+  // Vectored/submitted writes spend the budget per block: the prefix that
+  // fits is written (as the kernel may complete part of a vectored
+  // request), then the fault fires and the budget disarms — bit-identical
+  // state to the historical per-block loop crashing at the same block.
+  void do_write_blocks(std::uint64_t first, util::ByteSpan data) override {
+    const util::ByteSpan ok = spend_budget(data);
+    if (!ok.empty()) inner_->write_blocks(first, ok);
+    if (ok.size() != data.size()) throw InjectedFault();
+  }
+  std::uint64_t do_submit(const IoRequest& req) override {
+    if (req.op == IoOp::kWrite) {
+      const util::ByteSpan ok = spend_budget(req.write_buf);
+      if (ok.size() != req.write_buf.size()) {
+        // Fault mid-request: land the surviving prefix, then fail.
+        IoRequest prefix = req;
+        prefix.count = ok.size() / inner_->block_size();
+        prefix.write_buf = ok;
+        if (prefix.count > 0) inner_->submit(prefix);
+        throw InjectedFault();
+      }
+    }
+    return inner_->submit(req).complete_ns;
+  }
+  void do_drain() override { inner_->drain(); }
+  void do_wait_until(std::uint64_t cutoff) override {
+    inner_->wait_until(cutoff);
+  }
+
  private:
+  /// Deducts `data`'s blocks from the budget. Returns the prefix that may
+  /// be written; a short prefix means the fault fired (budget disarmed) —
+  /// the caller writes the prefix and throws InjectedFault.
+  util::ByteSpan spend_budget(util::ByteSpan data) {
+    if (budget_ < 0) return data;
+    const std::size_t bs = inner_->block_size();
+    const std::int64_t count = static_cast<std::int64_t>(data.size() / bs);
+    if (count <= budget_) {
+      budget_ -= count;
+      return data;
+    }
+    const std::int64_t ok = budget_;
+    budget_ = -1;
+    return data.first(static_cast<std::size_t>(ok) * bs);
+  }
+
   std::shared_ptr<BlockDevice> inner_;
   std::int64_t budget_;
 };

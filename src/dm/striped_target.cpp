@@ -1,6 +1,7 @@
 #include "dm/striped_target.hpp"
 
 #include <algorithm>
+#include <exception>
 
 #include "crypto/crypto_pool.hpp"
 #include "util/error.hpp"
@@ -298,11 +299,30 @@ void StripedTarget::flush() {
   }
   blockdev::IoRequest req;
   req.op = blockdev::IoOp::kFlush;
-  for (const auto& s : stripes_) s->submit(req);
-  for (const auto& s : stripes_) s->drain();
+  // RAID-0 has no redundancy: one member missing the barrier fails the
+  // whole flush closed. Still attempt EVERY member's flush and drain them
+  // all before rethrowing — an early throw out of the submit loop would
+  // leave later members un-flushed yet mid-flight, i.e. a partially
+  // acknowledged barrier for the layers above to trip over on replay.
+  std::exception_ptr first_error;
+  for (const auto& s : stripes_) {
+    try {
+      s->submit(req);
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  for (const auto& s : stripes_) {
+    try {
+      s->drain();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
   // Flush is where the shards re-merge: after the member barriers, pin
   // every shard to the max so the layers above observe one timeline.
   if (domain_) domain_->sync();
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 void StripedTarget::set_queue_depth(std::uint32_t depth) {

@@ -63,7 +63,10 @@ class StripedTarget final : public blockdev::BlockDevice {
 
   /// Flush fans out: one flush per backing device, serviced in parallel
   /// through the submit queues (a real array flushes its members
-  /// concurrently), then a barrier over all of them.
+  /// concurrently), then a barrier over all of them. Fails closed: every
+  /// member's flush and drain is attempted even when one throws, and the
+  /// first error is rethrown only after all members reached the barrier —
+  /// never a partially acknowledged (or partially issued) barrier.
   void flush() override;
 
   std::uint32_t queue_depth() const noexcept override {

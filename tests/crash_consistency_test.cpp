@@ -4,6 +4,9 @@
 // loss at arbitrary moments.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstring>
+
 #include "blockdev/block_device.hpp"
 #include "blockdev/fault_device.hpp"
 #include "core/mobiceal.hpp"
@@ -24,6 +27,19 @@ util::Bytes pattern(std::size_t n, std::uint8_t seed) {
     out[i] = static_cast<std::uint8_t>(seed + i * 3);
   }
   return out;
+}
+
+// Zeroes the alloc-shards field (offset 60, 12 bytes incl. checksum) in
+// every superblock copy so a 1-shard and an N-shard metadata image can be
+// compared bit-for-bit — the equivalence idiom of alloc_sharding_test.cpp.
+void mask_alloc_shards_field(util::Bytes& image) {
+  static constexpr char kMagic[8] = {'T', 'H', 'I', 'N', 'P', 'O', 'O', 'L'};
+  if (image.size() < 72) return;
+  for (std::size_t off = 0; off + 72 <= image.size(); ++off) {
+    if (std::memcmp(image.data() + off, kMagic, 8) == 0) {
+      std::memset(image.data() + off + 60, 0, 12);
+    }
+  }
 }
 }  // namespace
 
@@ -153,6 +169,63 @@ TEST_P(CommitCrashSweep, EveryCrashPointRecoversAtomically) {
 INSTANTIATE_TEST_SUITE_P(CrashPoints, CommitCrashSweep,
                          ::testing::Range(0, 12));
 
+// The sharded allocator (superblock v4) must not change the crash story:
+// the same workload crashed at the same metadata write leaves a 4-shard
+// pool bit-identical (modulo the alloc-shards superblock field) to the
+// 1-shard pool after recovery, at every crash point.
+class ShardedCommitCrashSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ShardedCommitCrashSweep, FourShardRecoveryMatchesOneShardImage) {
+  util::Bytes images[2];
+  std::uint64_t mapped[2] = {0, 0};
+  for (int i = 0; i < 2; ++i) {
+    auto raw = std::make_shared<MemBlockDevice>(256);
+    auto data = std::make_shared<MemBlockDevice>(1024);
+    thin::ThinPool::Config cfg;
+    cfg.chunk_blocks = 4;
+    cfg.max_volumes = 4;
+    cfg.cpu = thin::ThinCpuModel::zero();
+    cfg.alloc_shards = (i == 0) ? 1 : 4;
+    {
+      auto pool = thin::ThinPool::format(raw, data, cfg);
+      pool->create_thin(0, 32);
+      auto vol = pool->open_thin(0);
+      vol->write_block(0, pattern(4096, 1));
+      pool->commit();  // old state: 1 chunk
+    }
+    auto faulty = std::make_shared<FaultyDevice>(raw, -1);
+    {
+      // Mid-transaction crash: two more chunks mapped but the commit dies
+      // at the GetParam()-th metadata write.
+      auto pool = thin::ThinPool::open(faulty, data);
+      auto vol = pool->open_thin(0);
+      vol->write_block(8, pattern(4096, 2));
+      vol->write_block(16, pattern(4096, 3));
+      faulty->rearm(GetParam());
+      try {
+        pool->commit();
+      } catch (const InjectedFault&) {
+      }
+    }
+    // Reopen replay: superblock v4 restores the shard count; recovery must
+    // land on old XOR new with consistent accounting either way.
+    auto pool = thin::ThinPool::open(raw, data);
+    EXPECT_EQ(pool->alloc_shards(), cfg.alloc_shards);
+    mapped[i] = pool->mapped_chunks(0);
+    EXPECT_TRUE(mapped[i] == 1u || mapped[i] == 3u) << "mapped=" << mapped[i];
+    EXPECT_EQ(pool->free_chunks(), pool->nr_chunks() - mapped[i]);
+    EXPECT_TRUE(pool->check_consistency());
+    images[i] = raw->snapshot();
+  }
+  EXPECT_EQ(mapped[0], mapped[1]);
+  mask_alloc_shards_field(images[0]);
+  mask_alloc_shards_field(images[1]);
+  EXPECT_EQ(images[0], images[1]);
+}
+
+INSTANTIATE_TEST_SUITE_P(CrashPoints, ShardedCommitCrashSweep,
+                         ::testing::Range(0, 12));
+
 TEST(CrashConsistency, MobiCealSurvivesPowerLossDuringPublicUse) {
   // Full-stack: pull the plug (drop the device objects without reboot())
   // mid-session; the device must re-attach and boot from the last commit.
@@ -174,6 +247,31 @@ TEST(CrashConsistency, MobiCealSurvivesPowerLossDuringPublicUse) {
   auto dev = core::MobiCealDevice::attach(disk, cfg);
   ASSERT_EQ(dev->boot("pub"), core::AuthResult::kPublic);
   EXPECT_EQ(dev->data_fs().read_file("/durable.bin"), saved);
+}
+
+TEST(CrashConsistency, ShardedAllocatorFullStackSurvivesPowerLoss) {
+  // Same plug-pull as above but with the 4-shard allocator: superblock v4
+  // replay must restore the sharded pool to the last commit.
+  auto disk = std::make_shared<MemBlockDevice>(16384);
+  core::MobiCealDevice::Config cfg;
+  cfg.num_volumes = 4;
+  cfg.chunk_blocks = 4;
+  cfg.kdf_iterations = 16;
+  cfg.fs_inode_count = 128;
+  cfg.alloc_shards = 4;
+  const auto saved = pattern(60000, 15);
+  {
+    auto dev = core::MobiCealDevice::initialize(disk, cfg, "pub", {"hid"});
+    dev->boot("pub");
+    dev->data_fs().write_file("/durable.bin", saved);
+    dev->data_fs().sync();  // commit point
+    dev->data_fs().write_file("/lost.bin", pattern(60000, 16));
+    // power loss: no sync, no reboot
+  }
+  auto dev = core::MobiCealDevice::attach(disk, cfg);
+  ASSERT_EQ(dev->boot("pub"), core::AuthResult::kPublic);
+  EXPECT_EQ(dev->data_fs().read_file("/durable.bin"), saved);
+  EXPECT_EQ(dev->pool().alloc_shards(), 4u);
 }
 
 TEST(CrashConsistency, MobiCealHiddenDataSurvivesCrashInPublicMode) {

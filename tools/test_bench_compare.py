@@ -179,6 +179,20 @@ class ConfigGuard(GateHarness):
                           {"alloc_shards": 4, "a.dd_write_kbps": 250.0})
         self.assertNotEqual(rc, 0)
 
+    def test_mirror_leg_mismatch_is_a_hard_error(self):
+        rc, _ = self.pair({"mirror_legs": 2, "healthy.dd_read_kbps": 400.0},
+                          {"mirror_legs": 3, "healthy.dd_read_kbps": 600.0})
+        self.assertNotEqual(rc, 0)
+
+    def test_fault_knob_mismatch_is_a_hard_error(self):
+        # Degraded-stack runs are comparable only at matching fault
+        # schedules and rebuild rates.
+        for key in ("fault_read_ppm", "fault_drop_member",
+                    "rebuild_rate_blocks"):
+            rc, _ = self.pair({key: 0, "degraded.dd_read_kbps": 300.0},
+                              {key: 2, "degraded.dd_read_kbps": 280.0})
+            self.assertNotEqual(rc, 0, key)
+
     def test_fleet_tenant_mismatch_is_a_hard_error(self):
         rc, _ = self.pair(
             {"fleet_tenants": 4, "t4.s4.aggregate_write_kbps": 600.0},
