@@ -42,6 +42,32 @@ void build_backing(BenchStack& s, const StackOptions& o,
   // One deterministic seed stream for every leg injector, in construction
   // order — replays bit-for-bit for a given --fault-seed.
   util::SplitMix64 fault_seeds(o.stack.fault_seed);
+  // One timed backing device: the historical Mem+TimedDevice pair, or —
+  // with --ftl — an ftl::FtlDevice whose flash timing model replaces the
+  // block-level one (stacking both would double-charge service time).
+  // Returns {device the stack sees, untimed raw logical image}.
+  auto build_device = [&](std::uint64_t blocks,
+                          const blockdev::TimingModel& model,
+                          std::shared_ptr<util::SimClock> clock)
+      -> std::pair<std::shared_ptr<blockdev::BlockDevice>,
+                   std::shared_ptr<blockdev::BlockDevice>> {
+    if (o.stack.ftl_mode != 0) {
+      ftl::FtlConfig fcfg;
+      fcfg.logical_blocks = blocks;
+      fcfg.pages_per_block = o.stack.ftl_pages_per_block;
+      fcfg.over_provision_pct = o.stack.ftl_over_provision_pct;
+      fcfg.timing = ftl::FlashTimingModel::mlc_nand();
+      auto flash = ftl::FtlDevice::create(fcfg, std::move(clock));
+      auto view = std::make_shared<ftl::FtlLogicalView>(flash);
+      s.ftl_devices.push_back(flash);
+      return {std::move(flash), std::move(view)};
+    }
+    auto raw = std::make_shared<blockdev::MemBlockDevice>(blocks);
+    auto timed =
+        std::make_shared<blockdev::TimedDevice>(raw, model, std::move(clock));
+    timed->set_queue_depth(o.stack.queue_depth);
+    return {std::move(timed), std::move(raw)};
+  };
   // Builds one backing position: {device the stack sees, untimed raw
   // logical image}. legs <= 1 reproduces the historical single-device
   // position exactly (no mirror, no injector).
@@ -49,25 +75,16 @@ void build_backing(BenchStack& s, const StackOptions& o,
                             std::shared_ptr<util::SimClock> clock)
       -> std::pair<std::shared_ptr<blockdev::BlockDevice>,
                    std::shared_ptr<blockdev::BlockDevice>> {
-    if (legs <= 1) {
-      auto raw = std::make_shared<blockdev::MemBlockDevice>(blocks);
-      auto timed = std::make_shared<blockdev::TimedDevice>(
-          raw, o.device_model, clock);
-      timed->set_queue_depth(o.stack.queue_depth);
-      return {std::move(timed), std::move(raw)};
-    }
+    if (legs <= 1) return build_device(blocks, o.device_model, clock);
     std::vector<std::shared_ptr<blockdev::BlockDevice>> leg_devs;
     std::vector<std::shared_ptr<blockdev::BlockDevice>> leg_raws;
     std::vector<std::shared_ptr<blockdev::FaultInjector>> leg_injs;
     for (std::uint32_t l = 0; l < legs; ++l) {
-      auto raw = std::make_shared<blockdev::MemBlockDevice>(blocks);
       const blockdev::TimingModel& model =
           o.mirror_leg_models.empty()
               ? o.device_model
               : o.mirror_leg_models[l % o.mirror_leg_models.size()];
-      auto timed = std::make_shared<blockdev::TimedDevice>(raw, model,
-                                                           clock);
-      timed->set_queue_depth(o.stack.queue_depth);
+      auto [timed, raw] = build_device(blocks, model, clock);
       blockdev::FaultPlan plan;
       plan.seed = fault_seeds.next_u64();
       plan.transient_read_ppm = o.stack.fault_read_ppm;

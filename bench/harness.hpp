@@ -23,6 +23,7 @@
 #include "blockdev/timed_device.hpp"
 #include "dm/mirror_target.hpp"
 #include "fs/ext_fs.hpp"
+#include "ftl/ftl_device.hpp"
 #include "util/clock_domain.hpp"
 #include "util/stats.hpp"
 
@@ -74,6 +75,15 @@ struct BenchStack {
       mirror_leg_raw;
   std::vector<std::vector<std::shared_ptr<blockdev::FaultInjector>>>
       mirror_injectors;
+
+  // FTL layer (stack.ftl_mode != 0): one ftl::FtlDevice per backing
+  // position (per leg when mirrored), replacing the Mem+TimedDevice pair —
+  // the flash timing model charges the clock instead of the block-level
+  // TimingModel, and `raw`/`stripe_raw`/`mirror_leg_raw` become untimed
+  // ftl::FtlLogicalView handles so every parity/snapshot path keeps seeing
+  // the logical image. snapshot_raw_flash() on these is the raw-flash
+  // adversary's hook.
+  std::vector<std::shared_ptr<ftl::FtlDevice>> ftl_devices;
 };
 
 struct StackOptions {

@@ -1,0 +1,129 @@
+// Raw-flash layout attacks — the adversary of "The Block-based Mobile PDE
+// Systems Are Not Secure — Experimental Attacks" (arXiv 2203.16349).
+//
+// The block-level adversary (attacks.hpp) sees the logical array the FTL
+// exports. This adversary desolders the chip: it images the physical page
+// array, the OOB mapping metadata, and the program sequence numbers
+// (ftl::RawFlashSnapshot). Because the FTL writes out-of-place, the flash
+// keeps a *history* the logical view destroys — superseded pages stay
+// readable as stale copies until GC erases them, and sequence numbers
+// order every program between two seizures. A logical overwrite hides
+// nothing down here.
+//
+// The distinguishers below mirror the block-level ones but count *fresh
+// programs* (sequence number above the previous snapshot's maximum)
+// instead of metadata deltas. GC relocations are excluded by content
+// matching: a relocated page carries bytes that already existed somewhere
+// in the previous image, so only genuinely new host writes remain.
+//
+// Expected outcomes (measured by run_ftl_game, gated in bench_ftl):
+//   - MobiPluto: ftl_unaccounted_programs_attack wins outright — without
+//     dummy writes every fresh program into a non-public chunk is
+//     unaccountable. This breaks the scheme's block-level deniability,
+//     and bench_ftl gates it as an *expected breach*.
+//   - Mobiflage: ftl_tail_locality_attack wins — the hidden ext volume
+//     lives at a pseudorandom offset in [70%, 95%] of the logical span,
+//     so fresh programs mapping into the tail betray hidden activity.
+//   - MobiCeal: dummy writes fire in both worlds, so the counting
+//     distinguishers stay near advantage 0 — but the raw-flash game
+//     measures exactly how much margin the dummy budget leaves at the
+//     flash level, which bench_ftl records and gates against growth.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "adversary/attacks.hpp"
+#include "adversary/metadata_reader.hpp"
+#include "adversary/security_game.hpp"
+#include "ftl/ftl_device.hpp"
+#include "util/stats.hpp"
+
+namespace mobiceal::adversary {
+
+/// What changed on the flash between two raw snapshots of the same chip.
+struct FlashDelta {
+  /// Pages programmed since `before` (seq > before.max_seq), valid or
+  /// stale — flash history counts superseded copies too.
+  std::uint64_t fresh_programs = 0;
+  /// Fresh programs whose content already existed in `before` — GC
+  /// relocations of old data, excluded from the host-write analysis.
+  std::uint64_t fresh_relocations = 0;
+  /// fresh_programs - fresh_relocations.
+  std::uint64_t fresh_host_programs = 0;
+  /// Erase operations since `before` (sum of erase-counter deltas).
+  std::uint64_t erases = 0;
+  /// Logical page of every fresh host program, in physical-page order.
+  std::vector<std::uint64_t> fresh_logical;
+};
+
+FlashDelta compute_flash_delta(const ftl::RawFlashSnapshot& before,
+                               const ftl::RawFlashSnapshot& after);
+
+/// Attack F — unaccounted fresh programs (the raw-flash twin of Attack B,
+/// fatal for MobiPluto): every fresh host program whose logical page falls
+/// in a data chunk NOT mapped by the decoy-decrypted public volume is
+/// unaccountable for a scheme without dummy writes. `after_meta`/`layout`
+/// come from parsing the thin metadata out of the snapshot's logical image.
+AttackReport ftl_unaccounted_programs_attack(
+    const FlashDelta& delta, const ThinMetadataReader& after_meta,
+    const PoolLayout& layout);
+
+/// Attack G — program-budget analysis (the raw-flash twin of Attack C):
+/// distinct non-public data chunks touched by fresh host programs, checked
+/// against the maximal dummy budget implied by the distinct public chunks
+/// touched. Unlike the block-level attack this counts chunks the flash
+/// remembers even after they were freed — history GC hasn't erased yet.
+AttackReport ftl_program_budget_attack(const FlashDelta& delta,
+                                       const ThinMetadataReader& after_meta,
+                                       const PoolLayout& layout,
+                                       double lambda, double z = 3.0);
+
+/// Attack H — tail-locality analysis (defeats Mobiflage, no thin metadata
+/// needed): Mobiflage hides its ext volume at H(pwd||salt) mapped into
+/// [tail_fraction, 0.95] of the logical span while the FAT32 decoy
+/// allocates from the front, so fresh host programs with logical page >=
+/// tail_fraction * logical_pages have no decoy explanation.
+AttackReport ftl_tail_locality_attack(const FlashDelta& delta,
+                                      std::uint64_t logical_pages,
+                                      double tail_fraction = 0.70);
+
+/// The multi-seizure game of security_game.hpp, replayed with the stack on
+/// an ftl::FtlDevice and the adversary holding raw-flash snapshots.
+struct FtlGameConfig {
+  std::string scheme = "mobiceal";
+  std::uint64_t trials = 16;
+  std::uint32_t rounds = 2;
+  std::uint32_t public_files_per_round = 8;
+  std::uint32_t public_file_bytes = 64 * 1024;
+  std::uint32_t hidden_file_bytes = 48 * 1024;
+  bool equal_size_discipline = true;
+  /// Logical capacity the FTL exports to the stack (pages = 4 KiB blocks).
+  std::uint64_t disk_blocks = 8192;
+  std::uint32_t num_volumes = 4;
+  std::uint32_t chunk_blocks = 4;
+  double lambda = 1.0;
+  std::uint32_t x = 50;
+  std::uint32_t ftl_pages_per_block = 32;
+  std::uint32_t ftl_over_provision_pct = 10;
+  double tail_fraction = 0.70;
+  std::uint64_t seed = 1;
+};
+
+struct FtlGameResult {
+  std::vector<DistinguisherResult> distinguishers;
+  /// Fresh host programs into non-public chunks per trial, split by world
+  /// (thin-pool schemes only).
+  util::RunningStats nonpublic_fresh_hidden_world;
+  util::RunningStats nonpublic_fresh_cover_world;
+  /// FTL write amplification observed across trials.
+  util::RunningStats write_amplification;
+};
+
+/// Runs the raw-flash game. Deterministic per (config.seed). Schemes
+/// without a thin pool (mobiflage) skip the metadata-based distinguishers
+/// (their `trials` stay 0) and are judged by tail locality alone.
+FtlGameResult run_ftl_game(const FtlGameConfig& config);
+
+}  // namespace mobiceal::adversary

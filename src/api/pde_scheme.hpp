@@ -171,7 +171,10 @@ cache::CacheConfig cache_config_for(const SchemeOptions& opts,
 /// through this helper, so striping sits below crypto footers, LVM, and the
 /// thin pool's data device for all registered schemes alike — and the
 /// extent runs resolved above it fan out per stripe without the callers
-/// changing. Throws util::PolicyError when the options are inconsistent
+/// changing. Because every adapter routes through here, any BlockDevice —
+/// including an ftl::FtlDevice (stack.ftl_mode, built per position by the
+/// bench harness) — slots under every registered scheme without adapter
+/// changes. Throws util::PolicyError when the options are inconsistent
 /// (missing device, wrong stripe_devices count, mismatched geometry).
 std::shared_ptr<blockdev::BlockDevice> stack_device_for(
     const SchemeOptions& opts);

@@ -62,6 +62,12 @@ constexpr Knob kKnobs[] = {
      offsetof(StackConfig, fault_drop_member)},
     {"--rebuild-rate", "MOBICEAL_REBUILD_RATE", Knob::kU64,
      offsetof(StackConfig, rebuild_rate_blocks)},
+    {"--ftl", "MOBICEAL_FTL", Knob::kU32,
+     offsetof(StackConfig, ftl_mode)},
+    {"--ftl-over-provision", "MOBICEAL_FTL_OVER_PROVISION", Knob::kU32,
+     offsetof(StackConfig, ftl_over_provision_pct)},
+    {"--ftl-pages-per-block", "MOBICEAL_FTL_PAGES_PER_BLOCK", Knob::kU32MinOne,
+     offsetof(StackConfig, ftl_pages_per_block)},
     {"--flusher", "MOBICEAL_FLUSHER", Knob::kBool,
      offsetof(StackConfig, flusher) + offsetof(cache::FlusherPolicy,
                                                enabled)},

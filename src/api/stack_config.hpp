@@ -97,6 +97,23 @@ struct StackConfig {
   /// Flag --rebuild-rate, env MOBICEAL_REBUILD_RATE.
   std::uint64_t rebuild_rate_blocks = 256;
 
+  /// Flash-translation-layer device (ftl::FtlDevice) under every backing
+  /// position: page-mapped out-of-place writes over erase blocks, greedy
+  /// GC, wear counters, and flash read/program/erase timing replacing the
+  /// block-level TimingModel. 0 (the default) builds no FTL at all —
+  /// byte- and time-identical to every committed baseline; 1 enables it.
+  /// Flag --ftl, env MOBICEAL_FTL.
+  std::uint32_t ftl_mode = 0;
+
+  /// FTL over-provisioning: physical flash capacity beyond the logical
+  /// export, in percent (floored at 4 erase blocks of GC slack).
+  /// Flag --ftl-over-provision, env MOBICEAL_FTL_OVER_PROVISION.
+  std::uint32_t ftl_over_provision_pct = 7;
+
+  /// Flash pages per erase block (GC/erase granularity).
+  /// Flag --ftl-pages-per-block, env MOBICEAL_FTL_PAGES_PER_BLOCK.
+  std::uint32_t ftl_pages_per_block = 64;
+
   /// Background cache flusher (cache::FlusherPolicy). Disabled by default.
   /// Flags --flusher 0|1, --flusher-dirty-pct, --flusher-deadline-ns;
   /// envs MOBICEAL_FLUSHER, MOBICEAL_FLUSHER_DIRTY_PCT,

@@ -5,6 +5,22 @@
 // blocks (Sec. III-A). Every layer above (dm-crypt, dm-thin, filesystems)
 // talks to this interface, and the multi-snapshot adversary images devices
 // through snapshot() exactly as a border agent images a phone.
+//
+// The FTL itself can be modelled explicitly: ftl::FtlDevice (src/ftl/) is a
+// BlockDevice whose *implementation* is a page-mapped flash medium — out-of-
+// place writes over erase blocks, greedy GC, wear counters, asymmetric
+// read/program/erase timing charged to the virtual clock (GC triggered by a
+// write folds into that write's service time, so the async contract below
+// holds unchanged; a clock reset also clears its serial flash channel).
+// Everything above sees the same linear-array contract; what changes is what
+// an adversary can image. snapshot() remains the *block-level* primitive —
+// the logical array, what `dd` over /dev/block sees. FtlDevice additionally
+// exposes snapshot_raw_flash(), the below-the-interface analogue: the
+// physical medium (data pages + per-page OOB mapping records + erase
+// counters) that a chip-off or custom-firmware attacker reads, which is
+// strictly more revealing — stale superseded copies and program order
+// survive there after the logical view has forgotten them (see
+// src/adversary/ftl_attacks.hpp and docs/ADVERSARY.md).
 #pragma once
 
 #include <cstdint>
@@ -138,7 +154,12 @@ class BlockDevice {
   /// Convenience: read `count` consecutive blocks into a fresh buffer.
   util::Bytes read_blocks(std::uint64_t first, std::uint64_t count);
 
-  /// Full raw image of the device — the adversary's snapshot primitive.
+  /// Full raw image of the device — the adversary's *block-level* snapshot
+  /// primitive (the logical array this interface exports). Devices with
+  /// state below the block interface expose their own physical-image hooks
+  /// alongside it: ftl::FtlDevice::snapshot_raw_flash() returns the flash
+  /// medium (pages + OOB + erase counters) including stale out-of-place
+  /// copies that no read through this interface can reach.
   util::Bytes snapshot();
 
   // -- async submit/complete ---------------------------------------------------

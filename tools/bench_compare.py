@@ -55,7 +55,8 @@ CONFIG_KEYS = ("workload_mb", "queue_depth", "cache_blocks", "stripes",
                "stripe_chunk_blocks", "crypto_lanes", "clock_shards",
                "flusher_dirty_pct", "flusher_deadline_ns", "alloc_shards",
                "fleet_tenants", "mirror_legs", "fault_read_ppm",
-               "fault_drop_member", "rebuild_rate_blocks")
+               "fault_drop_member", "rebuild_rate_blocks", "ftl_mode",
+               "ftl_over_provision_pct", "ftl_pages_per_block")
 
 STATUS_OK = "ok"
 STATUS_REGRESSION = "REGRESSION"

@@ -37,6 +37,12 @@ Rules (see README "Static analysis" for the policy):
                  numeric values for every knob key bench_compare.py guards
                  (the CONFIG_KEYS list is read out of bench_compare.py so
                  the two can never drift apart).
+  knob-docs      Every knob in the api::StackConfig registry must appear in
+                 the knob tables of README.md AND docs/ARCHITECTURE.md (a
+                 markdown table row carrying the backticked flag), and every
+                 flag those tables document must exist in the registry. The
+                 registry is parsed out of src/api/stack_config.cpp, so the
+                 docs cannot drift from the code in either direction.
   shard-encap    The thin-pool allocator's state (the bitmap words, the
                  per-shard free counts, the txn ledgers) lives inside
                  thin::ShardedBitmap (src/thin/alloc_shard.hpp) and is only
@@ -329,6 +335,63 @@ def check_knob_registry(root, findings):
                             "StackConfig::apply_knobs / is_knob_flag"))
 
 
+# ---- knob documentation ------------------------------------------------------
+
+KNOB_DOC_FILES = ("README.md", os.path.join("docs", "ARCHITECTURE.md"))
+# One kKnobs entry: {"--flag", "MOBICEAL_ENV", ...}
+KNOB_ENTRY_RE = re.compile(r'\{\s*"(--[\w-]+)"\s*,\s*"(MOBICEAL_\w+)"')
+# A documented knob: a markdown table row starting with the backticked flag,
+# optionally followed by an argument placeholder (`--queue-depth N`,
+# `--cache-writeback 0\|1`).
+DOC_KNOB_ROW_RE = re.compile(r"^\s*\|\s*`(--[\w-]+)(?:[ =][^`]*)?`")
+
+
+def read_registry_knobs(root):
+    """(flag, env) pairs straight out of the kKnobs table in
+    src/api/stack_config.cpp — the single source of truth for knobs."""
+    path = os.path.join(root, "src", "api", "stack_config.cpp")
+    if not os.path.isfile(path):
+        return []
+    with open(path, encoding="utf-8") as f:
+        return KNOB_ENTRY_RE.findall(f.read())
+
+
+def check_knob_docs(root, findings):
+    # No parseable registry: nothing to drift (fixture trees). The unit
+    # tests pin the regex against the real tree, so silent rot is caught.
+    registry = read_registry_knobs(root)
+    if not registry:
+        return
+    registry_flags = {flag for flag, _ in registry}
+    for doc in KNOB_DOC_FILES:
+        path = os.path.join(root, doc)
+        if not os.path.isfile(path):
+            findings.append(Finding(
+                doc, 0, "knob-docs",
+                "knob-table document missing: the StackConfig registry is "
+                "documented in README.md and docs/ARCHITECTURE.md"))
+            continue
+        with open(path, encoding="utf-8") as f:
+            lines = f.read().splitlines()
+        documented = {}
+        for lineno, line in enumerate(lines, 1):
+            m = DOC_KNOB_ROW_RE.match(line)
+            if m:
+                documented.setdefault(m.group(1), lineno)
+        for flag, env in registry:
+            if flag not in documented:
+                findings.append(Finding(
+                    doc, 0, "knob-docs",
+                    f"knob {flag} ({env}) is in the StackConfig registry "
+                    "but missing from this file's knob table"))
+        for flag, lineno in sorted(documented.items()):
+            if flag not in registry_flags:
+                findings.append(Finding(
+                    doc, lineno, "knob-docs",
+                    f"knob table documents {flag}, which is not in the "
+                    "StackConfig registry (removed or misspelled)"))
+
+
 # ---- bench baseline schema ---------------------------------------------------
 
 def read_config_keys(root):
@@ -415,6 +478,7 @@ def run(root):
     check_adapters(root, findings)
     check_shard_encapsulation(root, findings)
     check_knob_registry(root, findings)
+    check_knob_docs(root, findings)
     check_baselines(root, findings)
     return findings
 

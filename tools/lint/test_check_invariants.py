@@ -328,6 +328,71 @@ class KnobRegistryRule(LintTestCase):
         self.assert_clean()
 
 
+STACK_CONFIG_STUB = textwrap.dedent("""\
+    constexpr Knob kKnobs[] = {
+        {"--queue-depth", "MOBICEAL_QUEUE_DEPTH", Knob::kU32MinOne,
+         offsetof(StackConfig, queue_depth)},
+        {"--ftl", "MOBICEAL_FTL", Knob::kU32,
+         offsetof(StackConfig, ftl_mode)},
+    };
+""")
+
+
+def knob_table(flags):
+    # Rows carry argument placeholders (`--flag N`), like the real tables.
+    rows = "".join(f"| `{f} N` | `MOBICEAL_X` | what it does |\n"
+                   for f in flags)
+    return ("# Knobs\n\n| Flag | Env | Meaning |\n|---|---|---|\n" + rows)
+
+
+class KnobDocsRule(LintTestCase):
+    """Doc-drift gate: registry knobs <-> README/ARCHITECTURE knob tables."""
+
+    ALL = ("--queue-depth", "--ftl")
+
+    def write_tree(self, readme_flags=ALL, arch_flags=ALL, arch=True):
+        self.tree.write("src/api/stack_config.cpp", STACK_CONFIG_STUB)
+        self.tree.write("README.md", knob_table(readme_flags))
+        if arch:
+            self.tree.write("docs/ARCHITECTURE.md", knob_table(arch_flags))
+
+    def test_matching_tables_clean(self):
+        self.write_tree()
+        self.assert_clean()
+
+    def test_registry_knob_missing_from_readme_flagged(self):
+        self.write_tree(readme_flags=("--queue-depth",))
+        self.assert_rule("knob-docs")
+
+    def test_registry_knob_missing_from_architecture_flagged(self):
+        self.write_tree(arch_flags=("--queue-depth",))
+        self.assert_rule("knob-docs")
+
+    def test_stale_documented_knob_flagged(self):
+        # The reverse direction: a table row for a flag the registry no
+        # longer (or never) had.
+        self.write_tree(readme_flags=self.ALL + ("--removed-knob",))
+        self.assert_rule("knob-docs")
+
+    def test_missing_architecture_doc_flagged(self):
+        self.write_tree(arch=False)
+        self.assert_rule("knob-docs")
+
+    def test_prose_mention_is_not_a_table_row(self):
+        # Only `| `--flag`` table rows count as documentation; prose naming
+        # a flag neither satisfies nor violates the rule.
+        self.tree.write("src/api/stack_config.cpp", STACK_CONFIG_STUB)
+        self.tree.write("README.md",
+                        knob_table(self.ALL) +
+                        "\nSee also the `--json` output flag.\n")
+        self.tree.write("docs/ARCHITECTURE.md", knob_table(self.ALL))
+        self.assert_clean()
+
+    def test_no_registry_in_tree_skips_quietly(self):
+        self.tree.write("README.md", "# no knob table\n")
+        self.assert_clean()
+
+
 class BaselineSchemaRule(LintTestCase):
     def good(self):
         return ('{"bench": "io", "metrics": {"workload_mb": 4, '
@@ -383,6 +448,20 @@ class RealTreeSmoke(unittest.TestCase):
             self.skipTest("not running inside the repo")
         findings = check_invariants.run(repo)
         self.assertEqual([str(f) for f in findings], [])
+
+    def test_registry_knobs_parse_from_real_tree(self):
+        # Pins KNOB_ENTRY_RE against the actual kKnobs table: if the
+        # registry syntax changes and the regex silently stops matching,
+        # the knob-docs rule would stop firing — this catches that rot.
+        repo = os.path.dirname(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__))))
+        if not os.path.isfile(os.path.join(repo, "src", "api",
+                                           "stack_config.cpp")):
+            self.skipTest("not running inside the repo")
+        knobs = dict(check_invariants.read_registry_knobs(repo))
+        self.assertGreaterEqual(len(knobs), 15)
+        self.assertEqual(knobs.get("--ftl"), "MOBICEAL_FTL")
+        self.assertEqual(knobs.get("--queue-depth"), "MOBICEAL_QUEUE_DEPTH")
 
 
 if __name__ == "__main__":

@@ -193,6 +193,26 @@ class ConfigGuard(GateHarness):
                               {key: 2, "degraded.dd_read_kbps": 280.0})
             self.assertNotEqual(rc, 0, key)
 
+    def test_ftl_knob_mismatch_is_a_hard_error(self):
+        # FTL runs are comparable only at matching flash geometry: mapping
+        # mode, over-provisioning, and erase-block size all change GC
+        # pressure and therefore every timing.
+        for key in ("ftl_mode", "ftl_over_provision_pct",
+                    "ftl_pages_per_block"):
+            rc, _ = self.pair({key: 0, "gc.dd_write_kbps": 500.0},
+                              {key: 1, "gc.dd_write_kbps": 480.0},
+                              bench="ftl")
+            self.assertNotEqual(rc, 0, key)
+
+    def test_matching_ftl_knobs_compare(self):
+        rc, _ = self.pair(
+            {"ftl_mode": 1, "ftl_over_provision_pct": 7,
+             "ftl_pages_per_block": 64, "gc.dd_write_kbps": 500.0},
+            {"ftl_mode": 1, "ftl_over_provision_pct": 7,
+             "ftl_pages_per_block": 64, "gc.dd_write_kbps": 495.0},
+            bench="ftl")
+        self.assertEqual(rc, 0)
+
     def test_fleet_tenant_mismatch_is_a_hard_error(self):
         rc, _ = self.pair(
             {"fleet_tenants": 4, "t4.s4.aggregate_write_kbps": 600.0},
